@@ -1,0 +1,68 @@
+// Shared scaffolding for the figure-reproduction benches: uniform headers,
+// lock-comparison rows, shape-check assertions printed as PASS/FAIL, and the
+// SIM_TIME_SCALE knob.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "stats/table.h"
+
+namespace asl::bench {
+
+using sim::SimConfig;
+using sim::SimResult;
+
+// SIM_TIME_SCALE scales the simulated measurement window (default 1.0; the
+// shapes are stable down to ~0.2).
+inline double time_scale() {
+  const char* env = std::getenv("SIM_TIME_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline SimConfig scaled(SimConfig cfg) {
+  return sim::scale_durations(cfg, time_scale());
+}
+
+inline void banner(const std::string& figure, const std::string& title) {
+  std::cout << "\n=== " << figure << ": " << title << " ===\n";
+}
+
+inline void note(const std::string& text) {
+  std::cout << "  # " << text << "\n";
+}
+
+// Shape check: prints PASS/FAIL so bench output doubles as verification.
+inline bool g_all_shapes_ok = true;
+inline void shape_check(bool ok, const std::string& what) {
+  std::cout << (ok ? "  [shape PASS] " : "  [shape FAIL] ") << what << "\n";
+  g_all_shapes_ok = g_all_shapes_ok && ok;
+}
+
+inline int finish() {
+  std::cout << (g_all_shapes_ok ? "\nAll shape checks passed.\n"
+                                : "\nSOME SHAPE CHECKS FAILED.\n");
+  return g_all_shapes_ok ? 0 : 1;
+}
+
+// A standard comparison row: lock name, Big/Little/Overall P99 (us),
+// throughput (ops/s).
+inline void add_comparison_row(Table& table, const std::string& name,
+                               const SimResult& r, double throughput) {
+  table.add_row({name, Table::fmt_ns_as_us(r.latency.p99_big()),
+                 Table::fmt_ns_as_us(r.latency.p99_little()),
+                 Table::fmt_ns_as_us(r.latency.p99_overall()),
+                 Table::fmt_ops(throughput)});
+}
+
+inline Table comparison_table() {
+  return Table(
+      {"lock", "big_p99_us", "little_p99_us", "overall_p99_us", "tput_ops"});
+}
+
+}  // namespace asl::bench

@@ -1,0 +1,118 @@
+// Shared driver for the five database figures (Figures 9a-9i, 10a-10f).
+// Each figure has the same three panels:
+//   (a) lock comparison at the paper's chosen SLOs,
+//   (b) variant-SLO sweep,
+//   (c) latency CDF at the paper's CDF SLO.
+#pragma once
+
+#include "bench_common.h"
+#include "sim/db_model.h"
+#include "sim/sim_runner.h"
+
+namespace asl::bench {
+
+using sim::DbKind;
+using sim::DbWorkload;
+using sim::LockKind;
+using sim::Policy;
+using sim::Time;
+
+inline int run_db_figure(DbKind kind, const char* figure) {
+  using namespace asl::sim;
+  DbWorkload w = make_db_workload(kind);
+
+  banner(figure, std::string(w.name) + " — lock comparison");
+  Table table = comparison_table();
+
+  auto run_plain = [&](const char* name, LockKind lock) {
+    SimResult r = run_sim(scaled(db_config(w, lock)), w.gen);
+    add_comparison_row(table, name, r, r.epoch_throughput());
+    return r;
+  };
+  auto run_asl = [&](const std::string& name, Time slo, bool use_slo) {
+    SimResult r = run_sim(scaled(db_asl_config(w, slo, use_slo)), w.gen);
+    add_comparison_row(table, name, r, r.epoch_throughput());
+    return r;
+  };
+
+  SimResult pthread = run_plain("pthread", LockKind::kPthread);
+  SimResult tas = run_plain("tas", LockKind::kTas);
+  run_plain("ticket", LockKind::kTicket);
+  SimConfig shfl_cfg = scaled(db_config(w, LockKind::kShflPb));
+  shfl_cfg.pb_proportion = 10;
+  SimResult shfl = run_sim(shfl_cfg, w.gen);
+  add_comparison_row(table, "shfl-pb10", shfl, shfl.epoch_throughput());
+  SimResult mcs = run_plain("mcs", LockKind::kMcs);
+  SimResult asl0 = run_asl("libasl-0", 0, true);
+  const std::string name_a =
+      "libasl-" + std::to_string(w.paper_slo_a / kMicro) + "us";
+  const std::string name_b =
+      "libasl-" + std::to_string(w.paper_slo_b / kMicro) + "us";
+  SimResult asla = run_asl(name_a, w.paper_slo_a, true);
+  SimResult aslb = run_asl(name_b, w.paper_slo_b, true);
+  SimResult aslmax = run_asl("libasl-max", 0, false);
+  table.print(std::cout);
+
+  shape_check(std::abs(asl0.epoch_throughput() / mcs.epoch_throughput() -
+                       1.0) < 0.2,
+              "LibASL-0 falls back to FIFO");
+  shape_check(aslmax.epoch_throughput() >= mcs.epoch_throughput() * 1.1,
+              "LibASL-MAX beats MCS");
+  shape_check(aslmax.epoch_throughput() >= tas.epoch_throughput() * 0.95,
+              "LibASL-MAX at least matches TAS throughput");
+  shape_check(aslmax.epoch_throughput() >= pthread.epoch_throughput(),
+              "LibASL-MAX beats pthread");
+  shape_check(aslb.latency.p99_little() <= w.paper_slo_b * 13 / 10,
+              "LibASL keeps the configured SLO");
+  shape_check(asla.epoch_throughput() <= aslb.epoch_throughput() * 1.05,
+              "larger SLO buys at least as much throughput");
+
+  banner(figure, std::string(w.name) + " — variant SLOs");
+  Table sweep({"slo_us", "big_p99_us", "little_p99_us", "tput_ops"});
+  const Time lo = w.sweep_max / 10;
+  bool tracked = true;
+  double tput_first = 0, tput_last = 0;
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    const Time slo = lo * i + (w.sweep_max - lo * 8) * i / 8;
+    SimResult r = run_sim(scaled(db_asl_config(w, slo, true)), w.gen);
+    sweep.add_row({std::to_string(slo / kMicro),
+                   Table::fmt_ns_as_us(r.latency.p99_big()),
+                   Table::fmt_ns_as_us(r.latency.p99_little()),
+                   Table::fmt_ops(r.epoch_throughput())});
+    if (i == 1) tput_first = r.epoch_throughput();
+    if (i == 8) tput_last = r.epoch_throughput();
+    if (i >= 3) tracked = tracked && r.latency.p99_little() <= slo * 14 / 10;
+  }
+  sweep.print(std::cout);
+  shape_check(tput_last >= tput_first, "throughput grows with the SLO");
+  shape_check(tracked, "little-core P99 tracks the SLO across the sweep");
+
+  banner(figure, std::string(w.name) + " — latency CDF (SLO " +
+                     std::to_string(w.cdf_slo / kMicro) + "us)");
+  SimResult cdf_run = run_sim(scaled(db_asl_config(w, w.cdf_slo, true)),
+                              w.gen);
+  Table cdf({"latency_us", "overall_cum", "little_cum"});
+  auto overall = cdf_run.latency.overall().cdf();
+  auto little = cdf_run.latency.little().cdf();
+  // Sample ~16 rows of the overall CDF, interpolating little at the same
+  // points (step function: last value <= x).
+  auto little_at = [&](std::uint64_t x) {
+    double cum = 0;
+    for (const auto& p : little) {
+      if (p.value <= x) cum = p.cumulative;
+    }
+    return cum;
+  };
+  const std::size_t stride = overall.size() > 16 ? overall.size() / 16 : 1;
+  for (std::size_t i = 0; i < overall.size(); i += stride) {
+    cdf.add_row({Table::fmt_ns_as_us(overall[i].value),
+                 Table::fmt(overall[i].cumulative, 3),
+                 Table::fmt(little_at(overall[i].value), 3)});
+  }
+  cdf.print(std::cout);
+  shape_check(cdf_run.latency.p99_little() <= w.cdf_slo * 13 / 10,
+              "CDF run: little-core P99 within the SLO");
+  return finish();
+}
+
+}  // namespace asl::bench

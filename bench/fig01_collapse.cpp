@@ -1,0 +1,49 @@
+// Figure 1: existing locks collapse on AMP (little-core-affinity TAS case).
+// Threads 1..8 (first 4 big, rest little) acquire one lock to RMW 4 shared
+// cache lines with a fixed NOP gap; plots throughput and P99 latency for the
+// MCS and TAS locks.
+#include "bench_common.h"
+#include "sim/sim_runner.h"
+
+using namespace asl;
+using namespace asl::bench;
+using namespace asl::sim;
+
+int main() {
+  banner("Figure 1", "throughput & latency collapse (TAS little-affinity)");
+  note("CS = 4 shared cache lines; threads bound big-first (M1 layout)");
+
+  auto gen = collapse_workload(4, 150);
+  Table table({"threads", "mcs_tput", "tas_tput", "mcs_p99_us", "tas_p99_us"});
+
+  double mcs4 = 0, mcs8 = 0, tas8 = 0;
+  std::uint64_t mcs8_p99 = 0, tas8_p99 = 0;
+  for (std::uint32_t n = 1; n <= 8; ++n) {
+    SimResult mcs = run_sim(
+        scaled(collapse_config(n, LockKind::kMcs, TasAffinity::kSymmetric)),
+        gen);
+    SimResult tas = run_sim(
+        scaled(collapse_config(n, LockKind::kTas, TasAffinity::kLittleCores)),
+        gen);
+    table.add_row({std::to_string(n), Table::fmt_ops(mcs.cs_throughput()),
+                   Table::fmt_ops(tas.cs_throughput()),
+                   Table::fmt_ns_as_us(mcs.latency.p99_overall()),
+                   Table::fmt_ns_as_us(tas.latency.p99_overall())});
+    if (n == 4) mcs4 = mcs.cs_throughput();
+    if (n == 8) {
+      mcs8 = mcs.cs_throughput();
+      tas8 = tas.cs_throughput();
+      mcs8_p99 = mcs.latency.p99_overall();
+      tas8_p99 = tas.latency.p99_overall();
+    }
+  }
+  table.print(std::cout);
+
+  shape_check(mcs8 < mcs4 * 0.55,
+              "MCS throughput collapses >45% from 4 big cores to 4+4");
+  shape_check(tas8 < mcs8,
+              "little-affinity TAS throughput below MCS at 8 threads");
+  shape_check(tas8_p99 > mcs8_p99 * 2,
+              "TAS P99 latency is a multiple of MCS P99 (paper: 6.2x)");
+  return finish();
+}

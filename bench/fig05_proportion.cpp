@@ -1,0 +1,88 @@
+// Figure 5: static proportional execution sweep. N = big cores get N times
+// higher chance to lock; throughput and little-core tail latency both grow
+// with N — the static trade-off that motivates SLO-guided ordering.
+#include "bench_common.h"
+#include "sim/sim_runner.h"
+
+using namespace asl;
+using namespace asl::bench;
+using namespace asl::sim;
+
+int main() {
+  banner("Figure 5", "throughput vs P99 for static proportions 0..29");
+  note("proportion N: exactly 1 little-core acquisition per N big-core ones");
+
+  // Single heavily-saturated lock (64-line CS, minimal gap): the rotation
+  // counter is the only thing letting little cores in, as in the paper's
+  // high-contention setting.
+  auto gen = collapse_workload(64, 100);
+  Table table({"proportion", "tput_ops", "p99_us", "little_p99_us"});
+  double first_tput = 0, last_tput = 0;
+  std::uint64_t first_p99 = 0, last_p99 = 0;
+  for (std::uint32_t n : {0u, 1u, 2u, 3u, 5u, 8u, 10u, 14u, 19u, 24u, 29u}) {
+    SimConfig cfg = scaled(
+        collapse_config(8, LockKind::kShflPb, TasAffinity::kSymmetric));
+    cfg.pb_proportion = n == 0 ? 1 : n;
+    SimResult r = run_sim(cfg, gen);
+    table.add_row({std::to_string(n), Table::fmt_ops(r.cs_throughput()),
+                   Table::fmt_ns_as_us(r.latency.p99_overall()),
+                   Table::fmt_ns_as_us(r.latency.p99_little())});
+    if (n == 0) {
+      first_tput = r.cs_throughput();
+      first_p99 = r.latency.p99_little();
+    }
+    if (n == 29) {
+      last_tput = r.cs_throughput();
+      last_p99 = r.latency.p99_little();
+    }
+  }
+  table.print(std::cout);
+
+  shape_check(last_tput > first_tput * 1.1,
+              "throughput grows with the proportion");
+  shape_check(last_p99 > first_p99 * 2,
+              "little-core P99 grows with the proportion (mutual exclusivity)");
+
+  // Section 2.3's second strawman argument: "since applications' loads may
+  // change over time, the latency is unstable when setting a fixed
+  // proportion". Run PB10 and LibASL on a light and a heavy load; the fixed
+  // proportion's little-core P99 swings with the load while LibASL pins it
+  // to the SLO in both.
+  banner("Section 2.3", "fixed proportion is unstable across loads");
+  auto light = collapse_workload(16, 2000);
+  auto heavy = collapse_workload(64, 100);
+  SimConfig pb = scaled(
+      collapse_config(8, LockKind::kShflPb, TasAffinity::kSymmetric));
+  pb.pb_proportion = 10;
+  SimResult pb_light = run_sim(pb, light);
+  SimResult pb_heavy = run_sim(pb, heavy);
+  const Time slo = 60 * kMicro;
+  SimConfig asl = scaled(
+      collapse_config(8, LockKind::kReorderable, TasAffinity::kSymmetric));
+  asl.policy = Policy::kAsl;
+  asl.use_slo = true;
+  asl.slo = slo;
+  seed_controller(asl);
+  SimResult asl_light = run_sim(asl, light);
+  SimResult asl_heavy = run_sim(asl, heavy);
+
+  Table unstable({"policy", "light_little_p99_us", "heavy_little_p99_us"});
+  unstable.add_row({"shfl-pb10",
+                    Table::fmt_ns_as_us(pb_light.latency.p99_little()),
+                    Table::fmt_ns_as_us(pb_heavy.latency.p99_little())});
+  unstable.add_row({"libasl (slo 60us)",
+                    Table::fmt_ns_as_us(asl_light.latency.p99_little()),
+                    Table::fmt_ns_as_us(asl_heavy.latency.p99_little())});
+  unstable.print(std::cout);
+
+  const double pb_swing =
+      static_cast<double>(pb_heavy.latency.p99_little()) /
+      static_cast<double>(std::max<std::uint64_t>(
+          pb_light.latency.p99_little(), 1));
+  shape_check(pb_swing > 3.0,
+              "fixed proportion: little-core P99 swings >3x across loads");
+  shape_check(asl_heavy.latency.p99_little() <= slo * 13 / 10 &&
+                  asl_light.latency.p99_little() <= slo * 13 / 10,
+              "LibASL: little-core P99 pinned to the SLO under both loads");
+  return finish();
+}

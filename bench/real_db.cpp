@@ -1,0 +1,133 @@
+// Real-thread throughput/latency of the five mini database engines under
+// their Table-1 workload mixes, with LibASL epochs annotated around each
+// request (the Section 4.2 integration, on real engines rather than the
+// simulator models). Host numbers — they demonstrate the engines and the
+// library integration, not the AMP figures (those come from the fig09*/
+// fig10* simulator benches).
+#include <atomic>
+#include <iostream>
+
+#include "asl/libasl.h"
+#include "db/btreekv.h"
+#include "db/hashkv.h"
+#include "db/lsmkv.h"
+#include "db/minisql.h"
+#include "db/mvkv.h"
+#include "harness/runner.h"
+#include "platform/rng.h"
+#include "stats/table.h"
+
+using namespace asl;
+
+namespace {
+
+constexpr Nanos kRunFor = 200 * kNanosPerMilli;
+constexpr Nanos kSlo = 2 * kNanosPerMilli;
+constexpr std::uint64_t kKeys = 2048;
+
+RunStats run_engine(const std::function<void(Rng&, std::uint64_t)>& op) {
+  auto roles = m1_layout(4, 2);
+  return run_fixed_duration(
+      roles, kRunFor, [&](const WorkerCtx& ctx) -> WorkerBody {
+        auto rng = std::make_shared<Rng>(ctx.index + 31);
+        return [&, rng](WorkerCtx& c) {
+          const Nanos t0 = now_ns();
+          epoch_start(1);
+          op(*rng, rng->below(kKeys));
+          epoch_end(1, kSlo);
+          c.record_latency(now_ns() - t0);
+          c.ops += 1;
+        };
+      });
+}
+
+void add_row(Table& table, const char* name, const RunStats& stats) {
+  table.add_row({name, Table::fmt_ops(stats.throughput_ops_per_sec()),
+                 Table::fmt_ns_as_us(stats.latency.p99_big()),
+                 Table::fmt_ns_as_us(stats.latency.p99_little())});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Real-engine benchmark (host threads, LibASL epochs, "
+               "50/50 put-get unless noted) ===\n";
+  Table table({"engine", "tput_ops", "big_p99_us", "little_p99_us"});
+
+  {
+    db::HashKv kv(64);
+    for (std::uint64_t i = 0; i < kKeys; ++i)
+      kv.put(std::to_string(i), "seed");
+    add_row(table, "hashkv (kyoto)", run_engine([&](Rng& rng, std::uint64_t k) {
+              if (rng.chance(0.5)) {
+                kv.put(std::to_string(k), "v");
+              } else {
+                kv.get(std::to_string(k));
+              }
+            }));
+  }
+  {
+    db::BtreeKv kv;
+    for (std::uint64_t i = 0; i < kKeys; ++i) kv.put(i, "seed");
+    add_row(table, "btreekv (upscaledb)",
+            run_engine([&](Rng& rng, std::uint64_t k) {
+              if (rng.chance(0.5)) {
+                kv.put(k, "v");
+              } else {
+                kv.get(k);
+              }
+            }));
+  }
+  {
+    db::MvKv kv;
+    for (std::uint64_t i = 0; i < kKeys; ++i) kv.put(i, "seed");
+    add_row(table, "mvkv (lmdb)", run_engine([&](Rng& rng, std::uint64_t k) {
+              if (rng.chance(0.5)) {
+                kv.put(k, "v");
+              } else {
+                kv.get(k);
+              }
+            }));
+  }
+  {
+    db::LsmKv kv;
+    for (std::uint64_t i = 0; i < kKeys; ++i) kv.put(i, "seed");
+    add_row(table, "lsmkv (leveldb, get-only)",
+            run_engine([&](Rng&, std::uint64_t k) { kv.get(k); }));
+  }
+  {
+    db::MiniSql db;
+    db.create_table("t");
+    for (std::uint64_t i = 0; i < kKeys; ++i) {
+      db.insert("t", {static_cast<std::int64_t>(i),
+                      static_cast<std::int64_t>(i % 100), "seed"});
+    }
+    std::atomic<std::int64_t> next_id{static_cast<std::int64_t>(kKeys)};
+    add_row(table, "minisql (sqlite mix)",
+            run_engine([&](Rng& rng, std::uint64_t k) {
+              switch (rng.below(3)) {
+                case 0: {
+                  db::MiniSql::Txn txn = db.begin();
+                  if (txn.insert("t", {next_id.fetch_add(1), 1, "r"})) {
+                    txn.commit();
+                  } else {
+                    txn.rollback();
+                  }
+                  break;
+                }
+                case 1:
+                  db.select_point("t", static_cast<std::int64_t>(k));
+                  break;
+                default:
+                  db.select_range("t", static_cast<std::int64_t>(k),
+                                  static_cast<std::int64_t>(k) + 64, 50);
+                  break;
+              }
+            }));
+  }
+
+  table.print(std::cout);
+  std::cout << "(absolute numbers are host-specific; figure reproduction "
+               "lives in fig09*/fig10*)\n";
+  return 0;
+}

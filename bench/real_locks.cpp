@@ -1,0 +1,142 @@
+// Host microbenchmarks of the real lock library (google-benchmark):
+// uncontended and contended acquire/release cost for every lock, the
+// reorderable lock's entry points, and the backoff ablation (DESIGN.md
+// ablation 2). These run on the build host, not the simulator — absolute
+// numbers are host-specific; the paper analog is the Section 4 setup
+// discussion.
+#include <benchmark/benchmark.h>
+
+#include "asl/libasl.h"
+#include "locks/clh.h"
+#include "locks/mcs.h"
+#include "locks/pthread_lock.h"
+#include "locks/shfl_pb.h"
+#include "locks/stp_mcs.h"
+#include "locks/tas.h"
+#include "locks/tas_backoff.h"
+#include "locks/ticket.h"
+#include "platform/topology.h"
+#include "reorder/reorderable.h"
+
+namespace {
+
+template <typename L>
+void BM_Uncontended(benchmark::State& state) {
+  L lock;
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+}
+BENCHMARK_TEMPLATE(BM_Uncontended, asl::TasLock);
+BENCHMARK_TEMPLATE(BM_Uncontended, asl::TasBackoffLock);
+BENCHMARK_TEMPLATE(BM_Uncontended, asl::TicketLock);
+BENCHMARK_TEMPLATE(BM_Uncontended, asl::McsLock);
+BENCHMARK_TEMPLATE(BM_Uncontended, asl::ClhLock);
+BENCHMARK_TEMPLATE(BM_Uncontended, asl::PthreadLock);
+BENCHMARK_TEMPLATE(BM_Uncontended, asl::StpMcsLock);
+BENCHMARK_TEMPLATE(BM_Uncontended, asl::ShflPbLock);
+
+template <typename L>
+void BM_Contended(benchmark::State& state) {
+  static L lock;
+  static std::uint64_t shared_counter = 0;
+  for (auto _ : state) {
+    lock.lock();
+    ++shared_counter;
+    benchmark::DoNotOptimize(shared_counter);
+    lock.unlock();
+  }
+}
+BENCHMARK_TEMPLATE(BM_Contended, asl::TasLock)->Threads(2)->Threads(4);
+BENCHMARK_TEMPLATE(BM_Contended, asl::TicketLock)->Threads(2)->Threads(4);
+BENCHMARK_TEMPLATE(BM_Contended, asl::McsLock)->Threads(2)->Threads(4);
+BENCHMARK_TEMPLATE(BM_Contended, asl::ShflPbLock)->Threads(2)->Threads(4);
+
+void BM_ReorderableImmediate(benchmark::State& state) {
+  asl::ReorderableLock<asl::McsLock> lock;
+  for (auto _ : state) {
+    lock.lock_immediately();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_ReorderableImmediate);
+
+void BM_ReorderableReorderFreeLock(benchmark::State& state) {
+  // Free-lock fast path of lock_reorder (Algorithm 1 line 7).
+  asl::ReorderableLock<asl::McsLock> lock;
+  for (auto _ : state) {
+    lock.lock_reorder(asl::kMaxReorderWindow);
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_ReorderableReorderFreeLock);
+
+void BM_AslMutexBigCore(benchmark::State& state) {
+  asl::ScopedCoreType big(asl::CoreType::kBig);
+  asl::AslMutex<asl::McsLock> mutex;
+  for (auto _ : state) {
+    mutex.lock();
+    mutex.unlock();
+  }
+}
+BENCHMARK(BM_AslMutexBigCore);
+
+void BM_AslMutexLittleCore(benchmark::State& state) {
+  asl::ScopedCoreType little(asl::CoreType::kLittle);
+  asl::AslMutex<asl::McsLock> mutex;
+  for (auto _ : state) {
+    mutex.lock();
+    mutex.unlock();
+  }
+}
+BENCHMARK(BM_AslMutexLittleCore);
+
+// Ablation 5 (DESIGN.md): the reorderable lock over different FIFO
+// substrates — "the underneath replaceable FIFO lock" of Section 3.2.
+template <typename Fifo>
+void BM_ReorderableSubstrateContended(benchmark::State& state) {
+  static asl::ReorderableLock<Fifo> lock;
+  const bool reorder = state.thread_index() % 2 == 1;
+  for (auto _ : state) {
+    if (reorder) {
+      lock.lock_reorder(2'000);  // 2 us window
+    } else {
+      lock.lock_immediately();
+    }
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+}
+BENCHMARK_TEMPLATE(BM_ReorderableSubstrateContended, asl::McsLock)
+    ->Threads(4);
+BENCHMARK_TEMPLATE(BM_ReorderableSubstrateContended, asl::TicketLock)
+    ->Threads(4);
+BENCHMARK_TEMPLATE(BM_ReorderableSubstrateContended, asl::ClhLock)
+    ->Threads(4);
+
+// Ablation 2: TAS with vs without exponential backoff under contention.
+void BM_TasNoBackoffContended(benchmark::State& state) {
+  static asl::TasLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_TasNoBackoffContended)->Threads(4);
+
+void BM_TasBackoffContended(benchmark::State& state) {
+  static asl::TasBackoffLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_TasBackoffContended)->Threads(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

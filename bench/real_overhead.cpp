@@ -1,0 +1,76 @@
+// LibASL bookkeeping overhead on the real host (Section 3.4 claims: the two
+// epoch operations cost ~93 cycles together; redirect indirection ~20+
+// cycles; per-thread epoch metadata is 24 bytes in the paper's C layout).
+#include <benchmark/benchmark.h>
+
+#include "asl/epoch.h"
+#include "asl/libasl.h"
+#include "platform/time.h"
+#include "platform/topology.h"
+
+namespace {
+
+void BM_EpochStartEnd(benchmark::State& state) {
+  asl::ScopedCoreType little(asl::CoreType::kLittle);
+  asl::reset_thread_epochs();
+  for (auto _ : state) {
+    asl::epoch_start(1);
+    asl::epoch_end(1, 1'000'000);
+  }
+}
+BENCHMARK(BM_EpochStartEnd);
+
+void BM_EpochStartEndBigCore(benchmark::State& state) {
+  // Big cores skip the feedback step (Algorithm 2 line 21): cheaper still.
+  asl::ScopedCoreType big(asl::CoreType::kBig);
+  asl::reset_thread_epochs();
+  for (auto _ : state) {
+    asl::epoch_start(1);
+    asl::epoch_end(1, 1'000'000);
+  }
+}
+BENCHMARK(BM_EpochStartEndBigCore);
+
+void BM_EpochNested(benchmark::State& state) {
+  asl::ScopedCoreType little(asl::CoreType::kLittle);
+  asl::reset_thread_epochs();
+  for (auto _ : state) {
+    asl::epoch_start(1);
+    asl::epoch_start(2);
+    asl::epoch_end(2, 1'000'000);
+    asl::epoch_end(1, 1'000'000);
+  }
+}
+BENCHMARK(BM_EpochNested);
+
+void BM_ClockGettime(benchmark::State& state) {
+  // The paper quotes ~45 cycles for the lightweight clock_gettime; this
+  // reports the host's actual cost, which bounds the epoch ops.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asl::now_ns());
+  }
+}
+BENCHMARK(BM_ClockGettime);
+
+void BM_IsBigCoreOracle(benchmark::State& state) {
+  asl::ScopedCoreType big(asl::CoreType::kBig);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asl::is_big_core());
+  }
+}
+BENCHMARK(BM_IsBigCoreOracle);
+
+void BM_CurrentEpochWindow(benchmark::State& state) {
+  asl::ScopedCoreType little(asl::CoreType::kLittle);
+  asl::reset_thread_epochs();
+  asl::epoch_start(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asl::current_epoch_window());
+  }
+  asl::epoch_end(3, 1'000'000);
+}
+BENCHMARK(BM_CurrentEpochWindow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Profiler demo: "for applications without clear SLOs, LibASL provides a
+// profiling tool that generates a latency-throughput graph to help choose
+// suitable SLOs" (Section 3.1). Sweeps the SLO over the Bench-1 simulation
+// workload and prints the graph plus the recommended knee.
+#include <iostream>
+
+#include "asl/profiler.h"
+#include "harness/experiment.h"
+#include "sim/sim_runner.h"
+
+using namespace asl;
+using namespace asl::sim;
+
+int main() {
+  std::cout << "SLO profiler: sweeping 10..100 us over the Bench-1 workload\n\n";
+
+  SloProfiler profiler;
+  auto gen = bench1_workload();
+  auto points = profiler.sweep(
+      {10 * kMicro, 100 * kMicro, 10},
+      [&](std::uint64_t slo) {
+        SimConfig cfg = scale_durations(bench1_asl_config(slo), 0.4);
+        SimResult r = run_sim(cfg, gen);
+        SloPoint p;
+        p.throughput = r.cs_throughput();
+        p.p99_big = r.latency.p99_big();
+        p.p99_little = r.latency.p99_little();
+        p.p99_overall = r.latency.p99_overall();
+        return p;
+      });
+
+  SloProfiler::print_graph(points, std::cout);
+
+  const SloPoint* pick = SloProfiler::recommend(points, 0.95);
+  if (pick != nullptr) {
+    std::cout << "\nrecommended SLO: " << pick->slo_ns / 1000
+              << " us (smallest within 5% of peak throughput)\n";
+  }
+  return 0;
+}

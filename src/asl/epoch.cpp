@@ -1,0 +1,92 @@
+#include "asl/epoch.h"
+
+#include "platform/topology.h"
+#include "reorder/reorderable.h"
+
+namespace asl {
+namespace {
+
+struct EpochState {
+  WindowController controller;
+  Nanos start = 0;
+  bool initialized = false;
+};
+
+struct ThreadEpochs {
+  EpochState epochs[kMaxEpochs];
+  int stack[kMaxEpochDepth];
+  int depth = 0;
+  int current = -1;
+  WindowController::Config config{};
+};
+
+thread_local ThreadEpochs t_epochs;
+
+EpochState& state_for(int epoch_id) {
+  EpochState& st = t_epochs.epochs[epoch_id];
+  if (!st.initialized) {
+    st.controller = WindowController(t_epochs.config);
+    st.initialized = true;
+  }
+  return st;
+}
+
+}  // namespace
+
+int epoch_start(int epoch_id) {
+  if (epoch_id < 0 || epoch_id >= kMaxEpochs) return -1;
+  ThreadEpochs& te = t_epochs;
+  if (te.current >= 0 && te.depth < kMaxEpochDepth) {
+    te.stack[te.depth++] = te.current;
+  }
+  te.current = epoch_id;
+  state_for(epoch_id).start = now_ns();
+  return 0;
+}
+
+int epoch_end(int epoch_id, std::uint64_t slo_ns) {
+  if (epoch_id < 0 || epoch_id >= kMaxEpochs) return -1;
+  ThreadEpochs& te = t_epochs;
+  // Algorithm 2 line 21: big cores never stand by, so their windows are
+  // irrelevant and the measurement is skipped.
+  if (!is_big_core()) {
+    EpochState& st = state_for(epoch_id);
+    const Nanos latency = now_ns() - st.start;
+    st.controller.on_epoch_end(latency, slo_ns);
+  }
+  te.current = te.depth > 0 ? te.stack[--te.depth] : -1;
+  return 0;
+}
+
+int current_epoch_id() { return t_epochs.current; }
+
+std::uint64_t current_epoch_window() {
+  const int id = t_epochs.current;
+  if (id < 0) return kMaxReorderWindow;
+  return state_for(id).controller.window();
+}
+
+std::uint64_t epoch_window(int epoch_id) {
+  if (epoch_id < 0 || epoch_id >= kMaxEpochs) return kMaxReorderWindow;
+  return state_for(epoch_id).controller.window();
+}
+
+void set_epoch_controller_config(const WindowController::Config& config) {
+  t_epochs.config = config;
+  for (EpochState& st : t_epochs.epochs) {
+    if (st.initialized) {
+      st.controller = WindowController(config);
+    }
+  }
+}
+
+void reset_thread_epochs() {
+  ThreadEpochs& te = t_epochs;
+  for (EpochState& st : te.epochs) {
+    st = EpochState{};
+  }
+  te.depth = 0;
+  te.current = -1;
+}
+
+}  // namespace asl

@@ -1,0 +1,55 @@
+// Epoch interfaces — the paper's Algorithm 2 (epoch_start / epoch_end).
+//
+// An epoch is an application-annotated code block with a latency SLO (e.g. a
+// request handler, Figure 6). Epoch metadata is per-thread: each thread keeps
+// its own reorder-window controller per epoch id, a start timestamp, and a
+// stack supporting nested epochs. The two epoch operations cost ~a hundred
+// cycles (one clock_gettime plus integer arithmetic), matching the paper's
+// ~93-cycle figure.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/time.h"
+#include "asl/window_controller.h"
+
+namespace asl {
+
+// Maximum distinct epoch ids (statically assigned by programmers; the paper
+// sizes per-thread metadata at 24 bytes/epoch and leaves the count small).
+inline constexpr int kMaxEpochs = 64;
+// Maximum nesting depth of epochs on one thread.
+inline constexpr int kMaxEpochDepth = 16;
+
+// Starts epoch `epoch_id` on the calling thread. Nested epochs push the
+// outer epoch on a per-thread stack. Returns 0 (matching the C-style paper
+// API); out-of-range ids are ignored and return -1.
+int epoch_start(int epoch_id);
+
+// Ends epoch `epoch_id` with the given latency SLO in nanoseconds. On little
+// cores this measures the epoch latency and runs the AIMD window update; on
+// big cores the update is skipped (Algorithm 2 line 21) because big cores
+// never stand by. Returns 0, or -1 for out-of-range ids.
+int epoch_end(int epoch_id, std::uint64_t slo_ns);
+
+// Epoch id currently governing the calling thread, or -1 when not in any
+// epoch (Algorithm 3 consults this).
+int current_epoch_id();
+
+// Reorder window of the calling thread's current epoch; kMaxReorderWindow
+// when not in an epoch. Used by the LibASL lock dispatch.
+std::uint64_t current_epoch_window();
+
+// Window currently chosen for a specific epoch id on this thread (testing /
+// introspection).
+std::uint64_t epoch_window(int epoch_id);
+
+// Override the percentile / controller configuration for this thread's
+// epochs (applies to epochs started afterwards; existing controllers are
+// re-seeded). Primarily for experiments; the default is P99.
+void set_epoch_controller_config(const WindowController::Config& config);
+
+// Reset all epoch state on the calling thread (between experiment phases).
+void reset_thread_epochs();
+
+}  // namespace asl

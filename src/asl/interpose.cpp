@@ -1,0 +1,105 @@
+// See interpose.h. Implementation notes:
+//
+// * The shadow table maps pthread_mutex_t* -> AslMutex. It is a fixed-size
+//   open-addressed hash table of atomic pointers: lookups are lock-free and
+//   insertion races are resolved with compare_exchange (the loser frees its
+//   candidate). We must not call anything that could itself take a pthread
+//   mutex on this path (malloc is safe under glibc; its internal locks use
+//   lll_lock, not the interposable pthread_mutex_lock PLT entry).
+// * Entries are never removed: pthread_mutex_destroy is not interposed, so a
+//   destroyed-and-reused address simply reuses its shadow, which is exactly
+//   the fresh-unlocked state a reinitialized mutex expects.
+#include "asl/interpose.h"
+
+#include <atomic>
+#include <cstdint>
+
+#include "asl/epoch.h"
+#include "asl/libasl.h"
+
+namespace {
+
+constexpr std::size_t kTableBits = 16;
+constexpr std::size_t kTableSize = 1ULL << kTableBits;  // 65536 mutexes
+
+using Shadow = asl::AslMutex<asl::McsLock>;
+
+std::atomic<Shadow*> g_table[kTableSize];
+std::atomic<const pthread_mutex_t*> g_keys[kTableSize];
+std::atomic<std::uint64_t> g_redirects{0};
+
+std::size_t hash_ptr(const pthread_mutex_t* m) {
+  auto x = reinterpret_cast<std::uintptr_t>(m);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x) & (kTableSize - 1);
+}
+
+Shadow* shadow_for(pthread_mutex_t* m) {
+  std::size_t idx = hash_ptr(m);
+  for (std::size_t probe = 0; probe < kTableSize; ++probe) {
+    const pthread_mutex_t* key = g_keys[idx].load(std::memory_order_acquire);
+    if (key == m) {
+      return g_table[idx].load(std::memory_order_acquire);
+    }
+    if (key == nullptr) {
+      const pthread_mutex_t* expected = nullptr;
+      if (g_keys[idx].compare_exchange_strong(expected, m,
+                                              std::memory_order_acq_rel)) {
+        Shadow* shadow = new Shadow();
+        g_table[idx].store(shadow, std::memory_order_release);
+        return shadow;
+      }
+      if (expected == m) {
+        // Raced with another thread inserting the same key; wait for its
+        // shadow pointer to land.
+        Shadow* s;
+        while ((s = g_table[idx].load(std::memory_order_acquire)) == nullptr) {
+        }
+        return s;
+      }
+    }
+    idx = (idx + 1) & (kTableSize - 1);
+  }
+  return nullptr;  // table full: fall back to the real pthread lock
+}
+
+}  // namespace
+
+extern "C" {
+
+int asl_epoch_start(int epoch_id) { return asl::epoch_start(epoch_id); }
+
+int asl_epoch_end(int epoch_id, std::uint64_t slo_ns) {
+  return asl::epoch_end(epoch_id, slo_ns);
+}
+
+std::uint64_t asl_interpose_redirect_count() {
+  return g_redirects.load(std::memory_order_relaxed);
+}
+
+// The interposed entry points. When this library is linked ahead of
+// libpthread (or LD_PRELOADed), these definitions win symbol resolution.
+int pthread_mutex_lock(pthread_mutex_t* mutex) {
+  Shadow* shadow = shadow_for(mutex);
+  if (shadow == nullptr) return 22;  // EINVAL: table exhausted
+  g_redirects.fetch_add(1, std::memory_order_relaxed);
+  shadow->lock();
+  return 0;
+}
+
+int pthread_mutex_trylock(pthread_mutex_t* mutex) {
+  Shadow* shadow = shadow_for(mutex);
+  if (shadow == nullptr) return 22;
+  return shadow->try_lock() ? 0 : 16;  // EBUSY
+}
+
+int pthread_mutex_unlock(pthread_mutex_t* mutex) {
+  Shadow* shadow = shadow_for(mutex);
+  if (shadow == nullptr) return 22;
+  shadow->unlock();
+  return 0;
+}
+
+}  // extern "C"

@@ -1,0 +1,32 @@
+// pthread interposition shim — Section 3.3: "LibASL leverages weak-symbol
+// replacement to redirect the invocations of pthread_mutex_lock
+// transparently."
+//
+// Linking (or LD_PRELOAD-ing) libasl_pthread resolves pthread_mutex_lock /
+// unlock / trylock to the definitions in interpose.cpp, which route through
+// an AslMutex shadow object per pthread_mutex_t address. The C epoch API is
+// exported alongside so latency-critical applications add exactly the three
+// lines of Figure 6.
+#pragma once
+
+#include <pthread.h>
+
+#include <cstdint>
+
+extern "C" {
+
+// The Figure 6 annotation API.
+int asl_epoch_start(int epoch_id);
+int asl_epoch_end(int epoch_id, std::uint64_t slo_ns);
+
+// Interposed pthread entry points (defined in interpose.cpp and exported by
+// the libasl_pthread shared library).
+// int pthread_mutex_lock(pthread_mutex_t*);
+// int pthread_mutex_trylock(pthread_mutex_t*);
+// int pthread_mutex_unlock(pthread_mutex_t*);
+
+// Introspection for tests/demos: how many pthread_mutex_lock calls have been
+// redirected through LibASL in this process.
+std::uint64_t asl_interpose_redirect_count();
+
+}  // extern "C"

@@ -1,0 +1,93 @@
+// LibASL public lock API — Algorithm 3 (asl_mutex_lock) over the
+// reorderable lock plus the epoch feedback of Algorithm 2.
+//
+// Dispatch rule:
+//   big core              -> lock_immediately (join FIFO queue now)
+//   little core, no epoch -> lock_reorder(kMaxReorderWindow)  (default
+//                            loose window: maximum throughput, still
+//                            starvation-free)
+//   little core, epoch    -> lock_reorder(current epoch's AIMD window)
+//
+// AslMutex is templated over the FIFO substrate (MCS by default; the paper:
+// "the reorderable lock is built atop the MCS lock"); BlockingAslMutex is
+// the oversubscription variant over pthread_mutex.
+#pragma once
+
+#include "platform/topology.h"
+#include "locks/mcs.h"
+#include "reorder/blocking_reorderable.h"
+#include "reorder/reorderable.h"
+#include "asl/epoch.h"
+
+namespace asl {
+
+template <Lockable Fifo = McsLock>
+class AslMutex {
+ public:
+  AslMutex() = default;
+  AslMutex(const AslMutex&) = delete;
+  AslMutex& operator=(const AslMutex&) = delete;
+
+  // Algorithm 3.
+  void lock() {
+    if (is_big_core()) {
+      inner_.lock_immediately();
+    } else {
+      inner_.lock_reorder(current_epoch_window());
+    }
+  }
+
+  bool try_lock() { return inner_.try_lock(); }
+  void unlock() { inner_.unlock(); }
+  bool is_free() const { return inner_.is_free(); }
+
+  ReorderableLock<Fifo>& reorderable() { return inner_; }
+
+ private:
+  ReorderableLock<Fifo> inner_;
+};
+
+// Blocking variant for core-oversubscribed deployments (Bench-6).
+class BlockingAslMutex {
+ public:
+  BlockingAslMutex() = default;
+  BlockingAslMutex(const BlockingAslMutex&) = delete;
+  BlockingAslMutex& operator=(const BlockingAslMutex&) = delete;
+
+  void lock() {
+    if (is_big_core()) {
+      inner_.lock_immediately();
+    } else {
+      inner_.lock_reorder(current_epoch_window());
+    }
+  }
+
+  bool try_lock() { return inner_.try_lock(); }
+  void unlock() { inner_.unlock(); }
+  bool is_free() const { return inner_.is_free(); }
+
+ private:
+  BlockingReorderableLock<PthreadLock> inner_;
+};
+
+static_assert(Lockable<AslMutex<McsLock>>);
+static_assert(Lockable<BlockingAslMutex>);
+
+// RAII epoch annotation (C++ sugar over epoch_start/epoch_end; Figure 6's
+// two-line annotation becomes one declaration).
+class EpochScope {
+ public:
+  EpochScope(int epoch_id, std::uint64_t slo_ns)
+      : id_(epoch_id), slo_(slo_ns) {
+    epoch_start(id_);
+  }
+  ~EpochScope() { epoch_end(id_, slo_); }
+  EpochScope(const EpochScope&) = delete;
+  EpochScope& operator=(const EpochScope&) = delete;
+
+ private:
+  int id_;
+  std::uint64_t slo_;
+};
+
+}  // namespace asl

@@ -1,0 +1,51 @@
+#include "asl/profiler.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "stats/table.h"
+
+namespace asl {
+
+std::vector<SloPoint> SloProfiler::sweep(const Range& range,
+                                         const SloMeasureFn& measure) {
+  std::vector<SloPoint> points;
+  const std::uint32_t steps = std::max<std::uint32_t>(range.steps, 2);
+  for (std::uint32_t i = 0; i < steps; ++i) {
+    const std::uint64_t slo =
+        range.lo_ns + (range.hi_ns - range.lo_ns) * i / (steps - 1);
+    SloPoint p = measure(slo);
+    p.slo_ns = slo;
+    points.push_back(p);
+  }
+  return points;
+}
+
+void SloProfiler::print_graph(const std::vector<SloPoint>& points,
+                              std::ostream& os) {
+  Table table({"slo_us", "big_p99_us", "little_p99_us", "overall_p99_us",
+               "throughput_ops"});
+  for (const SloPoint& p : points) {
+    table.add_row({Table::fmt_ns_as_us(p.slo_ns), Table::fmt_ns_as_us(p.p99_big),
+                   Table::fmt_ns_as_us(p.p99_little),
+                   Table::fmt_ns_as_us(p.p99_overall),
+                   Table::fmt_ops(p.throughput)});
+  }
+  table.print(os);
+}
+
+const SloPoint* SloProfiler::recommend(const std::vector<SloPoint>& points,
+                                       double tolerance) {
+  if (points.empty()) return nullptr;
+  double best = 0;
+  for (const SloPoint& p : points) best = std::max(best, p.throughput);
+  const SloPoint* pick = nullptr;
+  for (const SloPoint& p : points) {
+    if (p.throughput >= best * tolerance) {
+      if (pick == nullptr || p.slo_ns < pick->slo_ns) pick = &p;
+    }
+  }
+  return pick;
+}
+
+}  // namespace asl

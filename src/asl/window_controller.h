@@ -1,0 +1,71 @@
+// AIMD reorder-window controller — the feedback mechanism of Algorithm 2.
+//
+// Maps a coarse-grained latency SLO to a fine-grained per-epoch reorder
+// window:
+//   * latency > SLO  -> window >>= 1 (multiplicative decrease), and the
+//     growth unit is re-derived as window * (100-PCT)/100;
+//   * latency <= SLO -> window += unit (additive increase).
+//
+// The (100-PCT)/100 unit choice targets the PCT-th percentile directly
+// (paper footnote 4): after a violation halves the window, it takes
+// 100/(100-PCT) additive steps to climb back to the violating size, so the
+// fraction of epochs executed at a window that barely meets the SLO is
+// PCT/100 — i.e. the SLO is maintained *at the configured percentile*, not
+// at the mean.
+//
+// This class is pure logic (no clocks, no atomics): the real library drives
+// it from epoch_end() with measured wall-clock latencies, and the simulator
+// drives the very same code with virtual-time latencies, so the figure
+// benches exercise the production feedback path.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace asl {
+
+class WindowController {
+ public:
+  struct Config {
+    std::uint64_t initial_window = 1'000;      // ns; adapts within a few epochs
+    std::uint64_t initial_unit = 100;          // ns
+    std::uint64_t max_window = 100'000'000;    // 100 ms = kMaxReorderWindow
+    std::uint64_t min_unit = 16;               // ns; keeps growth alive after
+                                               // deep multiplicative decrease
+    std::uint32_t percentile = 99;             // the PCT in Algorithm 2
+  };
+
+  WindowController() : WindowController(Config{}) {}
+  explicit WindowController(const Config& config) : config_(config) {
+    config_.percentile = std::clamp<std::uint32_t>(config_.percentile, 1, 99);
+    window_ = std::min(config_.initial_window, config_.max_window);
+    unit_ = std::max(config_.initial_unit, config_.min_unit);
+  }
+
+  // Feedback step at epoch end (Algorithm 2 lines 22-30).
+  void on_epoch_end(std::uint64_t latency, std::uint64_t slo) {
+    if (latency > slo) {
+      window_ >>= 1;
+      unit_ = std::max<std::uint64_t>(
+          window_ * (100 - config_.percentile) / 100, config_.min_unit);
+    } else {
+      window_ = std::min(window_ + unit_, config_.max_window);
+    }
+  }
+
+  std::uint64_t window() const { return window_; }
+  std::uint64_t unit() const { return unit_; }
+  const Config& config() const { return config_; }
+
+  void reset() {
+    window_ = std::min(config_.initial_window, config_.max_window);
+    unit_ = std::max(config_.initial_unit, config_.min_unit);
+  }
+
+ private:
+  Config config_;
+  std::uint64_t window_ = 0;
+  std::uint64_t unit_ = 0;
+};
+
+}  // namespace asl

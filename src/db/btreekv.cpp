@@ -1,0 +1,249 @@
+#include "db/btreekv.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace asl::db {
+
+// B+tree node: leaves hold (key, value) pairs and a right-sibling link;
+// inner nodes hold separator keys and child pointers (children.size() ==
+// keys.size() + 1).
+struct BtreeKv::Node {
+  bool leaf = true;
+  std::vector<std::uint64_t> keys;
+  std::vector<std::string> values;   // leaves only
+  std::vector<Node*> children;      // inner only
+  Node* parent = nullptr;
+  Node* next = nullptr;  // leaf chain for range scans
+};
+
+// Cursor scratch: the worker-pool object; real engines keep per-operation
+// state (page refs, txn handles) here. We keep the descent path, which the
+// split logic genuinely uses.
+struct BtreeKv::Cursor {
+  std::vector<Node*> path;
+  bool in_use = false;
+};
+
+BtreeKv::BtreeKv() {
+  root_ = new Node();
+}
+
+BtreeKv::~BtreeKv() {
+  struct Recurse {
+    static void run(Node* n) {
+      if (n == nullptr) return;
+      if (!n->leaf) {
+        for (Node* c : n->children) run(c);
+      }
+      delete n;
+    }
+  };
+  Recurse::run(root_);
+}
+
+BtreeKv::Cursor* BtreeKv::pool_acquire() const {
+  LockGuard<AslMutex<McsLock>> guard(pool_lock_);
+  if (!pool_free_.empty()) {
+    Cursor* c = pool_free_.back();
+    pool_free_.pop_back();
+    c->in_use = true;
+    return c;
+  }
+  pool_all_.push_back(std::make_unique<Cursor>());
+  pool_all_.back()->in_use = true;
+  return pool_all_.back().get();
+}
+
+void BtreeKv::pool_release(Cursor* cursor) const {
+  LockGuard<AslMutex<McsLock>> guard(pool_lock_);
+  cursor->path.clear();
+  cursor->in_use = false;
+  pool_free_.push_back(cursor);
+}
+
+BtreeKv::Node* BtreeKv::find_leaf(std::uint64_t key) const {
+  Node* node = root_;
+  while (!node->leaf) {
+    // First separator strictly greater than key decides the child.
+    std::size_t i = static_cast<std::size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    node = node->children[i];
+  }
+  return node;
+}
+
+void BtreeKv::insert_into_leaf(Node* leaf, std::uint64_t key,
+                               const std::string& value) {
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - leaf->keys.begin());
+  if (it != leaf->keys.end() && *it == key) {
+    leaf->values[idx] = value;
+    return;
+  }
+  leaf->keys.insert(it, key);
+  leaf->values.insert(leaf->values.begin() + static_cast<std::ptrdiff_t>(idx),
+                      value);
+  ++size_;
+  if (leaf->keys.size() > kFanout) {
+    split_leaf(leaf);
+  }
+}
+
+void BtreeKv::split_leaf(Node* leaf) {
+  const std::size_t mid = leaf->keys.size() / 2;
+  Node* right = new Node();
+  right->leaf = true;
+  right->keys.assign(leaf->keys.begin() + static_cast<std::ptrdiff_t>(mid),
+                     leaf->keys.end());
+  right->values.assign(leaf->values.begin() + static_cast<std::ptrdiff_t>(mid),
+                       leaf->values.end());
+  leaf->keys.resize(mid);
+  leaf->values.resize(mid);
+  right->next = leaf->next;
+  leaf->next = right;
+  insert_into_parent(leaf, right->keys.front(), right);
+}
+
+void BtreeKv::split_inner(Node* inner) {
+  const std::size_t mid = inner->keys.size() / 2;
+  const std::uint64_t sep = inner->keys[mid];
+  Node* right = new Node();
+  right->leaf = false;
+  right->keys.assign(inner->keys.begin() + static_cast<std::ptrdiff_t>(mid + 1),
+                     inner->keys.end());
+  right->children.assign(
+      inner->children.begin() + static_cast<std::ptrdiff_t>(mid + 1),
+      inner->children.end());
+  for (Node* c : right->children) c->parent = right;
+  inner->keys.resize(mid);
+  inner->children.resize(mid + 1);
+  insert_into_parent(inner, sep, right);
+}
+
+void BtreeKv::insert_into_parent(Node* left, std::uint64_t sep, Node* right) {
+  Node* parent = left->parent;
+  if (parent == nullptr) {
+    Node* new_root = new Node();
+    new_root->leaf = false;
+    new_root->keys.push_back(sep);
+    new_root->children.push_back(left);
+    new_root->children.push_back(right);
+    left->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  right->parent = parent;
+  auto it = std::lower_bound(parent->keys.begin(), parent->keys.end(), sep);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - parent->keys.begin());
+  parent->keys.insert(it, sep);
+  parent->children.insert(
+      parent->children.begin() + static_cast<std::ptrdiff_t>(idx + 1), right);
+  if (parent->keys.size() > kFanout) {
+    split_inner(parent);
+  }
+}
+
+void BtreeKv::put(std::uint64_t key, const std::string& value) {
+  Cursor* cursor = pool_acquire();
+  {
+    LockGuard<AslMutex<McsLock>> guard(global_lock_);
+    Node* leaf = find_leaf(key);
+    cursor->path.push_back(leaf);
+    insert_into_leaf(leaf, key, value);
+  }
+  pool_release(cursor);
+}
+
+std::optional<std::string> BtreeKv::get(std::uint64_t key) const {
+  Cursor* cursor = pool_acquire();
+  std::optional<std::string> result;
+  {
+    LockGuard<AslMutex<McsLock>> guard(global_lock_);
+    Node* leaf = find_leaf(key);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it != leaf->keys.end() && *it == key) {
+      result = leaf->values[static_cast<std::size_t>(it - leaf->keys.begin())];
+    }
+  }
+  pool_release(cursor);
+  return result;
+}
+
+bool BtreeKv::erase(std::uint64_t key) {
+  // Lazy deletion: remove from the leaf; underfull leaves are tolerated
+  // (upscaledb similarly defers structural shrinking).
+  Cursor* cursor = pool_acquire();
+  bool removed = false;
+  {
+    LockGuard<AslMutex<McsLock>> guard(global_lock_);
+    Node* leaf = find_leaf(key);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it != leaf->keys.end() && *it == key) {
+      const std::size_t idx =
+          static_cast<std::size_t>(it - leaf->keys.begin());
+      leaf->keys.erase(it);
+      leaf->values.erase(leaf->values.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+      --size_;
+      removed = true;
+    }
+  }
+  pool_release(cursor);
+  return removed;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> BtreeKv::range(
+    std::uint64_t lo, std::uint64_t hi) const {
+  Cursor* cursor = pool_acquire();
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  {
+    LockGuard<AslMutex<McsLock>> guard(global_lock_);
+    Node* leaf = find_leaf(lo);
+    while (leaf != nullptr) {
+      for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+        if (leaf->keys[i] < lo) continue;
+        if (leaf->keys[i] > hi) {
+          leaf = nullptr;
+          break;
+        }
+        out.emplace_back(leaf->keys[i], leaf->values[i]);
+      }
+      if (leaf != nullptr) leaf = leaf->next;
+    }
+  }
+  pool_release(cursor);
+  return out;
+}
+
+std::size_t BtreeKv::size() const {
+  LockGuard<AslMutex<McsLock>> guard(global_lock_);
+  return size_;
+}
+
+std::size_t BtreeKv::height() const {
+  LockGuard<AslMutex<McsLock>> guard(global_lock_);
+  std::size_t h = 1;
+  const Node* node = root_;
+  while (!node->leaf) {
+    node = node->children.front();
+    ++h;
+  }
+  return h;
+}
+
+std::size_t BtreeKv::pool_total() const {
+  LockGuard<AslMutex<McsLock>> guard(pool_lock_);
+  return pool_all_.size();
+}
+
+std::size_t BtreeKv::pool_free() const {
+  LockGuard<AslMutex<McsLock>> guard(pool_lock_);
+  return pool_free_.size();
+}
+
+}  // namespace asl::db

@@ -1,0 +1,131 @@
+#include "db/hashkv.h"
+
+#include "platform/spin.h"
+
+namespace asl::db {
+
+HashKv::HashKv(std::size_t num_slots)
+    : slots_(num_slots == 0 ? 1 : num_slots) {}
+
+std::uint64_t HashKv::hash_key(const std::string& key) {
+  // FNV-1a: cheap and uniform enough for bucket selection.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+HashKv::Slot& HashKv::slot_for(const std::string& key) {
+  return slots_[hash_key(key) % slots_.size()];
+}
+const HashKv::Slot& HashKv::slot_for(const std::string& key) const {
+  return slots_[hash_key(key) % slots_.size()];
+}
+
+void HashKv::method_enter_shared() const {
+  LockGuard<AslMutex<McsLock>> guard(method_lock_);
+  ++inflight_;
+}
+
+void HashKv::method_exit_shared() const {
+  LockGuard<AslMutex<McsLock>> guard(method_lock_);
+  --inflight_;
+}
+
+bool HashKv::put(const std::string& key, const std::string& value) {
+  method_enter_shared();
+  Slot& slot = slot_for(key);
+  bool inserted = false;
+  {
+    LockGuard<AslMutex<McsLock>> guard(slot.lock);
+    bool found = false;
+    for (Entry& e : slot.chain) {
+      if (e.key == key) {
+        e.value = value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      slot.chain.push_back(Entry{key, value});
+      inserted = true;
+    }
+  }
+  if (inserted) {
+    LockGuard<AslMutex<McsLock>> guard(size_lock_);
+    ++size_;
+  }
+  method_exit_shared();
+  return inserted;
+}
+
+std::optional<std::string> HashKv::get(const std::string& key) const {
+  method_enter_shared();
+  const Slot& slot = slot_for(key);
+  std::optional<std::string> result;
+  {
+    LockGuard<AslMutex<McsLock>> guard(slot.lock);
+    for (const Entry& e : slot.chain) {
+      if (e.key == key) {
+        result = e.value;
+        break;
+      }
+    }
+  }
+  method_exit_shared();
+  return result;
+}
+
+bool HashKv::remove(const std::string& key) {
+  method_enter_shared();
+  Slot& slot = slot_for(key);
+  bool removed = false;
+  {
+    LockGuard<AslMutex<McsLock>> guard(slot.lock);
+    for (std::size_t i = 0; i < slot.chain.size(); ++i) {
+      if (slot.chain[i].key == key) {
+        slot.chain[i] = std::move(slot.chain.back());
+        slot.chain.pop_back();
+        removed = true;
+        break;
+      }
+    }
+  }
+  if (removed) {
+    LockGuard<AslMutex<McsLock>> guard(size_lock_);
+    --size_;
+  }
+  method_exit_shared();
+  return removed;
+}
+
+std::size_t HashKv::size() const {
+  LockGuard<AslMutex<McsLock>> guard(size_lock_);
+  return size_;
+}
+
+void HashKv::for_each(
+    const std::function<void(const std::string&, const std::string&)>& fn)
+    const {
+  // Exclusive method operation: hold the method lock and wait for in-flight
+  // record operations to drain, then walk every slot under its lock.
+  method_lock_.lock();
+  while (inflight_ != 0) {
+    // Record ops finish without needing the method lock to *exit*... they
+    // do need it; avoid deadlock by releasing and re-acquiring.
+    method_lock_.unlock();
+    sched_yield();
+    method_lock_.lock();
+  }
+  for (const Slot& slot : slots_) {
+    LockGuard<AslMutex<McsLock>> guard(slot.lock);
+    for (const Entry& e : slot.chain) {
+      fn(e.key, e.value);
+    }
+  }
+  method_lock_.unlock();
+}
+
+}  // namespace asl::db

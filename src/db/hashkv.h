@@ -1,0 +1,72 @@
+// HashKv — in-memory hash-table KV store, the Kyoto Cabinet stand-in.
+//
+// Lock pattern (Table 1): a *method lock* serializing whole-store operations
+// (iteration, clear, resize bookkeeping) against per-record operations, plus
+// *slot-level locks* — one per bucket group — protecting the actual chains.
+// A Put/Get epoch therefore takes: method lock (briefly, shared intent) then
+// its slot lock, matching the paper's "Slot-level Lock, Method Lock" row.
+//
+// All locks are AslMutex so an application linked with LibASL gets the
+// SLO-guided ordering with no code changes here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asl/libasl.h"
+
+namespace asl::db {
+
+class HashKv {
+ public:
+  explicit HashKv(std::size_t num_slots = 64);
+
+  // Inserts or overwrites. Returns true if the key was new.
+  bool put(const std::string& key, const std::string& value);
+
+  std::optional<std::string> get(const std::string& key) const;
+
+  // Removes the key; returns true if it existed.
+  bool remove(const std::string& key);
+
+  std::size_t size() const;
+
+  // Whole-store iteration under the exclusive method lock (the "method"
+  // operations Kyoto serializes store-wide).
+  void for_each(
+      const std::function<void(const std::string&, const std::string&)>& fn)
+      const;
+
+  std::size_t num_slots() const { return slots_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Slot {
+    mutable AslMutex<McsLock> lock;
+    std::vector<Entry> chain;
+  };
+
+  static std::uint64_t hash_key(const std::string& key);
+  Slot& slot_for(const std::string& key);
+  const Slot& slot_for(const std::string& key) const;
+
+  // Method lock: count of in-flight record ops + exclusive flag, guarded by
+  // method_lock_. Record ops take it briefly (shared intent); for_each takes
+  // it exclusively by waiting the in-flight count down.
+  void method_enter_shared() const;
+  void method_exit_shared() const;
+
+  mutable AslMutex<McsLock> method_lock_;
+  mutable std::uint32_t inflight_ = 0;  // guarded by method_lock_
+  std::vector<Slot> slots_;
+  mutable AslMutex<McsLock> size_lock_;
+  std::size_t size_ = 0;  // guarded by size_lock_
+};
+
+}  // namespace asl::db

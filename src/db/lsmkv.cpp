@@ -1,0 +1,163 @@
+#include "db/lsmkv.h"
+
+#include <algorithm>
+#include <map>
+
+namespace asl::db {
+
+LsmKv::LsmKv(Options options) : options_(options) {
+  if (options_.memtable_limit == 0) options_.memtable_limit = 1;
+  if (options_.max_runs < 2) options_.max_runs = 2;
+}
+
+namespace {
+// Sort key: ascending key, then descending sequence so the newest entry for
+// a key comes first and lower_bound lands on it.
+bool entry_less(const LsmKv::Snapshot::Entry& a,
+                const LsmKv::Snapshot::Entry& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.seq > b.seq;
+}
+}  // namespace
+
+void LsmKv::put(std::uint64_t key, const std::string& value) {
+  LockGuard<AslMutex<McsLock>> guard(meta_lock_);
+  Entry e{key, next_seq_++, false, value};
+  memtable_.insert(
+      std::lower_bound(memtable_.begin(), memtable_.end(), e, entry_less), e);
+  if (memtable_.size() >= options_.memtable_limit) {
+    rotate_memtable_locked();
+    maybe_compact_locked();
+  }
+}
+
+void LsmKv::erase(std::uint64_t key) {
+  LockGuard<AslMutex<McsLock>> guard(meta_lock_);
+  Entry e{key, next_seq_++, true, std::string()};
+  memtable_.insert(
+      std::lower_bound(memtable_.begin(), memtable_.end(), e, entry_less), e);
+  if (memtable_.size() >= options_.memtable_limit) {
+    rotate_memtable_locked();
+    maybe_compact_locked();
+  }
+}
+
+void LsmKv::rotate_memtable_locked() {
+  if (memtable_.empty()) return;
+  auto run = std::make_shared<Run>(std::move(memtable_));
+  memtable_.clear();
+  runs_.insert(runs_.begin(), std::move(run));
+}
+
+std::shared_ptr<const LsmKv::Run> LsmKv::merge_runs(const Run& newer,
+                                                    const Run& older) {
+  auto out = std::make_shared<Run>();
+  out->reserve(newer.size() + older.size());
+  std::merge(newer.begin(), newer.end(), older.begin(), older.end(),
+             std::back_inserter(*out), entry_less);
+  // Drop superseded versions: keep only the first (newest) entry per key.
+  auto last = std::unique(out->begin(), out->end(),
+                          [](const Entry& a, const Entry& b) {
+                            return a.key == b.key;
+                          });
+  out->erase(last, out->end());
+  return out;
+}
+
+void LsmKv::maybe_compact_locked() {
+  while (runs_.size() > options_.max_runs) {
+    // Merge the two oldest runs (back of the vector).
+    auto older = runs_.back();
+    runs_.pop_back();
+    auto newer = runs_.back();
+    runs_.pop_back();
+    runs_.push_back(merge_runs(*newer, *older));
+  }
+}
+
+void LsmKv::compact_all() {
+  LockGuard<AslMutex<McsLock>> guard(meta_lock_);
+  rotate_memtable_locked();
+  while (runs_.size() > 1) {
+    auto older = runs_.back();
+    runs_.pop_back();
+    auto newer = runs_.back();
+    runs_.pop_back();
+    runs_.push_back(merge_runs(*newer, *older));
+  }
+}
+
+LsmKv::Snapshot LsmKv::snapshot() const {
+  Snapshot snap;
+  LockGuard<AslMutex<McsLock>> guard(meta_lock_);
+  // The memtable view is copied (it is mutable); runs are shared immutably.
+  snap.memtable_ = std::make_shared<const Run>(memtable_);
+  snap.runs_ = runs_;
+  return snap;
+}
+
+std::optional<std::string> LsmKv::Snapshot::get(std::uint64_t key) const {
+  auto probe = [key](const Run& run) -> const Entry* {
+    Entry needle{key, ~0ULL, false, std::string()};
+    auto it = std::lower_bound(run.begin(), run.end(), needle, entry_less);
+    if (it != run.end() && it->key == key) return &*it;
+    return nullptr;
+  };
+  if (const Entry* e = probe(*memtable_)) {
+    return e->tombstone ? std::nullopt : std::optional<std::string>(e->value);
+  }
+  for (const auto& run : runs_) {
+    if (const Entry* e = probe(*run)) {
+      return e->tombstone ? std::nullopt
+                          : std::optional<std::string>(e->value);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> LsmKv::Snapshot::range(
+    std::uint64_t lo, std::uint64_t hi) const {
+  // Newest (key, seq) pair wins; runs are already sorted (key asc, seq
+  // desc), so a map keyed by key keeps the first-seen (newest within a run)
+  // entry and cross-run conflicts resolve by seq.
+  std::map<std::uint64_t, const Entry*> newest;
+  auto sweep = [&](const Run& run) {
+    Entry needle{lo, ~0ULL, false, std::string()};
+    for (auto it = std::lower_bound(run.begin(), run.end(), needle,
+                                    entry_less);
+         it != run.end() && it->key <= hi; ++it) {
+      auto [pos, inserted] = newest.try_emplace(it->key, &*it);
+      if (!inserted && it->seq > pos->second->seq) {
+        pos->second = &*it;
+      }
+    }
+  };
+  sweep(*memtable_);
+  for (const auto& run : runs_) sweep(*run);
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  for (const auto& [key, entry] : newest) {
+    if (!entry->tombstone) out.emplace_back(key, entry->value);
+  }
+  return out;
+}
+
+std::optional<std::string> LsmKv::get(std::uint64_t key) const {
+  return snapshot().get(key);
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> LsmKv::range(
+    std::uint64_t lo, std::uint64_t hi) const {
+  return snapshot().range(lo, hi);
+}
+
+std::size_t LsmKv::num_runs() const {
+  LockGuard<AslMutex<McsLock>> guard(meta_lock_);
+  return runs_.size();
+}
+
+std::size_t LsmKv::memtable_entries() const {
+  LockGuard<AslMutex<McsLock>> guard(meta_lock_);
+  return memtable_.size();
+}
+
+}  // namespace asl::db

@@ -1,0 +1,162 @@
+#include "db/mvkv.h"
+
+namespace asl::db {
+
+// Immutable BST node. No balancing: keys in the benchmarks are drawn
+// uniformly at random, which keeps expected depth logarithmic; the engine's
+// observable behaviour (single writer, lock-free snapshot reads) does not
+// depend on the tree shape.
+struct MvKv::Snapshot::Node {
+  std::uint64_t key;
+  std::string value;
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+std::shared_ptr<const MvKv::Node> MvKv::insert(
+    const std::shared_ptr<const Node>& node, std::uint64_t key,
+    const std::string& value, bool& added) {
+  if (node == nullptr) {
+    added = true;
+    return std::make_shared<const Node>(Node{key, value, nullptr, nullptr});
+  }
+  if (key == node->key) {
+    added = false;
+    return std::make_shared<const Node>(
+        Node{key, value, node->left, node->right});
+  }
+  if (key < node->key) {
+    return std::make_shared<const Node>(
+        Node{node->key, node->value, insert(node->left, key, value, added),
+             node->right});
+  }
+  return std::make_shared<const Node>(
+      Node{node->key, node->value, node->left,
+           insert(node->right, key, value, added)});
+}
+
+namespace {
+// Leftmost node of a subtree (successor search for deletion).
+const MvKv::Snapshot::Node* leftmost(const MvKv::Snapshot::Node* n) {
+  while (n->left != nullptr) n = n->left.get();
+  return n;
+}
+}  // namespace
+
+std::shared_ptr<const MvKv::Node> MvKv::remove(
+    const std::shared_ptr<const Node>& node, std::uint64_t key,
+    bool& removed) {
+  if (node == nullptr) {
+    removed = false;
+    return nullptr;
+  }
+  if (key < node->key) {
+    auto left = remove(node->left, key, removed);
+    if (!removed) return node;
+    return std::make_shared<const Node>(
+        Node{node->key, node->value, left, node->right});
+  }
+  if (key > node->key) {
+    auto right = remove(node->right, key, removed);
+    if (!removed) return node;
+    return std::make_shared<const Node>(
+        Node{node->key, node->value, node->left, right});
+  }
+  removed = true;
+  if (node->left == nullptr) return node->right;
+  if (node->right == nullptr) return node->left;
+  // Two children: replace with in-order successor, delete it from the right.
+  const Node* succ = leftmost(node->right.get());
+  bool dummy = false;
+  auto right = remove(node->right, succ->key, dummy);
+  return std::make_shared<const Node>(
+      Node{succ->key, succ->value, node->left, right});
+}
+
+void MvKv::put(std::uint64_t key, const std::string& value) {
+  LockGuard<AslMutex<McsLock>> writer(writer_lock_);
+  bool added = false;
+  auto new_root = insert(root_, key, value, added);
+  if (added) ++size_;
+  ++version_;
+  {
+    LockGuard<AslMutex<McsLock>> meta(meta_lock_);
+    root_ = std::move(new_root);
+  }
+}
+
+bool MvKv::erase(std::uint64_t key) {
+  LockGuard<AslMutex<McsLock>> writer(writer_lock_);
+  bool removed = false;
+  auto new_root = remove(root_, key, removed);
+  if (removed) {
+    --size_;
+    ++version_;
+    LockGuard<AslMutex<McsLock>> meta(meta_lock_);
+    root_ = std::move(new_root);
+  }
+  return removed;
+}
+
+MvKv::Snapshot MvKv::snapshot() const {
+  Snapshot snap;
+  LockGuard<AslMutex<McsLock>> meta(meta_lock_);
+  snap.root_ = root_;
+  snap.version_ = version_;
+  return snap;
+}
+
+std::optional<std::string> MvKv::Snapshot::get(std::uint64_t key) const {
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    if (key == node->key) return node->value;
+    node = key < node->key ? node->left.get() : node->right.get();
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> MvKv::Snapshot::range(
+    std::uint64_t lo, std::uint64_t hi) const {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  // Explicit stack in-order walk with pruning.
+  std::vector<const Node*> stack;
+  const Node* node = root_.get();
+  while (node != nullptr || !stack.empty()) {
+    while (node != nullptr) {
+      if (node->key >= lo) {
+        stack.push_back(node);
+        node = node->left.get();
+      } else {
+        node = node->right.get();
+      }
+    }
+    if (stack.empty()) break;
+    node = stack.back();
+    stack.pop_back();
+    if (node->key > hi) break;
+    out.emplace_back(node->key, node->value);
+    node = node->right.get();
+  }
+  return out;
+}
+
+std::optional<std::string> MvKv::get(std::uint64_t key) const {
+  return snapshot().get(key);
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> MvKv::range(
+    std::uint64_t lo, std::uint64_t hi) const {
+  return snapshot().range(lo, hi);
+}
+
+std::size_t MvKv::size() const {
+  LockGuard<AslMutex<McsLock>> writer(writer_lock_);
+  return size_;
+}
+
+std::uint64_t MvKv::version() const {
+  LockGuard<AslMutex<McsLock>> writer(writer_lock_);
+  return version_;
+}
+
+}  // namespace asl::db

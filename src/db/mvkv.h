@@ -1,0 +1,79 @@
+// MvKv — multi-version copy-on-write KV store, the LMDB stand-in.
+//
+// Lock pattern (Table 1): a *global (single-writer) lock* held across each
+// write transaction's copy-on-write path update, plus *metadata locks* —
+// the reader-table lock every operation touches briefly to pin / unpin a
+// root snapshot. Readers never block writers and vice versa once the
+// snapshot is pinned, exactly like LMDB's MVCC B-tree.
+//
+// Versions are immutable binary search tree nodes shared via shared_ptr:
+// path copying on write, O(1) snapshot pin, reclamation when the last
+// reader of an old root drops it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asl/libasl.h"
+
+namespace asl::db {
+
+class MvKv {
+ public:
+  MvKv() = default;
+
+  // Write transaction: insert/overwrite under the single-writer lock.
+  void put(std::uint64_t key, const std::string& value);
+
+  // Write transaction: delete. Returns true if the key existed.
+  bool erase(std::uint64_t key);
+
+  // Read transaction: pins the current root (metadata lock, briefly), then
+  // reads lock-free.
+  std::optional<std::string> get(std::uint64_t key) const;
+
+  // Read transaction over a range, against one snapshot.
+  std::vector<std::pair<std::uint64_t, std::string>> range(
+      std::uint64_t lo, std::uint64_t hi) const;
+
+  // Explicit snapshot handle for multi-read transactions.
+  class Snapshot {
+   public:
+    struct Node;  // definition in mvkv.cpp (immutable BST node)
+
+    std::optional<std::string> get(std::uint64_t key) const;
+    std::vector<std::pair<std::uint64_t, std::string>> range(
+        std::uint64_t lo, std::uint64_t hi) const;
+    std::uint64_t version() const { return version_; }
+
+   private:
+    friend class MvKv;
+    std::shared_ptr<const Node> root_;
+    std::uint64_t version_ = 0;
+  };
+  Snapshot snapshot() const;
+
+  std::size_t size() const;
+  std::uint64_t version() const;
+
+ private:
+  using Node = Snapshot::Node;
+
+  static std::shared_ptr<const Node> insert(
+      const std::shared_ptr<const Node>& node, std::uint64_t key,
+      const std::string& value, bool& added);
+  static std::shared_ptr<const Node> remove(
+      const std::shared_ptr<const Node>& node, std::uint64_t key,
+      bool& removed);
+
+  mutable AslMutex<McsLock> writer_lock_;  // the single-writer global lock
+  mutable AslMutex<McsLock> meta_lock_;    // reader-table / root pin lock
+  std::shared_ptr<const Node> root_;       // guarded by meta_lock_ for swap
+  std::uint64_t version_ = 0;              // guarded by writer_lock_
+  std::size_t size_ = 0;                   // guarded by writer_lock_
+};
+
+}  // namespace asl::db

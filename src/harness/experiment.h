@@ -1,0 +1,144 @@
+// Canonical experiment configurations shared by the figure benches and the
+// shape-check tests, so "Bench-1" means exactly one thing everywhere.
+//
+// Workload calibration (virtual-time stand-ins for the paper's cache-line
+// counts and NOP counts; DESIGN.md §2):
+//   * one RMW'd shared cache line  ~ 25 ns on a big core
+//   * Figure 1 micro-bench: CS = 4 lines (100 ns), NOP gap = 150 ns
+//   * Figure 4 variant:     CS = 64 lines (1.6 us)
+//   * Bench-1 epoch: 4 critical sections over 2 locks, 64 lines total,
+//     inter-epoch gap ~ 250 ns  (heavily contended)
+#pragma once
+
+#include <cstdint>
+
+#include "sim/core_model.h"
+#include "sim/db_model.h"
+#include "sim/sim_runner.h"
+
+namespace asl::sim {
+
+inline constexpr Time kLineRmwNs = 25;
+
+// ---------------------------------------------------------------- Figure 1/4
+// Threads acquire one lock, RMW `lines` cache lines, then run a fixed NOP
+// gap. Figure 1 uses 4 lines (TAS shows little-core affinity); Figure 4 uses
+// 64 lines (big-core affinity).
+inline EpochGen collapse_workload(std::uint32_t lines, Time gap_ns) {
+  return single_cs_workload(lines * kLineRmwNs, gap_ns);
+}
+
+inline SimConfig collapse_config(std::uint32_t threads, LockKind lock,
+                                 TasAffinity affinity) {
+  SimConfig cfg;
+  cfg.big_threads = threads <= 4 ? threads : 4;
+  cfg.little_threads = threads <= 4 ? 0 : threads - 4;
+  cfg.lock = lock;
+  cfg.policy = Policy::kPlain;
+  cfg.machine.tas_affinity = affinity;
+  cfg.warmup = 10 * kMilli;
+  cfg.measure = 100 * kMilli;
+  return cfg;
+}
+
+// ------------------------------------------------------------------ Bench-1
+// "All threads repeatedly execute the same epoch, which contains 4 critical
+// sections of different lengths protected by 2 different locks ... 64 shared
+// cache lines in total."
+inline EpochGen bench1_workload() {
+  return [](const SimThread&, std::uint64_t, Time, Rng&) {
+    EpochPlan plan;
+    plan.sections.push_back(Section{0, 8 * kLineRmwNs, 60});
+    plan.sections.push_back(Section{1, 16 * kLineRmwNs, 60});
+    plan.sections.push_back(Section{0, 24 * kLineRmwNs, 60});
+    plan.sections.push_back(Section{1, 16 * kLineRmwNs, 60});
+    plan.gap_after = 250;
+    return plan;
+  };
+}
+
+inline SimConfig bench1_config(LockKind lock) {
+  SimConfig cfg;
+  cfg.big_threads = 4;
+  cfg.little_threads = 4;
+  cfg.num_locks = 2;
+  cfg.lock = lock;
+  cfg.policy = Policy::kPlain;
+  // Bench-1's TAS "shows big-core-affinity here" (Figure 8a discussion).
+  cfg.machine.tas_affinity = TasAffinity::kBigCores;
+  cfg.warmup = 20 * kMilli;
+  cfg.measure = 150 * kMilli;
+  return cfg;
+}
+
+// Seed the AIMD controller proportionally to the SLO so adaptation reaches
+// equilibrium within a few dozen epochs regardless of the SLO's decade (the
+// paper: defaults "quickly adjust themselves to a suitable size after
+// executing a few epochs" — which requires the growth unit to be on the
+// SLO's scale).
+inline void seed_controller(SimConfig& cfg) {
+  if (!cfg.use_slo || cfg.slo == 0) return;
+  // Start the window *at* the SLO: the first epochs run with strong
+  // reordering, and multiplicative decrease walks down to the equilibrium.
+  // Starting low instead is an absorbing trap: with every little core in
+  // the FIFO queue the SLO is violated on every epoch, so windows can never
+  // grow — even when an SLO-meeting equilibrium exists under reordering.
+  cfg.controller.initial_window = cfg.slo;
+  cfg.controller.initial_unit =
+      cfg.slo / 64 > 16 ? cfg.slo / 64 : Time{16};
+}
+
+// LibASL over Bench-1 with a given SLO (slo = 0 -> impossible-SLO FIFO
+// fallback case; use_slo = false -> LibASL-MAX).
+inline SimConfig bench1_asl_config(Time slo, bool use_slo = true) {
+  SimConfig cfg = bench1_config(LockKind::kReorderable);
+  cfg.policy = Policy::kAsl;
+  cfg.use_slo = use_slo;
+  cfg.slo = slo;
+  seed_controller(cfg);
+  return cfg;
+}
+
+// ------------------------------------------------------------------ Bench-5
+// Variant contention: RMW 2 shared lines, vary the inter-CS NOP interval as
+// 10^n NOPs (n = 0..5); 1 NOP ~ 0.4 ns of gap.
+inline EpochGen contention_workload(std::uint32_t decade) {
+  Time gap = 1;
+  for (std::uint32_t i = 0; i < decade; ++i) gap *= 10;
+  return single_cs_workload(2 * kLineRmwNs, gap * 2 / 5);
+}
+
+// ------------------------------------------------------------------ DB figs
+inline SimConfig db_config(const DbWorkload& w, LockKind lock) {
+  SimConfig cfg;
+  cfg.big_threads = 4;
+  cfg.little_threads = 4;
+  cfg.num_locks = w.num_locks;
+  cfg.lock = lock;
+  cfg.policy = Policy::kPlain;
+  cfg.machine.tas_affinity = w.tas_affinity;
+  cfg.warmup = 30 * kMilli;
+  cfg.measure = 200 * kMilli;
+  return cfg;
+}
+
+inline SimConfig db_asl_config(const DbWorkload& w, Time slo,
+                               bool use_slo = true) {
+  SimConfig cfg = db_config(w, LockKind::kReorderable);
+  cfg.policy = Policy::kAsl;
+  cfg.use_slo = use_slo;
+  cfg.slo = slo;
+  seed_controller(cfg);
+  return cfg;
+}
+
+// Scale measurement durations (benches use it, via the SIM_TIME_SCALE
+// environment variable, to trade precision for wall-clock time).
+inline SimConfig scale_durations(SimConfig cfg, double scale) {
+  if (scale <= 0) scale = 1.0;
+  cfg.warmup = static_cast<Time>(static_cast<double>(cfg.warmup) * scale);
+  cfg.measure = static_cast<Time>(static_cast<double>(cfg.measure) * scale);
+  return cfg;
+}
+
+}  // namespace asl::sim

@@ -1,0 +1,69 @@
+#include "harness/runner.h"
+
+#include <atomic>
+
+#include "platform/affinity.h"
+
+namespace asl {
+
+std::vector<WorkerRole> m1_layout(std::uint32_t n, std::uint32_t num_big) {
+  std::vector<WorkerRole> roles;
+  roles.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WorkerRole role = i < num_big ? WorkerRole::big() : WorkerRole::little();
+    role.pin_cpu = i;
+    roles.push_back(role);
+  }
+  return roles;
+}
+
+RunStats run_fixed_duration(
+    const std::vector<WorkerRole>& roles, Nanos duration,
+    const std::function<WorkerBody(const WorkerCtx&)>& make_body) {
+  const std::uint32_t n = static_cast<std::uint32_t>(roles.size());
+  std::vector<WorkerCtx> contexts(n);
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    contexts[i].index = i;
+    contexts[i].role = roles[i];
+    threads.emplace_back([&, i] {
+      WorkerCtx& ctx = contexts[i];
+      if (ctx.role.pin_cpu != ~0u) {
+        pin_to_cpu_wrapped(ctx.role.pin_cpu);
+      }
+      ScopedCoreType scoped(ctx.role.type);
+      WorkerBody body = make_body(ctx);
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) {
+        // Start barrier: all workers begin together.
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        body(ctx);
+      }
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) != n) {
+  }
+  const Nanos t0 = now_ns();
+  go.store(true, std::memory_order_release);
+  sleep_ns(duration);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  const Nanos t1 = now_ns();
+
+  RunStats stats;
+  stats.elapsed = t1 - t0;
+  for (const WorkerCtx& ctx : contexts) {
+    stats.total_ops += ctx.ops;
+    stats.latency.merge(ctx.latency);
+  }
+  return stats;
+}
+
+}  // namespace asl

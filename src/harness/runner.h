@@ -1,0 +1,73 @@
+// Fixed-duration real-thread experiment runner.
+//
+// Spawns one worker per role, declares each worker's core type (the AMP
+// placement emulation), releases all workers through a start barrier, lets
+// them iterate a body until the deadline, and merges per-thread statistics.
+// Used by the real-thread tests, the examples and the host-overhead benches;
+// the figure benches use the discrete-event simulator instead (see
+// DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "platform/time.h"
+#include "platform/topology.h"
+#include "harness/latency_split.h"
+#include "workload/cs_workload.h"
+
+namespace asl {
+
+// One worker's identity in an experiment.
+struct WorkerRole {
+  CoreType type = CoreType::kBig;
+  SpeedFactors speed{};
+  std::uint32_t pin_cpu = ~0u;  // pin target; ~0u = unpinned
+
+  static WorkerRole big() { return {CoreType::kBig, SpeedFactors::big(), ~0u}; }
+  static WorkerRole little() {
+    return {CoreType::kLittle, SpeedFactors::little(), ~0u};
+  }
+};
+
+// Standard paper layout: `n` threads, first up to 4 big then little (the M1
+// binding order used by Figures 1 and 8e).
+std::vector<WorkerRole> m1_layout(std::uint32_t n, std::uint32_t num_big = 4);
+
+// Per-worker context handed to the body each iteration.
+struct WorkerCtx {
+  std::uint32_t index = 0;
+  WorkerRole role{};
+  // Filled by the worker loop:
+  std::uint64_t ops = 0;           // incremented by the body as it sees fit
+  LatencySplit latency;            // body records epoch/op latencies here
+  void record_latency(std::uint64_t ns) { latency.record(role.type, ns); }
+};
+
+struct RunStats {
+  std::uint64_t total_ops = 0;
+  Nanos elapsed = 0;
+  LatencySplit latency;
+
+  double throughput_ops_per_sec() const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(total_ops) *
+                              static_cast<double>(kNanosPerSec) /
+                              static_cast<double>(elapsed);
+  }
+};
+
+// Body signature: called repeatedly until the deadline; should perform one
+// unit of work (e.g. one epoch) and update ctx.ops / ctx.latency.
+using WorkerBody = std::function<void(WorkerCtx&)>;
+
+// Runs `roles.size()` workers for `duration`. `make_body` is called once per
+// worker (on the worker thread, after core-type declaration) to build its
+// body closure.
+RunStats run_fixed_duration(
+    const std::vector<WorkerRole>& roles, Nanos duration,
+    const std::function<WorkerBody(const WorkerCtx&)>& make_body);
+
+}  // namespace asl

@@ -1,0 +1,99 @@
+// CLH queue lock — FIFO lock where each waiter spins on its *predecessor's*
+// node. Alternative reorderable-lock substrate (DESIGN.md ablation 5).
+//
+// Nodes are recycled in the classic way: after release, a thread adopts its
+// predecessor's node as its own for the next acquisition. The node pool is
+// per lock; per-thread owned-node/predecessor pointers are indexed by dense
+// thread id.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "platform/cacheline.h"
+#include "platform/spin.h"
+#include "platform/thread_registry.h"
+#include "locks/lock_concepts.h"
+
+namespace asl {
+
+class ClhLock {
+ public:
+  ClhLock()
+      : nodes_(std::make_unique<Node[]>(kMaxThreads + 1)),
+        slots_(std::make_unique<Slot[]>(kMaxThreads)) {
+    // nodes_[kMaxThreads] is the initial dummy tail (unlocked).
+    nodes_[kMaxThreads].locked.store(false, std::memory_order_relaxed);
+    tail_.store(&nodes_[kMaxThreads], std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+      slots_[i].mine = &nodes_[i];
+    }
+  }
+  ClhLock(const ClhLock&) = delete;
+  ClhLock& operator=(const ClhLock&) = delete;
+
+  void lock() {
+    Slot& slot = slots_[thread_id()];
+    Node* me = slot.mine;
+    me->locked.store(true, std::memory_order_relaxed);
+    Node* pred = tail_.exchange(me, std::memory_order_acq_rel);
+    slot.pred = pred;
+    SpinWait waiter;
+    while (pred->locked.load(std::memory_order_acquire)) {
+      waiter.pause();
+    }
+  }
+
+  bool try_lock() {
+    Slot& slot = slots_[thread_id()];
+    Node* me = slot.mine;
+    me->locked.store(true, std::memory_order_relaxed);
+    Node* expected = tail_.load(std::memory_order_relaxed);
+    if (expected->locked.load(std::memory_order_acquire)) {
+      me->locked.store(false, std::memory_order_relaxed);
+      return false;
+    }
+    if (tail_.compare_exchange_strong(expected, me, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      // Predecessor was observed unlocked; but it may have been re-locked
+      // between the check and the CAS only by becoming a *new* acquisition,
+      // which would have changed tail_ and failed the CAS. Safe.
+      slot.pred = expected;
+      return true;
+    }
+    me->locked.store(false, std::memory_order_relaxed);
+    return false;
+  }
+
+  void unlock() {
+    Slot& slot = slots_[thread_id()];
+    Node* me = slot.mine;
+    Node* pred = slot.pred;
+    me->locked.store(false, std::memory_order_release);
+    slot.mine = pred;  // recycle predecessor's node
+  }
+
+  bool is_free() const {
+    return !tail_.load(std::memory_order_relaxed)
+                ->locked.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLine) Node {
+    std::atomic<bool> locked{false};
+  };
+  struct alignas(kCacheLine) Slot {
+    Node* mine = nullptr;
+    Node* pred = nullptr;
+  };
+
+  alignas(kCacheLine) std::atomic<Node*> tail_{nullptr};
+  std::unique_ptr<Node[]> nodes_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+static_assert(Lockable<ClhLock>);
+template <>
+struct is_fifo_lock<ClhLock> : std::true_type {};
+
+}  // namespace asl

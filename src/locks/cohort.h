@@ -1,0 +1,112 @@
+// Cohort lock (Dice, Marathe, Shavit — "Lock Cohorting") — a NUMA-aware
+// FIFO-ish substrate.
+//
+// Two levels: per-node local MCS queues plus one global lock. A thread
+// acquires its node's local lock; the first thread of a node also acquires
+// the global lock on the node's behalf, and ownership is then passed
+// *within* the node for up to kBatch handoffs before the global lock is
+// surrendered (long-term fairness across nodes, locality within a node).
+//
+// Included because Section 3.4 ("Target systems") prescribes exactly this
+// composition for large future AMPs: "LibASL can adapt to those AMPs by
+// replacing the underlying lock with the corresponding scalable locks (e.g.
+// NUMA-aware locks)". ReorderableLock<CohortLock<2>> compiles and is covered
+// by tests; on an AMP+NUMA machine the reorderable layer prioritizes big
+// cores while the cohort substrate preserves NUMA locality.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "platform/cacheline.h"
+#include "platform/spin.h"
+#include "platform/thread_registry.h"
+#include "locks/lock_concepts.h"
+#include "locks/mcs.h"
+#include "locks/tas_backoff.h"
+
+namespace asl {
+
+template <std::uint32_t kNodes = 2, std::uint32_t kBatch = 32>
+class CohortLock {
+ public:
+  static_assert(kNodes >= 1);
+
+  CohortLock() = default;
+  CohortLock(const CohortLock&) = delete;
+  CohortLock& operator=(const CohortLock&) = delete;
+
+  // Node of the calling thread. Default: dense thread id modulo node count;
+  // NUMA deployments override via set_this_thread_node().
+  static std::uint32_t this_node() {
+    return t_node_override < kNodes ? t_node_override
+                                    : thread_id() % kNodes;
+  }
+  static void set_this_thread_node(std::uint32_t node) {
+    t_node_override = node;
+  }
+  static void clear_this_thread_node() { t_node_override = ~0u; }
+
+  void lock() {
+    NodeState& node = nodes_[this_node()].value;
+    node.local.lock();
+    // Local lock held. If the node already owns the global lock (passed by
+    // the previous local holder), we are done.
+    if (node.global_owned.load(std::memory_order_acquire)) {
+      return;
+    }
+    global_.lock();
+    node.global_owned.store(true, std::memory_order_relaxed);
+    node.batch = 0;
+  }
+
+  bool try_lock() {
+    NodeState& node = nodes_[this_node()].value;
+    if (!node.local.try_lock()) return false;
+    if (node.global_owned.load(std::memory_order_acquire)) {
+      return true;
+    }
+    if (global_.try_lock()) {
+      node.global_owned.store(true, std::memory_order_relaxed);
+      node.batch = 0;
+      return true;
+    }
+    node.local.unlock();
+    return false;
+  }
+
+  void unlock() {
+    NodeState& node = nodes_[this_node()].value;
+    // Pass within the node while a successor is waiting and the batch
+    // budget remains; otherwise surrender the global lock first.
+    node.batch += 1;
+    const bool successor_waiting = node.local.holder_has_successor();
+    if (successor_waiting && node.batch < kBatch) {
+      node.local.unlock();  // successor inherits global_owned
+      return;
+    }
+    node.global_owned.store(false, std::memory_order_release);
+    global_.unlock();
+    node.local.unlock();
+  }
+
+  bool is_free() const { return global_.is_free(); }
+
+ private:
+  struct NodeState {
+    McsLock local;
+    std::atomic<bool> global_owned{false};
+    std::uint32_t batch = 0;  // guarded by local
+  };
+
+  static thread_local std::uint32_t t_node_override;
+
+  TasBackoffLock global_;
+  CachePadded<NodeState> nodes_[kNodes];
+};
+
+template <std::uint32_t kNodes, std::uint32_t kBatch>
+thread_local std::uint32_t CohortLock<kNodes, kBatch>::t_node_override = ~0u;
+
+}  // namespace asl

@@ -1,0 +1,38 @@
+// Lock interface contract shared by all baseline locks.
+//
+// Every lock in src/locks models `Lockable`:
+//   lock() / unlock()   — mutual exclusion
+//   try_lock()          — non-blocking attempt (paper: "both the trylock and
+//                         the nested locking are supported")
+//   is_free()           — lock-status probe used by the reorderable lock's
+//                         standby competitors (Algorithm 1: is_lock_free)
+// FIFO locks additionally model `FifoLockable` (a tag trait), meaning
+// acquisitions are granted in arrival order; this is the property the
+// reorderable lock builds on.
+#pragma once
+
+#include <concepts>
+#include <mutex>
+
+namespace asl {
+
+template <typename L>
+concept Lockable = requires(L lock) {
+  { lock.lock() } -> std::same_as<void>;
+  { lock.unlock() } -> std::same_as<void>;
+  { lock.try_lock() } -> std::same_as<bool>;
+  { lock.is_free() } -> std::same_as<bool>;
+};
+
+// Trait: acquisitions are served in FIFO order of lock() entry.
+template <typename L>
+struct is_fifo_lock : std::false_type {};
+
+template <typename L>
+inline constexpr bool is_fifo_lock_v = is_fifo_lock<L>::value;
+
+// std::lock_guard works with any Lockable; alias for readability.
+template <Lockable L>
+using LockGuard = std::lock_guard<L>;
+
+}  // namespace asl

@@ -1,0 +1,51 @@
+// pthread_mutex_t wrapper — the glibc baseline every figure plots.
+//
+// is_free() is approximated with a shadow flag: POSIX offers no non-acquiring
+// probe, and the reorderable lock only uses is_free() as a heuristic hint
+// (Algorithm 1 re-checks by actually acquiring), so a racy shadow is sound.
+#pragma once
+
+#include <pthread.h>
+
+#include <atomic>
+
+#include "platform/cacheline.h"
+#include "locks/lock_concepts.h"
+
+namespace asl {
+
+class PthreadLock {
+ public:
+  PthreadLock() { pthread_mutex_init(&mutex_, nullptr); }
+  ~PthreadLock() { pthread_mutex_destroy(&mutex_); }
+  PthreadLock(const PthreadLock&) = delete;
+  PthreadLock& operator=(const PthreadLock&) = delete;
+
+  void lock() {
+    pthread_mutex_lock(&mutex_);
+    held_.store(true, std::memory_order_relaxed);
+  }
+
+  bool try_lock() {
+    if (pthread_mutex_trylock(&mutex_) == 0) {
+      held_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  void unlock() {
+    held_.store(false, std::memory_order_relaxed);
+    pthread_mutex_unlock(&mutex_);
+  }
+
+  bool is_free() const { return !held_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(kCacheLine) pthread_mutex_t mutex_;
+  std::atomic<bool> held_{false};
+};
+
+static_assert(Lockable<PthreadLock>);
+
+}  // namespace asl

@@ -1,0 +1,124 @@
+// Spin-then-park MCS ("MCS-STP") — the blocking FIFO baseline of Bench-6
+// (Figure 8h): waiters spin briefly, then park on a futex; the releaser wakes
+// exactly its successor.
+//
+// The paper's point: FIFO handover puts the wakeup latency of every parked
+// waiter on the critical path, which is why blocking LibASL builds on an
+// unfair blocking lock (pthread) instead.
+#pragma once
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "platform/cacheline.h"
+#include "platform/spin.h"
+#include "platform/thread_registry.h"
+#include "locks/lock_concepts.h"
+
+namespace asl {
+
+class StpMcsLock {
+ public:
+  // Spin budget before parking, in relax iterations.
+  explicit StpMcsLock(std::uint32_t spin_budget = 4096)
+      : spin_budget_(spin_budget),
+        nodes_(std::make_unique<Node[]>(kMaxThreads)) {}
+  StpMcsLock(const StpMcsLock&) = delete;
+  StpMcsLock& operator=(const StpMcsLock&) = delete;
+
+  void lock() {
+    Node* me = &nodes_[thread_id()];
+    me->next.store(nullptr, std::memory_order_relaxed);
+    me->state.store(kWaiting, std::memory_order_relaxed);
+    Node* prev = tail_.exchange(me, std::memory_order_acq_rel);
+    if (prev == nullptr) return;
+    prev->next.store(me, std::memory_order_release);
+
+    for (std::uint32_t i = 0; i < spin_budget_; ++i) {
+      if (me->state.load(std::memory_order_acquire) == kGranted) return;
+      cpu_relax();
+    }
+    // Park: advertise, then wait while still parked.
+    std::uint32_t expected = kWaiting;
+    while (!me->state.compare_exchange_weak(expected, kParked,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      if (expected == kGranted) return;
+      expected = kWaiting;
+    }
+    while (me->state.load(std::memory_order_acquire) != kGranted) {
+      futex_wait(&me->state, kParked);
+    }
+  }
+
+  bool try_lock() {
+    Node* me = &nodes_[thread_id()];
+    me->next.store(nullptr, std::memory_order_relaxed);
+    me->state.store(kWaiting, std::memory_order_relaxed);
+    Node* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, me,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() {
+    Node* me = &nodes_[thread_id()];
+    Node* next = me->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      Node* expected = me;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+      do {
+        cpu_relax();
+        next = me->next.load(std::memory_order_acquire);
+      } while (next == nullptr);
+    }
+    const std::uint32_t prev =
+        next->state.exchange(kGranted, std::memory_order_acq_rel);
+    if (prev == kParked) {
+      futex_wake(&next->state);
+    }
+  }
+
+  bool is_free() const {
+    return tail_.load(std::memory_order_relaxed) == nullptr;
+  }
+
+ private:
+  static constexpr std::uint32_t kGranted = 0;
+  static constexpr std::uint32_t kWaiting = 1;
+  static constexpr std::uint32_t kParked = 2;
+
+  struct alignas(kCacheLine) Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<std::uint32_t> state{kWaiting};
+  };
+
+  static void futex_wait(std::atomic<std::uint32_t>* addr,
+                         std::uint32_t expected) {
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+            FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+  }
+  static void futex_wake(std::atomic<std::uint32_t>* addr) {
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+            FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
+  }
+
+  std::uint32_t spin_budget_;
+  alignas(kCacheLine) std::atomic<Node*> tail_{nullptr};
+  std::unique_ptr<Node[]> nodes_;
+};
+
+static_assert(Lockable<StpMcsLock>);
+template <>
+struct is_fifo_lock<StpMcsLock> : std::true_type {};
+
+}  // namespace asl

@@ -1,0 +1,52 @@
+// Test-and-set spinlock — the canonical unfair lock (paper Section 2.2).
+//
+// On AMP hardware its handover order is decided by which core wins the
+// atomic exchange, which is asymmetric between big and little cores; that is
+// exactly the behaviour Figures 1 and 4 dissect. On the symmetric
+// reproduction host the real TAS is fair-ish; the asymmetric win-rate is
+// modeled explicitly in the simulator (sim/sim_locks.*).
+#pragma once
+
+#include <atomic>
+
+#include "platform/cacheline.h"
+#include "platform/spin.h"
+#include "locks/lock_concepts.h"
+
+namespace asl {
+
+class TasLock {
+ public:
+  TasLock() = default;
+  TasLock(const TasLock&) = delete;
+  TasLock& operator=(const TasLock&) = delete;
+
+  void lock() {
+    // Test-and-test-and-set: spin on a plain load to avoid hammering the
+    // line with RMWs, then attempt the exchange.
+    SpinWait waiter;
+    for (;;) {
+      if (!locked_.load(std::memory_order_relaxed) &&
+          !locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      waiter.pause();
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+  bool is_free() const { return !locked_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(kCacheLine) std::atomic<bool> locked_{false};
+};
+
+static_assert(Lockable<TasLock>);
+
+}  // namespace asl

@@ -1,0 +1,48 @@
+// Test-and-set spinlock with bounded exponential backoff.
+//
+// The paper notes LibASL "behaves similarly to the backoff spinlock" among
+// little cores (Section 3.4); this is that baseline, and it is also the
+// classic remedy for TAS dogpiling on the lock line.
+#pragma once
+
+#include <atomic>
+
+#include "platform/cacheline.h"
+#include "platform/spin.h"
+#include "locks/lock_concepts.h"
+
+namespace asl {
+
+class TasBackoffLock {
+ public:
+  TasBackoffLock() = default;
+  TasBackoffLock(const TasBackoffLock&) = delete;
+  TasBackoffLock& operator=(const TasBackoffLock&) = delete;
+
+  void lock() {
+    Backoff backoff(/*initial=*/4, /*max=*/1u << 12);
+    for (;;) {
+      if (!locked_.load(std::memory_order_relaxed) &&
+          !locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      backoff.pause();
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+  bool is_free() const { return !locked_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(kCacheLine) std::atomic<bool> locked_{false};
+};
+
+static_assert(Lockable<TasBackoffLock>);
+
+}  // namespace asl

@@ -1,0 +1,61 @@
+// Ticket lock — short-term-fair FIFO lock with a single shared grant word.
+//
+// FIFO handover is the property that collapses on AMP (Implication 1): the
+// little cores' longer critical sections enter the critical path on every
+// rotation. Included both as a baseline (Figures 8a, 9, 10 all plot it) and
+// as an alternative substrate for the reorderable lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/cacheline.h"
+#include "platform/spin.h"
+#include "locks/lock_concepts.h"
+
+namespace asl {
+
+class TicketLock {
+ public:
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void lock() {
+    const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    SpinWait waiter;
+    while (serving_.load(std::memory_order_acquire) != my) {
+      waiter.pause();
+    }
+  }
+
+  bool try_lock() {
+    std::uint32_t serving = serving_.load(std::memory_order_acquire);
+    std::uint32_t expected = serving;
+    // Only take a ticket if we would be served immediately.
+    if (next_.load(std::memory_order_relaxed) != serving) return false;
+    return next_.compare_exchange_strong(expected, serving + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+  bool is_free() const {
+    return next_.load(std::memory_order_relaxed) ==
+           serving_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(kCacheLine) std::atomic<std::uint32_t> next_{0};
+  alignas(kCacheLine) std::atomic<std::uint32_t> serving_{0};
+};
+
+static_assert(Lockable<TicketLock>);
+template <>
+struct is_fifo_lock<TicketLock> : std::true_type {};
+
+}  // namespace asl

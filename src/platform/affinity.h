@@ -1,0 +1,40 @@
+// Thread-to-core pinning.
+//
+// The paper's evaluation binds threads to cores ("we bind threads to
+// different cores to evenly distribute them for stable results"). On the
+// reproduction host this is a no-op-safe wrapper: pinning to a CPU that does
+// not exist simply fails and is reported to the caller.
+#pragma once
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+namespace asl {
+
+// Number of online CPUs.
+inline std::uint32_t online_cpus() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<std::uint32_t>(n) : 1u;
+}
+
+// Pin the calling thread to `cpu`. Returns true on success.
+inline bool pin_to_cpu(std::uint32_t cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+// Pin the calling thread to `cpu` modulo the online CPU count, so experiment
+// drivers written for an 8-core AMP still run (time-shared) on smaller hosts.
+inline bool pin_to_cpu_wrapped(std::uint32_t cpu) {
+  return pin_to_cpu(cpu % online_cpus());
+}
+
+// CPU the calling thread is currently executing on (-1 if unavailable).
+inline int current_cpu() { return sched_getcpu(); }
+
+}  // namespace asl

@@ -1,0 +1,54 @@
+// Cache-line geometry and padding utilities.
+//
+// Lock words and per-thread queue nodes must live on private cache lines:
+// false sharing between a lock word and the data it protects (or between two
+// waiters' spin flags) destroys exactly the scalability this library exists
+// to provide.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace asl {
+
+// Hardware cache-line size. std::hardware_destructive_interference_size is
+// 64 on every platform the paper targets (x86, Apple M1's L1D line is 64B;
+// M1 L2 lines are 128B, which kCachelinePair covers).
+inline constexpr std::size_t kCacheLine = 64;
+inline constexpr std::size_t kCachelinePair = 128;
+
+// Wraps T so that it occupies at least one full cache line, preventing
+// destructive interference with neighbouring objects in arrays.
+template <typename T>
+struct alignas(kCacheLine) CachePadded {
+  static_assert(alignof(T) <= kCacheLine, "over-aligned payload");
+
+  T value{};
+
+  CachePadded() = default;
+  template <typename... Args>
+  explicit CachePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+
+  // No explicit pad member: alignas on the struct makes sizeof a multiple of
+  // the cache line, which is all array elements need.
+};
+
+static_assert(sizeof(CachePadded<char>) == kCacheLine);
+static_assert(alignof(CachePadded<char>) == kCacheLine);
+
+// A dummy cache line used by workloads that read-modify-write shared lines
+// (the paper's micro-benchmark critical section touches K of these).
+struct alignas(kCacheLine) SharedLine {
+  volatile unsigned long word = 0;
+  char pad[kCacheLine - sizeof(unsigned long)] = {};
+};
+static_assert(sizeof(SharedLine) == kCacheLine);
+
+}  // namespace asl

@@ -1,0 +1,31 @@
+// Minimal TAS spinlock with no external dependencies.
+//
+// Used by process-global registries (thread ids, topology snapshots) that
+// must stay usable inside the pthread interposition shim: anything based on
+// std::mutex would call pthread_mutex_lock and recurse into the shim.
+#pragma once
+
+#include <atomic>
+
+#include "platform/spin.h"
+
+namespace asl {
+
+class RawSpinLock {
+ public:
+  void lock() {
+    SpinWait waiter;
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        waiter.pause();
+      }
+    }
+  }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace asl

@@ -1,0 +1,71 @@
+// Spin-wait primitives: CPU relax hint, spin-then-yield waiter and bounded
+// exponential backoff.
+#pragma once
+
+#include <sched.h>
+
+#include <cstdint>
+
+namespace asl {
+
+// Hint to the CPU that we are in a spin loop (reduces pipeline pressure and,
+// on SMT parts, yields issue slots to the sibling thread).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Spin-then-yield waiter for unbounded waits (queue-lock handoff flags,
+// ticket grants). On a dedicated core this is a pure cpu_relax spin — the
+// paper's locks never yield — but when the waiter shares a core with the
+// holder (oversubscribed hosts, including this repo's CI), yielding after a
+// short spin lets the holder run instead of burning the whole quantum.
+class SpinWait {
+ public:
+  void pause() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      cpu_relax();
+    } else {
+      sched_yield();
+    }
+  }
+  void reset() { spins_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 256;
+  std::uint32_t spins_ = 0;
+};
+
+// Bounded binary exponential backoff. Used by the TAS-backoff lock and by the
+// reorderable lock's standby competitors ("binary exponential back-off
+// strategy to reduce the contention over the lock", Algorithm 1).
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t initial = 1, std::uint32_t max = 1u << 14)
+      : limit_(initial), max_(max) {}
+
+  // Spin for the current backoff quantum, then double it (saturating).
+  void pause() {
+    for (std::uint32_t i = 0; i < limit_; ++i) {
+      cpu_relax();
+    }
+    if (limit_ < max_) {
+      limit_ <<= 1;
+    }
+  }
+
+  void reset(std::uint32_t initial = 1) { limit_ = initial; }
+  std::uint32_t current() const { return limit_; }
+
+ private:
+  std::uint32_t limit_;
+  std::uint32_t max_;
+};
+
+}  // namespace asl

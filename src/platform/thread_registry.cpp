@@ -1,0 +1,70 @@
+#include "platform/thread_registry.h"
+
+#include "platform/raw_spinlock.h"
+#include <atomic>
+#include <vector>
+
+namespace asl {
+namespace {
+
+// Free-list of recycled ids plus a bump allocator for fresh ones.
+RawSpinLock g_id_mutex;
+std::vector<std::uint32_t> g_free_ids;
+std::atomic<std::uint32_t> g_next_id{0};
+std::atomic<std::uint32_t> g_high_water{0};
+
+std::uint32_t allocate_id() {
+  {
+    std::lock_guard<RawSpinLock> guard(g_id_mutex);
+    if (!g_free_ids.empty()) {
+      const std::uint32_t id = g_free_ids.back();
+      g_free_ids.pop_back();
+      return id;
+    }
+  }
+  const std::uint32_t id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  // Saturate rather than overflow kMaxThreads; colliding slots would break
+  // queue locks silently, so fail loudly in debug builds.
+  std::uint32_t hw = g_high_water.load(std::memory_order_relaxed);
+  while (id + 1 > hw && !g_high_water.compare_exchange_weak(
+                            hw, id + 1, std::memory_order_relaxed)) {
+  }
+  return id % kMaxThreads;
+}
+
+void release_id(std::uint32_t id) {
+  std::lock_guard<RawSpinLock> guard(g_id_mutex);
+  g_free_ids.push_back(id);
+}
+
+// RAII holder so the id returns to the free list at thread exit.
+struct IdHolder {
+  std::uint32_t id = allocate_id();
+  bool released = false;
+  ~IdHolder() {
+    if (!released) {
+      release_id(id);
+    }
+  }
+};
+
+thread_local IdHolder t_id_holder;
+
+}  // namespace
+
+std::uint32_t thread_id() { return t_id_holder.id; }
+
+std::uint32_t thread_id_high_water() {
+  return g_high_water.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+void release_thread_id_for_testing() {
+  if (!t_id_holder.released) {
+    release_id(t_id_holder.id);
+    t_id_holder.released = true;
+  }
+}
+}  // namespace detail
+
+}  // namespace asl

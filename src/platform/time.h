@@ -1,0 +1,57 @@
+// Monotonic nanosecond clock and delay primitives.
+//
+// The paper uses clock_gettime (~45 cycles) for epoch timestamps; we expose
+// the same via the steady clock, plus calibrated busy-delay loops used by
+// workload generators to emulate "N NOP instructions".
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+
+namespace asl {
+
+using Nanos = std::uint64_t;
+
+inline constexpr Nanos kNanosPerMicro = 1'000ULL;
+inline constexpr Nanos kNanosPerMilli = 1'000'000ULL;
+inline constexpr Nanos kNanosPerSec = 1'000'000'000ULL;
+
+// Current monotonic time in nanoseconds. CLOCK_MONOTONIC matches the paper's
+// use of clock_gettime and is cheap enough to call inside epoch bookkeeping.
+inline Nanos now_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Nanos>(ts.tv_sec) * kNanosPerSec +
+         static_cast<Nanos>(ts.tv_nsec);
+}
+
+// Sleep for the given duration (used by the blocking reorderable lock's
+// standby waiters, Section 4 Bench-6).
+inline void sleep_ns(Nanos ns) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(ns / kNanosPerSec);
+  ts.tv_nsec = static_cast<long>(ns % kNanosPerSec);
+  nanosleep(&ts, nullptr);
+}
+
+// Busy-wait executing roughly `n` dependent no-op iterations. The volatile
+// accumulator stops the optimizer from collapsing the loop; the work is
+// CPU-bound like the paper's NOP filler between critical sections.
+inline void spin_nops(std::uint64_t n) {
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sink = sink + 1;
+  }
+}
+
+// Busy-wait until at least `deadline` (monotonic ns). Returns the time
+// observed when the wait ended.
+inline Nanos spin_until(Nanos deadline) {
+  Nanos t = now_ns();
+  while (t < deadline) {
+    t = now_ns();
+  }
+  return t;
+}
+
+}  // namespace asl

@@ -1,0 +1,115 @@
+#include "platform/topology.h"
+
+#include "platform/raw_spinlock.h"
+#include <atomic>
+#include <memory>
+#include <sstream>
+
+#include "platform/affinity.h"
+
+namespace asl {
+namespace {
+
+// Per-thread override: 0 = none, 1 = big, 2 = little. Plain thread_local;
+// only the owning thread touches it.
+thread_local std::uint8_t t_core_type_override = 0;
+
+// Immutable topology snapshot, swapped atomically on reconfigure so that
+// is_big_core() — which sits on the lock acquisition hot path — never takes
+// a mutex. Snapshots from superseded configurations are retired to a keeper
+// list instead of freed: readers may still hold the raw pointer.
+struct Snapshot {
+  std::vector<CoreType> cpus;  // empty => symmetric host, all big
+};
+
+std::atomic<const Snapshot*> g_snapshot{nullptr};
+RawSpinLock g_config_mutex;
+std::vector<std::unique_ptr<const Snapshot>> g_retired;
+
+const Snapshot* snapshot() {
+  return g_snapshot.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+Topology& Topology::instance() {
+  static Topology topo;
+  return topo;
+}
+
+void Topology::configure(std::vector<CoreType> cpus) {
+  std::lock_guard<RawSpinLock> guard(g_config_mutex);
+  auto next = std::make_unique<Snapshot>();
+  next->cpus = std::move(cpus);
+  const Snapshot* prev =
+      g_snapshot.exchange(next.get(), std::memory_order_acq_rel);
+  g_retired.emplace_back(std::move(next));
+  if (prev != nullptr) {
+    // prev is already owned by g_retired from the configure that installed
+    // it; nothing to do. Entries live until process exit, which bounds the
+    // leak by the number of reconfigurations (a handful per experiment).
+  }
+}
+
+void Topology::configure_banded(std::uint32_t num_big,
+                                std::uint32_t num_little) {
+  std::vector<CoreType> cpus;
+  cpus.reserve(num_big + num_little);
+  for (std::uint32_t i = 0; i < num_big; ++i) cpus.push_back(CoreType::kBig);
+  for (std::uint32_t i = 0; i < num_little; ++i)
+    cpus.push_back(CoreType::kLittle);
+  configure(std::move(cpus));
+}
+
+void Topology::set_this_thread_core_type(CoreType type) {
+  t_core_type_override = type == CoreType::kBig ? 1 : 2;
+}
+
+void Topology::clear_this_thread_core_type() { t_core_type_override = 0; }
+
+CoreType Topology::core_type(std::uint32_t cpu) const {
+  const Snapshot* snap = snapshot();
+  if (snap != nullptr && cpu < snap->cpus.size()) {
+    return snap->cpus[cpu];
+  }
+  return CoreType::kBig;
+}
+
+CoreType Topology::current_core_type() const {
+  if (t_core_type_override != 0) {
+    return t_core_type_override == 1 ? CoreType::kBig : CoreType::kLittle;
+  }
+  const int cpu = current_cpu();
+  return core_type(cpu >= 0 ? static_cast<std::uint32_t>(cpu) : 0u);
+}
+
+std::uint32_t Topology::num_cores() const {
+  const Snapshot* snap = snapshot();
+  return (snap == nullptr || snap->cpus.empty())
+             ? online_cpus()
+             : static_cast<std::uint32_t>(snap->cpus.size());
+}
+
+std::uint32_t Topology::num_big() const {
+  const Snapshot* snap = snapshot();
+  if (snap == nullptr || snap->cpus.empty()) return online_cpus();
+  std::uint32_t n = 0;
+  for (CoreType t : snap->cpus) n += t == CoreType::kBig ? 1 : 0;
+  return n;
+}
+
+std::uint32_t Topology::num_little() const {
+  const Snapshot* snap = snapshot();
+  if (snap == nullptr) return 0;
+  std::uint32_t n = 0;
+  for (CoreType t : snap->cpus) n += t == CoreType::kLittle ? 1 : 0;
+  return n;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << num_big() << " big + " << num_little() << " little cores";
+  return os.str();
+}
+
+}  // namespace asl

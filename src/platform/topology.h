@@ -1,0 +1,79 @@
+// AMP topology description and the is_big_core() oracle.
+//
+// LibASL's lock-side dispatch (Algorithm 3) needs to know whether the calling
+// thread currently runs on a big or a little core. On real AMP hardware this
+// is "get the core id and look up a pre-defined table" (Section 3.3). The
+// reproduction host is symmetric, so we additionally support a per-thread
+// declared core type: experiment drivers register each worker as Big or
+// Little and the speed asymmetry is emulated by the workload layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asl {
+
+enum class CoreType : std::uint8_t {
+  kBig = 0,
+  kLittle = 1,
+};
+
+inline const char* to_string(CoreType t) {
+  return t == CoreType::kBig ? "big" : "little";
+}
+
+// Process-wide topology table: core id -> CoreType, plus per-thread
+// overrides. Thread-safe for concurrent readers; configuration calls are
+// expected at experiment setup time.
+class Topology {
+ public:
+  // The global instance consulted by LibASL.
+  static Topology& instance();
+
+  // Describe the machine: cpus[i] is the type of core i. Default-constructed
+  // topology treats every core as big (symmetric host).
+  void configure(std::vector<CoreType> cpus);
+
+  // Convenience: first `num_big` cpu ids are big, next `num_little` little
+  // (matches the paper's M1 layout: cpu 0-3 big, 4-7 little with threads
+  // bound in that order).
+  void configure_banded(std::uint32_t num_big, std::uint32_t num_little);
+
+  // Declare the calling thread's core type explicitly. Overrides the cpu
+  // table until cleared. This is how experiments emulate AMP placement on a
+  // symmetric host.
+  static void set_this_thread_core_type(CoreType type);
+  static void clear_this_thread_core_type();
+
+  // Core type of cpu `cpu` according to the table.
+  CoreType core_type(std::uint32_t cpu) const;
+
+  // Core type governing the calling thread: the per-thread override if set,
+  // otherwise the table entry for the cpu it is running on.
+  CoreType current_core_type() const;
+
+  std::uint32_t num_cores() const;
+  std::uint32_t num_big() const;
+  std::uint32_t num_little() const;
+
+  std::string describe() const;
+};
+
+// LibASL's core-type predicate (Algorithm 3 line 2).
+inline bool is_big_core() {
+  return Topology::instance().current_core_type() == CoreType::kBig;
+}
+
+// RAII helper for scoped thread core-type declaration in tests/harnesses.
+class ScopedCoreType {
+ public:
+  explicit ScopedCoreType(CoreType type) {
+    Topology::set_this_thread_core_type(type);
+  }
+  ~ScopedCoreType() { Topology::clear_this_thread_core_type(); }
+  ScopedCoreType(const ScopedCoreType&) = delete;
+  ScopedCoreType& operator=(const ScopedCoreType&) = delete;
+};
+
+}  // namespace asl

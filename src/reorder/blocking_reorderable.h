@@ -1,0 +1,66 @@
+// Blocking reorderable lock — the Bench-6 (Figure 8h/8i) variant for
+// core-oversubscribed systems.
+//
+// Two changes versus ReorderableLock, both from Section 4.1 Bench-6:
+//  * the substrate is a *blocking, unfair* lock (pthread_mutex): a FIFO
+//    spin-then-park substrate would put every waiter's wakeup latency on the
+//    critical path;
+//  * standby competitors yield the CPU with nanosleep between status checks
+//    ("the sleep time is set in a back-off manner") instead of busy-waiting,
+//    because with 2 threads per core a spinning standby competitor steals
+//    cycles from the lock holder.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/time.h"
+#include "locks/lock_concepts.h"
+#include "locks/pthread_lock.h"
+#include "reorder/reorderable.h"
+
+namespace asl {
+
+template <Lockable Blocking = PthreadLock>
+class BlockingReorderableLock {
+ public:
+  BlockingReorderableLock() = default;
+  BlockingReorderableLock(const BlockingReorderableLock&) = delete;
+  BlockingReorderableLock& operator=(const BlockingReorderableLock&) = delete;
+
+  void lock_immediately() { lock_.lock(); }
+
+  void lock_reorder(Nanos window) {
+    if (window > kMaxReorderWindow) window = kMaxReorderWindow;
+    if (lock_.is_free()) {
+      lock_.lock();
+      return;
+    }
+    const Nanos window_end = now_ns() + window;
+    Nanos sleep = kMinSleep;
+    while (now_ns() < window_end) {
+      if (lock_.is_free()) break;
+      // Back-off sleep, capped both absolutely and by the window remainder
+      // so expiry is detected promptly.
+      const Nanos now = now_ns();
+      if (now >= window_end) break;
+      Nanos this_sleep = sleep;
+      if (now + this_sleep > window_end) this_sleep = window_end - now;
+      sleep_ns(this_sleep);
+      if (sleep < kMaxSleep) sleep <<= 1;
+    }
+    lock_.lock();
+  }
+
+  void lock() { lock_immediately(); }
+  bool try_lock() { return lock_.try_lock(); }
+  void unlock() { lock_.unlock(); }
+  bool is_free() const { return lock_.is_free(); }
+
+ private:
+  static constexpr Nanos kMinSleep = 1 * kNanosPerMicro;
+  static constexpr Nanos kMaxSleep = 1 * kNanosPerMilli;
+
+  Blocking lock_;
+};
+
+}  // namespace asl

@@ -1,0 +1,88 @@
+// The reorderable lock — the paper's Algorithm 1.
+//
+// Exposes bounded reordering atop any FIFO lock:
+//   lock_immediately()        — enqueue on the FIFO substrate at once
+//                               (big-core path).
+//   lock_reorder(window_ns)   — become a *standby competitor*: stay out of
+//                               the queue for up to `window_ns`, letting
+//                               later lock_immediately callers overtake;
+//                               enqueue when the lock is observed free or the
+//                               window expires (little-core path).
+//
+// Standby competitors poll the lock status with binary exponential backoff
+// (Algorithm 1 lines 9-13) to keep contention on the lock word low. The
+// window is clamped to kMaxReorderWindow so the lock is starvation-free: a
+// standby competitor always enters the FIFO queue within a bounded time, and
+// the substrate's FIFO order takes it from there.
+//
+// The window is a hint, not a strict order constraint: after it expires the
+// competitor still goes through lock_fifo(), so an immediately-arriving big
+// core can still slot in ahead during the enqueue race — the paper notes
+// this "does not influence its correctness or efficiency".
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "platform/spin.h"
+#include "platform/time.h"
+#include "locks/lock_concepts.h"
+
+namespace asl {
+
+// Upper bound on any reorder window: 100 ms, the paper's "maximum reorder
+// window" used for LibASL-MAX and the no-SLO default.
+inline constexpr Nanos kMaxReorderWindow = 100 * kNanosPerMilli;
+
+template <Lockable Fifo>
+class ReorderableLock {
+ public:
+  ReorderableLock() = default;
+  template <typename... Args>
+  explicit ReorderableLock(Args&&... args)
+      : fifo_(std::forward<Args>(args)...) {}
+  ReorderableLock(const ReorderableLock&) = delete;
+  ReorderableLock& operator=(const ReorderableLock&) = delete;
+
+  // Algorithm 1, lock_immediately: join the FIFO queue now.
+  void lock_immediately() { fifo_.lock(); }
+
+  // Algorithm 1, lock_reorder: stand by for up to `window` ns.
+  void lock_reorder(Nanos window) {
+    if (window > kMaxReorderWindow) window = kMaxReorderWindow;
+    if (fifo_.is_free()) {
+      fifo_.lock();
+      return;
+    }
+    const Nanos window_end = now_ns() + window;
+    // Binary exponential backoff over status checks: check at iteration 1,
+    // 2, 4, 8, ... of the spin counter.
+    std::uint64_t cnt = 0;
+    std::uint64_t next_check = 1;
+    SpinWait waiter;
+    while (now_ns() < window_end) {
+      if (++cnt == next_check) {
+        if (fifo_.is_free()) break;
+        next_check <<= 1;
+      }
+      waiter.pause();
+    }
+    fifo_.lock();
+  }
+
+  // std::mutex-compatible surface; plain lock() means "no reorder
+  // preference", i.e. join the queue immediately.
+  void lock() { lock_immediately(); }
+  bool try_lock() { return fifo_.try_lock(); }
+
+  void unlock() { fifo_.unlock(); }
+
+  bool is_free() const { return fifo_.is_free(); }
+
+  Fifo& substrate() { return fifo_; }
+
+ private:
+  Fifo fifo_;
+};
+
+}  // namespace asl

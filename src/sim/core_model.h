@@ -1,0 +1,104 @@
+// AMP machine model: cores, speed asymmetry, lock-primitive costs and the
+// TAS win-rate asymmetry. All knobs in one struct so experiments state their
+// assumptions explicitly (values justified in DESIGN.md §2 and calibrated
+// against the paper's M1 observations in Section 2/4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/topology.h"
+#include "sim/engine.h"
+
+namespace asl::sim {
+
+using asl::CoreType;
+
+// Which core type tends to win contended test-and-set rounds (Section 2.2:
+// "on some AMP systems big cores have a stable advantage ... on other
+// platforms the advantage shifts").
+enum class TasAffinity : std::uint8_t {
+  kSymmetric,
+  kBigCores,
+  kLittleCores,
+};
+
+struct MachineParams {
+  std::uint32_t num_big_cores = 4;
+  std::uint32_t num_little_cores = 4;
+
+  // Speed asymmetry: how much longer little cores take. The paper measured
+  // big cores 3.75x faster on memory-heavy Sysbench and 1.8x on NOP streams;
+  // critical sections RMW shared cache lines (memory-heavy), non-critical
+  // sections are NOP-like.
+  double little_cs_slowdown = 4.0;
+  double little_ncs_slowdown = 1.8;
+
+  // Lock-primitive costs, virtual ns.
+  Time uncontended_acquire = 15;  // CAS on a resident line
+  Time handover = 60;             // queue-lock handoff (one line transfer)
+  Time ticket_per_waiter = 12;    // ticket broadcast invalidation per waiter
+  Time tas_decision = 50;         // contended TAS round resolution
+  Time tas_per_waiter = 8;        // extra line-bouncing per spinner
+  Time wakeup_latency = 8 * kMicro;  // futex wake -> runnable (Bench-6)
+  Time poll_quantum = 64;         // standby poll backoff base (Algorithm 1)
+
+  // Relative TAS win weight of the advantaged core type (paper: the
+  // advantage is "stable", i.e. strong).
+  double tas_affinity_weight = 6.0;
+  TasAffinity tas_affinity = TasAffinity::kSymmetric;
+
+  // Threads per core; 2 = the Bench-6 oversubscription setup.
+  std::uint32_t threads_per_core = 1;
+  // OS scheduling quantum: when a lock is granted to a spinning waiter that
+  // is currently descheduled (its core is oversubscribed), the handover
+  // stalls for up to this long — the reason spin locks die under
+  // oversubscription and Bench-6 switches to blocking locks.
+  Time sched_quantum = 3 * kMilli;
+
+  double cs_slowdown(CoreType t) const {
+    return t == CoreType::kBig ? 1.0 : little_cs_slowdown;
+  }
+  double ncs_slowdown(CoreType t) const {
+    return t == CoreType::kBig ? 1.0 : little_ncs_slowdown;
+  }
+  double tas_weight(CoreType t) const {
+    switch (tas_affinity) {
+      case TasAffinity::kSymmetric:
+        return 1.0;
+      case TasAffinity::kBigCores:
+        return t == CoreType::kBig ? tas_affinity_weight : 1.0;
+      case TasAffinity::kLittleCores:
+        return t == CoreType::kLittle ? tas_affinity_weight : 1.0;
+    }
+    return 1.0;
+  }
+};
+
+// A simulated core: tracks how many threads currently need its pipeline
+// (computing or spin-waiting). Compute segments are stretched by the
+// occupancy at segment start — a coarse but shape-preserving time-sharing
+// model for the oversubscription experiments.
+struct Core {
+  std::uint32_t id = 0;
+  CoreType type = CoreType::kBig;
+  std::uint32_t runnable = 0;
+
+  double stretch() const { return runnable == 0 ? 1.0 : runnable; }
+};
+
+// A simulated thread, bound to one core for the whole run (the paper's
+// evaluation binds threads; Section 4 setup).
+struct SimThread {
+  std::uint32_t id = 0;
+  Core* core = nullptr;
+
+  CoreType type() const { return core->type; }
+
+  // Runner bookkeeping (opaque to locks).
+  Time epoch_begin = 0;
+  std::uint64_t epochs_done = 0;
+  std::uint32_t section_index = 0;
+};
+
+}  // namespace asl::sim

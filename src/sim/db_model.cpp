@@ -1,0 +1,164 @@
+#include "sim/db_model.h"
+
+namespace asl::sim {
+namespace {
+
+// Lock id layout conventions per model (ids index SimConfig::num_locks):
+//   0            = the engine's global / method / state-machine lock
+//   1..N         = slot or metadata locks
+
+// Kyoto Cabinet model: in-memory hash KV. Every op takes the method RW lock
+// briefly, then one of 16 slot locks for the bucket operation. Put rewrites
+// the record (longer) vs Get's lookup. Latencies land in the tens-of-us
+// decade (paper CDF SLO: 70us, half-SLO boundary at the Get/Put split).
+EpochPlan kyoto_epoch(const SimThread&, std::uint64_t, Time, Rng& rng) {
+  EpochPlan plan;
+  const bool put = rng.chance(0.5);
+  const std::uint32_t slot = 1 + static_cast<std::uint32_t>(rng.below(16));
+  // The store-wide method lock is the bottleneck (every op takes it; the 16
+  // slot locks split the remaining contention 16 ways).
+  plan.sections.push_back(Section{0, 800, 300});            // method lock
+  plan.sections.push_back(
+      Section{slot, put ? Time{2000} : Time{700}, 200});    // slot lock
+  plan.gap_after = 1200;
+  return plan;
+}
+
+// upscaledb model: on-disk B-tree KV with one global lock held for the
+// whole tree operation plus a worker-pool lock. The paper observes TAS
+// showing *big-core affinity* on this workload.
+EpochPlan upscaledb_epoch(const SimThread&, std::uint64_t, Time, Rng& rng) {
+  EpochPlan plan;
+  const bool put = rng.chance(0.5);
+  plan.sections.push_back(Section{1, 300, 400});                  // pool lock
+  plan.sections.push_back(
+      Section{0, put ? Time{5200} : Time{1800}, 300});            // global
+  plan.gap_after = 2000;
+  return plan;
+}
+
+// LMDB model: single-writer B-tree. Put holds the global writer lock for
+// the copy-on-write update; both ops touch metadata locks (reader table,
+// txn bookkeeping). Latency decade: hundreds of us to ~2ms (CDF SLO 1.9ms).
+EpochPlan lmdb_epoch(const SimThread&, std::uint64_t, Time, Rng& rng) {
+  EpochPlan plan;
+  const bool put = rng.chance(0.5);
+  plan.sections.push_back(Section{1, 900, 2'000});                // metadata
+  if (put) {
+    // Copy-on-write path update under the single-writer lock. 40us on a big
+    // core keeps the little-core feasibility floor (own CS + big-writer
+    // queue ~ 320us) under the paper's 400/600us comparison SLOs.
+    plan.sections.push_back(Section{0, 40'000, 1'500});           // writer
+  } else {
+    plan.sections.push_back(Section{2, 1'100, 12'000});           // reader tbl
+  }
+  plan.gap_after = 9'000;
+  return plan;
+}
+
+// LevelDB model: db_bench randomread. Every Get briefly takes the global
+// metadata lock to snapshot the version set, then reads off-lock.
+EpochPlan leveldb_epoch(const SimThread&, std::uint64_t, Time, Rng& rng) {
+  EpochPlan plan;
+  plan.sections.push_back(Section{0, 1'600, 2'500});     // snapshot metadata
+  // Off-lock read work, variable with cache behaviour.
+  plan.gap_after = 3'000 + rng.below(3'000);
+  return plan;
+}
+
+// SQLite model: DEFERRED transactions against the state-machine lock:
+// 1/3 insert (journal write, long), 1/3 simple indexed select (short),
+// 1/3 complex range select (medium), plus an extremely long full-table scan
+// every 1000th epoch (the paper adds one per 1000 executions to show SLO
+// survival under occasional giants). Multi-ms decade (CDF SLO 4ms).
+EpochPlan sqlite_epoch(const SimThread&, std::uint64_t epoch_index, Time,
+                       Rng& rng) {
+  EpochPlan plan;
+  plan.sections.push_back(Section{1, 700, 1'500});  // schema/metadata lock
+  if (epoch_index % 1000 == 999) {
+    plan.sections.push_back(Section{0, 2'000'000, 500});  // full-table scan
+  } else {
+    const std::uint64_t pick = rng.below(3);
+    Time cs = 0;
+    switch (pick) {
+      case 0: cs = 130'000; break;  // insert: state machine through EXCLUSIVE
+      case 1: cs = 9'000; break;    // simple point select
+      default: cs = 38'000; break;  // complex filtered range select
+    }
+    plan.sections.push_back(Section{0, cs, 800});
+  }
+  plan.gap_after = 15'000;
+  return plan;
+}
+
+}  // namespace
+
+const char* to_string(DbKind kind) {
+  switch (kind) {
+    case DbKind::kKyoto: return "kyotocabinet";
+    case DbKind::kUpscaleDb: return "upscaledb";
+    case DbKind::kLmdb: return "lmdb";
+    case DbKind::kLevelDb: return "leveldb";
+    case DbKind::kSqlite: return "sqlite";
+  }
+  return "?";
+}
+
+DbWorkload make_db_workload(DbKind kind) {
+  DbWorkload w;
+  w.name = to_string(kind);
+  switch (kind) {
+    case DbKind::kKyoto:
+      w.gen = kyoto_epoch;
+      w.num_locks = 17;
+      w.tas_affinity = TasAffinity::kLittleCores;  // Section 2.2 / 4.2
+      w.paper_slo_a = 40 * kMicro;
+      w.paper_slo_b = 70 * kMicro;
+      w.sweep_max = 200 * kMicro;
+      w.cdf_slo = 70 * kMicro;
+      break;
+    case DbKind::kUpscaleDb:
+      w.gen = upscaledb_epoch;
+      w.num_locks = 2;
+      w.tas_affinity = TasAffinity::kBigCores;  // Section 4.2
+      w.paper_slo_a = 100 * kMicro;
+      w.paper_slo_b = 140 * kMicro;
+      w.sweep_max = 400 * kMicro;
+      w.cdf_slo = 140 * kMicro;
+      break;
+    case DbKind::kLmdb:
+      w.gen = lmdb_epoch;
+      w.num_locks = 3;
+      w.tas_affinity = TasAffinity::kLittleCores;
+      // The paper compares at 400/600us on M1; our calibration's little-core
+      // write cost puts the feasibility floor near 900us, so the comparison
+      // SLOs sit at 1000/1500us — still inside the paper's 0-2000us sweep
+      // (Figure 9h).
+      w.paper_slo_a = 1000 * kMicro;
+      w.paper_slo_b = 1500 * kMicro;
+      w.sweep_max = 2400 * kMicro;
+      w.cdf_slo = 1900 * kMicro;
+      break;
+    case DbKind::kLevelDb:
+      w.gen = leveldb_epoch;
+      w.num_locks = 1;
+      w.tas_affinity = TasAffinity::kBigCores;
+      w.paper_slo_a = 15 * kMicro;
+      w.paper_slo_b = 30 * kMicro;
+      w.sweep_max = 100 * kMicro;
+      w.cdf_slo = 100 * kMicro;
+      break;
+    case DbKind::kSqlite:
+      w.gen = sqlite_epoch;
+      w.num_locks = 2;
+      w.tas_affinity = TasAffinity::kLittleCores;
+      w.paper_slo_a = 4 * kMilli;
+      w.paper_slo_b = 7 * kMilli;
+      w.sweep_max = 20 * kMilli;
+      w.cdf_slo = 4 * kMilli;
+      break;
+  }
+  return w;
+}
+
+}  // namespace asl::sim

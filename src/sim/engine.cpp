@@ -1,0 +1,36 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace asl::sim {
+
+void Engine::at(Time t, Action fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is the
+  // standard workaround, safe because pop() immediately destroys the slot.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Engine::run_until(Time end) {
+  while (!queue_.empty() && queue_.top().t <= end) {
+    step();
+  }
+  now_ = end;
+}
+
+void Engine::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace asl::sim

@@ -1,0 +1,63 @@
+// Discrete-event simulation engine (virtual-time core of the AMP testbed
+// substitute — DESIGN.md §2).
+//
+// Events are (time, seq, closure) triples executed in (time, seq) order; seq
+// makes simultaneous events deterministic (FIFO among equal timestamps).
+// All times are virtual nanoseconds starting at 0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace asl::sim {
+
+using Time = std::uint64_t;
+
+inline constexpr Time kMicro = 1'000ULL;
+inline constexpr Time kMilli = 1'000'000ULL;
+inline constexpr Time kSecond = 1'000'000'000ULL;
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedule `fn` at absolute virtual time `t` (>= now, else clamped to now).
+  void at(Time t, Action fn);
+  // Schedule `fn` `delay` ns from now.
+  void after(Time delay, Action fn) { at(now_ + delay, std::move(fn)); }
+
+  Time now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+  // Execute the next event; returns false when the queue is empty.
+  bool step();
+
+  // Execute all events with timestamp <= end; leaves now() == end.
+  void run_until(Time end);
+
+  // Execute until the queue drains.
+  void run_all();
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace asl::sim

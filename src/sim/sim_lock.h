@@ -1,0 +1,82 @@
+// Simulated lock interface and factory.
+//
+// A SimLock receives acquisition requests in virtual time and invokes the
+// `granted` continuation when the requesting thread becomes the holder. Each
+// implementation models the *ordering decision* and the *handover cost* of
+// its real counterpart in src/locks; DESIGN.md §2 explains why that is the
+// faithful level of abstraction for reproducing the paper's figures.
+//
+// AcquireMode::kReorder is honoured by the reorderable locks only; FIFO/
+// unfair baselines treat every acquisition as immediate (their real APIs
+// have no reorder entry point either).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "platform/rng.h"
+#include "sim/core_model.h"
+#include "sim/engine.h"
+
+namespace asl::sim {
+
+enum class AcquireMode : std::uint8_t {
+  kImmediate,  // lock_immediately / plain lock()
+  kReorder,    // lock_reorder(window)
+};
+
+class SimLock {
+ public:
+  SimLock(Engine* eng, const MachineParams* mp, Rng* rng)
+      : eng_(eng), mp_(mp), rng_(rng) {}
+  virtual ~SimLock() = default;
+  SimLock(const SimLock&) = delete;
+  SimLock& operator=(const SimLock&) = delete;
+
+  // Request the lock. `granted` runs (as an engine event) when the thread
+  // holds the lock. `window` is only meaningful with kReorder.
+  virtual void acquire(SimThread* t, AcquireMode mode, Time window,
+                       Engine::Action granted) = 0;
+
+  // Release by the current holder.
+  virtual void release(SimThread* t) = 0;
+
+  virtual bool is_free() const = 0;
+
+ protected:
+  // Extra grant delay when handing the lock to a *spinning* waiter that may
+  // currently be descheduled: with k runnable threads sharing the waiter's
+  // core, the waiter is off-CPU with probability (k-1)/k and notices the
+  // grant only when rescheduled, up to a quantum later.
+  Time spinner_grant_penalty(const SimThread* t) {
+    const std::uint32_t k = t->core->runnable;
+    if (k <= 1) return 0;
+    const double p_descheduled = 1.0 - 1.0 / static_cast<double>(k);
+    if (!rng_->chance(p_descheduled)) return 0;
+    return rng_->below(mp_->sched_quantum);
+  }
+
+  Engine* eng_;
+  const MachineParams* mp_;
+  Rng* rng_;
+};
+
+enum class LockKind : std::uint8_t {
+  kPthread,     // unfair blocking with barging + wakeup latency
+  kTas,         // test-and-set with affinity-weighted win rate
+  kTicket,      // FIFO, broadcast handover cost grows with waiters
+  kMcs,         // FIFO, constant handover cost
+  kStpMcs,      // FIFO, waiters park after a spin budget (Bench-6 baseline)
+  kShflPb,      // two-queue proportional big:little (SHFL-PB comparator)
+  kReorderable, // reorderable lock over a FIFO queue, spinning standby
+  kBlockingReorderable,  // reorderable over blocking substrate, sleeping
+                         // standby (Bench-6 LibASL)
+};
+
+const char* to_string(LockKind kind);
+
+std::unique_ptr<SimLock> make_sim_lock(LockKind kind, Engine* eng,
+                                       const MachineParams* mp, Rng* rng,
+                                       std::uint32_t pb_proportion = 10);
+
+}  // namespace asl::sim

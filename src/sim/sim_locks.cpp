@@ -1,0 +1,512 @@
+#include "sim/sim_lock.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace asl::sim {
+namespace {
+
+constexpr Time kSimMaxReorderWindow = 100 * kMilli;
+// Standby poll backoff cap: Algorithm 1's exponential check spacing, bounded
+// so a long-standing standby competitor still detects a free lock promptly.
+constexpr Time kPollGapCap = 16 * kMicro;
+
+struct Waiter {
+  SimThread* t = nullptr;
+  Engine::Action cb;
+};
+
+// ---------------------------------------------------------------- FIFO base
+// MCS: constant-cost handover. Ticket: handover cost grows with the number
+// of spinning waiters (every waiter's cached copy of the grant word is
+// invalidated), which is what makes ticket locks non-scalable.
+class FifoSimLock : public SimLock {
+ public:
+  FifoSimLock(Engine* eng, const MachineParams* mp, Rng* rng,
+              bool ticket_costs)
+      : SimLock(eng, mp, rng), ticket_costs_(ticket_costs) {}
+
+  void acquire(SimThread* t, AcquireMode, Time, Engine::Action granted) override {
+    if (!held_) {
+      held_ = true;
+      eng_->after(mp_->uncontended_acquire, std::move(granted));
+      return;
+    }
+    queue_.push_back(Waiter{t, std::move(granted)});
+  }
+
+  void release(SimThread*) override {
+    if (queue_.empty()) {
+      held_ = false;
+      return;
+    }
+    Waiter w = std::move(queue_.front());
+    queue_.pop_front();
+    Time cost = mp_->handover + spinner_grant_penalty(w.t);
+    if (ticket_costs_) {
+      cost += mp_->ticket_per_waiter * static_cast<Time>(queue_.size() + 1);
+    }
+    eng_->after(cost, std::move(w.cb));
+  }
+
+  bool is_free() const override { return !held_; }
+
+ private:
+  bool ticket_costs_;
+  bool held_ = false;
+  std::deque<Waiter> queue_;
+};
+
+// ------------------------------------------------------------------ TAS
+// Unfair: a release triggers a contended TAS round among all current
+// spinners; the winner is drawn with per-core-type weights (the asymmetric
+// atomic success rate of Section 2.2). Arrivals during the round take part.
+class TasSimLock : public SimLock {
+ public:
+  TasSimLock(Engine* eng, const MachineParams* mp, Rng* rng)
+      : SimLock(eng, mp, rng) {}
+
+  void acquire(SimThread* t, AcquireMode, Time, Engine::Action granted) override {
+    if (!held_ && !deciding_) {
+      held_ = true;
+      eng_->after(mp_->uncontended_acquire, std::move(granted));
+      return;
+    }
+    spinners_.push_back(Waiter{t, std::move(granted)});
+  }
+
+  void release(SimThread*) override {
+    held_ = false;
+    if (spinners_.empty() || deciding_) return;
+    start_round();
+  }
+
+  bool is_free() const override { return !held_ && !deciding_; }
+
+ private:
+  void start_round() {
+    deciding_ = true;
+    const Time cost =
+        mp_->tas_decision +
+        mp_->tas_per_waiter * static_cast<Time>(spinners_.size());
+    eng_->after(cost, [this] { finish_round(); });
+  }
+
+  void finish_round() {
+    deciding_ = false;
+    if (spinners_.empty() || held_) return;
+    double total = 0;
+    for (const Waiter& w : spinners_) total += mp_->tas_weight(w.t->type());
+    double draw = rng_->uniform() * total;
+    std::size_t winner = spinners_.size() - 1;
+    for (std::size_t i = 0; i < spinners_.size(); ++i) {
+      draw -= mp_->tas_weight(spinners_[i].t->type());
+      if (draw <= 0) {
+        winner = i;
+        break;
+      }
+    }
+    Waiter w = std::move(spinners_[winner]);
+    spinners_.erase(spinners_.begin() + static_cast<std::ptrdiff_t>(winner));
+    held_ = true;
+    eng_->after(spinner_grant_penalty(w.t), std::move(w.cb));
+  }
+
+  bool held_ = false;
+  bool deciding_ = false;
+  std::vector<Waiter> spinners_;
+};
+
+// ------------------------------------------------------------- spin-then-park
+// FIFO MCS where a waiter parks after its spin budget; granting a parked
+// waiter pays the wakeup latency — on every handover, which is the Bench-6
+// pathology ("spin-then-park MCS is 96% worse than pthread_mutex_lock").
+class StpMcsSimLock : public SimLock {
+ public:
+  StpMcsSimLock(Engine* eng, const MachineParams* mp, Rng* rng)
+      : SimLock(eng, mp, rng) {}
+
+  void acquire(SimThread* t, AcquireMode, Time, Engine::Action granted) override {
+    if (!held_) {
+      held_ = true;
+      eng_->after(mp_->uncontended_acquire, std::move(granted));
+      return;
+    }
+    auto w = std::make_shared<ParkWaiter>();
+    w->t = t;
+    w->cb = std::move(granted);
+    queue_.push_back(w);
+    eng_->after(kSpinBudget, [w] {
+      if (!w->granted && !w->parked) {
+        w->parked = true;
+        w->t->core->runnable -= 1;
+      }
+    });
+  }
+
+  void release(SimThread*) override {
+    if (queue_.empty()) {
+      held_ = false;
+      return;
+    }
+    auto w = queue_.front();
+    queue_.pop_front();
+    w->granted = true;
+    if (w->parked) {
+      eng_->after(mp_->wakeup_latency, [w] {
+        w->t->core->runnable += 1;
+        w->cb();
+      });
+    } else {
+      eng_->after(mp_->handover, [w] { w->cb(); });
+    }
+  }
+
+  bool is_free() const override { return !held_; }
+
+ private:
+  static constexpr Time kSpinBudget = 5 * kMicro;
+
+  struct ParkWaiter {
+    SimThread* t = nullptr;
+    Engine::Action cb;
+    bool parked = false;
+    bool granted = false;
+  };
+
+  bool held_ = false;
+  std::deque<std::shared_ptr<ParkWaiter>> queue_;
+};
+
+// ----------------------------------------------------------------- pthread
+// Unfair blocking lock with barging: waiters park immediately; release makes
+// the lock free and wakes one waiter, but any thread arriving before the
+// wakeup completes can steal the lock (the woken waiter re-parks). This is
+// the glibc behaviour the paper leans on for the blocking LibASL substrate.
+class PthreadSimLock : public SimLock {
+ public:
+  PthreadSimLock(Engine* eng, const MachineParams* mp, Rng* rng)
+      : SimLock(eng, mp, rng) {}
+
+  void acquire(SimThread* t, AcquireMode, Time, Engine::Action granted) override {
+    // Barging: an arrival may steal a free lock, but when a woken waiter is
+    // in flight the race is a coin flip (in real hardware the outcome
+    // depends on scheduling noise; always-wins would starve the wait queue).
+    if (!held_ && (!wake_pending_ || rng_->chance(0.5))) {
+      held_ = true;
+      eng_->after(mp_->uncontended_acquire, std::move(granted));
+      return;
+    }
+    auto w = std::make_shared<Waiter>(Waiter{t, std::move(granted)});
+    t->core->runnable -= 1;
+    sleepers_.push_back(w);
+  }
+
+  void release(SimThread*) override {
+    held_ = false;
+    if (sleepers_.empty() || wake_pending_) return;
+    wake_one();
+  }
+
+  bool is_free() const override { return !held_; }
+
+ private:
+  void wake_one() {
+    wake_pending_ = true;
+    auto w = sleepers_.front();
+    sleepers_.pop_front();
+    eng_->after(mp_->wakeup_latency, [this, w] {
+      wake_pending_ = false;
+      if (!held_) {
+        held_ = true;
+        w->t->core->runnable += 1;
+        w->cb();
+      } else {
+        // Barged by a faster arrival: stay parked at the queue head.
+        sleepers_.push_front(w);
+      }
+    });
+  }
+
+  bool held_ = false;
+  bool wake_pending_ = false;
+  std::deque<std::shared_ptr<Waiter>> sleepers_;
+};
+
+// ----------------------------------------------------------------- SHFL-PB
+// Proportional big:little rotation, mirroring locks/shfl_pb.h: serve
+// `proportion` big-core acquisitions, then one little-core acquisition.
+class ShflPbSimLock : public SimLock {
+ public:
+  ShflPbSimLock(Engine* eng, const MachineParams* mp, Rng* rng,
+                std::uint32_t proportion)
+      : SimLock(eng, mp, rng),
+        proportion_(proportion == 0 ? 1 : proportion) {}
+
+  void acquire(SimThread* t, AcquireMode, Time, Engine::Action granted) override {
+    if (!held_) {
+      held_ = true;
+      eng_->after(mp_->uncontended_acquire, std::move(granted));
+      return;
+    }
+    auto& q = t->type() == CoreType::kBig ? big_ : little_;
+    q.push_back(Waiter{t, std::move(granted)});
+  }
+
+  void release(SimThread*) override {
+    Waiter w;
+    const bool little_turn = served_big_ >= proportion_;
+    if (little_turn && !little_.empty()) {
+      w = std::move(little_.front());
+      little_.pop_front();
+      served_big_ = 0;
+    } else if (!big_.empty()) {
+      w = std::move(big_.front());
+      big_.pop_front();
+      ++served_big_;
+    } else if (!little_.empty()) {
+      w = std::move(little_.front());
+      little_.pop_front();
+      served_big_ = 0;
+    } else {
+      held_ = false;
+      return;
+    }
+    eng_->after(mp_->handover + spinner_grant_penalty(w.t), std::move(w.cb));
+  }
+
+  bool is_free() const override { return !held_; }
+
+ private:
+  std::uint32_t proportion_;
+  bool held_ = false;
+  std::uint32_t served_big_ = 0;
+  std::deque<Waiter> big_;
+  std::deque<Waiter> little_;
+};
+
+// ------------------------------------------------------------- reorderable
+// Algorithm 1 over a FIFO queue. Standby competitors poll the lock word on
+// an exponential-backoff schedule; when the lock goes free with an empty
+// queue, the standby with the earliest upcoming poll claims it — unless an
+// immediate acquisition barges in first (claim generations invalidate stale
+// claims). Window expiry moves the standby into the FIFO queue.
+//
+// `blocking` selects the Bench-6 variant, whose substrate is the *unfair
+// blocking* pthread lock rather than a FIFO queue (Section 4.1: a FIFO
+// spin-then-park substrate would put a wakeup on every handover). Standby
+// competitors sleep between nanosleep-backoff polls (1us doubling to 1ms);
+// queue waiters park, and release wakes one of them while letting a faster
+// arrival barge in (glibc behaviour) — the woken waiter re-parks on a lost
+// race.
+class ReorderableSimLock : public SimLock {
+ public:
+  ReorderableSimLock(Engine* eng, const MachineParams* mp, Rng* rng,
+                     bool blocking)
+      : SimLock(eng, mp, rng), blocking_(blocking) {}
+
+  void acquire(SimThread* t, AcquireMode mode, Time window,
+               Engine::Action granted) override {
+    if (mode == AcquireMode::kImmediate) {
+      enqueue_fifo(t, std::move(granted), /*was_sleeping=*/false);
+      return;
+    }
+    window = std::min(window, kSimMaxReorderWindow);
+    if (!held_ && queue_.empty()) {
+      take(std::move(granted), mp_->uncontended_acquire);
+      return;
+    }
+    auto sb = std::make_shared<Standby>();
+    sb->t = t;
+    sb->cb = std::move(granted);
+    sb->expiry = eng_->now() + window;
+    sb->gap = blocking_ ? kSleepMin : mp_->poll_quantum;
+    sb->next_poll = eng_->now() + sb->gap;
+    if (blocking_) t->core->runnable -= 1;  // standby sleeps
+    standby_.push_back(sb);
+    eng_->at(sb->expiry, [this, sb] {
+      if (!sb->active) return;
+      sb->active = false;
+      erase_standby(sb);
+      // Window expired: join the FIFO queue (Algorithm 1 line 16).
+      enqueue_fifo(sb->t, std::move(sb->cb), blocking_);
+    });
+  }
+
+  void release(SimThread*) override {
+    if (!blocking_) {
+      // Spin variant: strict FIFO handover (MCS substrate).
+      if (!queue_.empty()) {
+        QWaiter w = std::move(queue_.front());
+        queue_.pop_front();
+        eng_->after(mp_->handover + spinner_grant_penalty(w.t),
+                    std::move(w.cb));
+        return;
+      }
+      held_ = false;
+      schedule_claim();
+      return;
+    }
+    // Blocking variant: pthread-like. The lock goes free immediately; one
+    // parked waiter is woken (paying the wakeup latency) but arrivals and
+    // standby polls may barge in first.
+    held_ = false;
+    if (!queue_.empty() && !wake_pending_) wake_one();
+    schedule_claim();
+  }
+
+  bool is_free() const override { return !held_; }
+
+ private:
+  static constexpr Time kSleepMin = 1 * kMicro;
+  static constexpr Time kSleepMax = 1 * kMilli;
+
+  struct Standby {
+    SimThread* t = nullptr;
+    Engine::Action cb;
+    Time expiry = 0;
+    Time next_poll = 0;
+    Time gap = 0;
+    bool active = true;
+  };
+  struct QWaiter {
+    SimThread* t = nullptr;
+    Engine::Action cb;
+    bool sleeping = false;
+  };
+
+  void take(Engine::Action cb, Time cost) {
+    held_ = true;
+    ++claim_gen_;
+    eng_->after(cost, std::move(cb));
+  }
+
+  void enqueue_fifo(SimThread* t, Engine::Action cb, bool was_sleeping) {
+    // Spin variant: only a fully free lock (empty queue) is acquirable on
+    // arrival. Blocking variant: barging — any free lock may be taken even
+    // with parked waiters (pthread substrate), but a woken waiter in flight
+    // wins the race half the time.
+    const bool acquirable =
+        blocking_ ? (!held_ && (!wake_pending_ || rng_->chance(0.5)))
+                  : (!held_ && queue_.empty());
+    if (acquirable) {
+      if (was_sleeping) t->core->runnable += 1;
+      take(std::move(cb), mp_->uncontended_acquire);
+      return;
+    }
+    // Blocking variant: queue waiters are parked; spin variant: they spin.
+    bool sleeping = blocking_ || was_sleeping;
+    if (blocking_ && !was_sleeping) t->core->runnable -= 1;
+    queue_.push_back(QWaiter{t, std::move(cb), sleeping});
+  }
+
+  // Blocking variant: wake the queue head; it re-parks if barged.
+  void wake_one() {
+    wake_pending_ = true;
+    auto w = std::make_shared<QWaiter>(std::move(queue_.front()));
+    queue_.pop_front();
+    eng_->after(mp_->wakeup_latency, [this, w] {
+      wake_pending_ = false;
+      if (!held_) {
+        w->t->core->runnable += 1;
+        take(std::move(w->cb), 0);
+      } else {
+        queue_.push_front(std::move(*w));  // lost the race: stay parked
+      }
+      if (!held_ && !queue_.empty() && !wake_pending_) wake_one();
+    });
+  }
+
+  void erase_standby(const std::shared_ptr<Standby>& sb) {
+    for (std::size_t i = 0; i < standby_.size(); ++i) {
+      if (standby_[i] == sb) {
+        standby_.erase(standby_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  // Lock just went free with an empty queue: let the standby with the
+  // earliest upcoming poll claim it.
+  void schedule_claim() {
+    if (standby_.empty()) return;
+    const Time now = eng_->now();
+    std::shared_ptr<Standby> best;
+    const Time gap_cap = blocking_ ? kSleepMax : kPollGapCap;
+    for (auto& sb : standby_) {
+      while (sb->next_poll < now) {
+        sb->gap = std::min<Time>(sb->gap * 2, gap_cap);
+        sb->next_poll += sb->gap;
+      }
+      if (!best || sb->next_poll < best->next_poll) best = sb;
+    }
+    const std::uint64_t gen = claim_gen_;
+    eng_->at(best->next_poll, [this, best, gen] {
+      if (gen != claim_gen_ || !best->active) return;
+      // Spin variant: the FIFO substrate only looks free when the queue is
+      // empty. Blocking variant: a free pthread lock is claimable even with
+      // parked waiters (barging), racing any in-flight wakeup.
+      if (held_ || (!blocking_ && !queue_.empty())) return;
+      if (blocking_ && wake_pending_ && !rng_->chance(0.5)) return;
+      best->active = false;
+      erase_standby(best);
+      if (blocking_) best->t->core->runnable += 1;
+      take(std::move(best->cb), mp_->uncontended_acquire);
+    });
+  }
+
+  bool blocking_;
+  bool held_ = false;
+  bool wake_pending_ = false;
+  std::uint64_t claim_gen_ = 0;
+  std::deque<QWaiter> queue_;
+  std::vector<std::shared_ptr<Standby>> standby_;
+};
+
+}  // namespace
+
+const char* to_string(LockKind kind) {
+  switch (kind) {
+    case LockKind::kPthread: return "pthread";
+    case LockKind::kTas: return "tas";
+    case LockKind::kTicket: return "ticket";
+    case LockKind::kMcs: return "mcs";
+    case LockKind::kStpMcs: return "mcs-stp";
+    case LockKind::kShflPb: return "shfl-pb";
+    case LockKind::kReorderable: return "reorderable";
+    case LockKind::kBlockingReorderable: return "reorderable-blocking";
+  }
+  return "?";
+}
+
+std::unique_ptr<SimLock> make_sim_lock(LockKind kind, Engine* eng,
+                                       const MachineParams* mp, Rng* rng,
+                                       std::uint32_t pb_proportion) {
+  switch (kind) {
+    case LockKind::kPthread:
+      return std::make_unique<PthreadSimLock>(eng, mp, rng);
+    case LockKind::kTas:
+      return std::make_unique<TasSimLock>(eng, mp, rng);
+    case LockKind::kTicket:
+      return std::make_unique<FifoSimLock>(eng, mp, rng,
+                                           /*ticket_costs=*/true);
+    case LockKind::kMcs:
+      return std::make_unique<FifoSimLock>(eng, mp, rng,
+                                           /*ticket_costs=*/false);
+    case LockKind::kStpMcs:
+      return std::make_unique<StpMcsSimLock>(eng, mp, rng);
+    case LockKind::kShflPb:
+      return std::make_unique<ShflPbSimLock>(eng, mp, rng, pb_proportion);
+    case LockKind::kReorderable:
+      return std::make_unique<ReorderableSimLock>(eng, mp, rng,
+                                                  /*blocking=*/false);
+    case LockKind::kBlockingReorderable:
+      return std::make_unique<ReorderableSimLock>(eng, mp, rng,
+                                                  /*blocking=*/true);
+  }
+  return nullptr;
+}
+
+}  // namespace asl::sim

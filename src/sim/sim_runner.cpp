@@ -1,0 +1,198 @@
+#include "sim/sim_runner.h"
+
+#include <memory>
+
+#include "reorder/reorderable.h"
+
+namespace asl::sim {
+namespace {
+
+// Per-thread runner state wrapping the shared SimThread model.
+struct RunnerThread {
+  SimThread sim{};
+  WindowController controller;
+  EpochPlan plan{};
+  std::uint64_t epoch_index = 0;
+
+  explicit RunnerThread(const WindowController::Config& cfg)
+      : controller(cfg) {}
+};
+
+class Runner {
+ public:
+  Runner(const SimConfig& cfg, const EpochGen& gen)
+      : cfg_(cfg), gen_(gen), rng_(cfg.seed) {
+    const auto& m = cfg_.machine;
+    cores_.reserve(m.num_big_cores + m.num_little_cores);
+    for (std::uint32_t i = 0; i < m.num_big_cores; ++i) {
+      cores_.push_back(Core{i, CoreType::kBig, 0});
+    }
+    for (std::uint32_t i = 0; i < m.num_little_cores; ++i) {
+      cores_.push_back(
+          Core{m.num_big_cores + i, CoreType::kLittle, 0});
+    }
+    locks_.reserve(cfg_.num_locks);
+    for (std::uint32_t i = 0; i < cfg_.num_locks; ++i) {
+      locks_.push_back(make_sim_lock(cfg_.lock, &eng_, &cfg_.machine, &rng_,
+                                     cfg_.pb_proportion));
+    }
+    // Bind threads to cores round-robin within their type band, matching
+    // the paper's even binding (2 threads/core in Bench-6 falls out of
+    // big_threads = 2 * num_big_cores).
+    std::uint32_t id = 0;
+    for (std::uint32_t i = 0; i < cfg_.big_threads; ++i) {
+      threads_.push_back(std::make_unique<RunnerThread>(cfg_.controller));
+      threads_.back()->sim.id = id++;
+      threads_.back()->sim.core = big_core(i);
+    }
+    for (std::uint32_t i = 0; i < cfg_.little_threads; ++i) {
+      threads_.push_back(std::make_unique<RunnerThread>(cfg_.controller));
+      threads_.back()->sim.id = id++;
+      threads_.back()->sim.core = little_core(i);
+    }
+    for (auto& th : threads_) th->sim.core->runnable += 1;
+  }
+
+  SimResult run() {
+    end_ = cfg_.warmup + cfg_.measure;
+    for (auto& th : threads_) {
+      start_epoch(th.get());
+    }
+    eng_.run_until(end_);
+    result_.measured = cfg_.measure;
+    return std::move(result_);
+  }
+
+ private:
+  Core* big_core(std::uint32_t i) {
+    return &cores_[i % cfg_.machine.num_big_cores];
+  }
+  Core* little_core(std::uint32_t i) {
+    return &cores_[cfg_.machine.num_big_cores +
+                   i % cfg_.machine.num_little_cores];
+  }
+
+  bool in_window(Time t) const { return t >= cfg_.warmup && t < end_; }
+
+  Time scale_cs(const RunnerThread& th, Time base) const {
+    const double stretch = th.sim.core->stretch();
+    return static_cast<Time>(static_cast<double>(base) *
+                             cfg_.machine.cs_slowdown(th.sim.type()) *
+                             stretch);
+  }
+  Time scale_ncs(const RunnerThread& th, Time base) const {
+    const double stretch = th.sim.core->stretch();
+    return static_cast<Time>(static_cast<double>(base) *
+                             cfg_.machine.ncs_slowdown(th.sim.type()) *
+                             stretch);
+  }
+
+  // Reorder window Algorithm 3 would use for this thread right now.
+  Time reorder_window(const RunnerThread& th) const {
+    switch (cfg_.policy) {
+      case Policy::kPlain:
+        return 0;
+      case Policy::kAslStatic:
+        return cfg_.static_window;
+      case Policy::kAsl:
+        return cfg_.use_slo ? th.controller.window() : kMaxReorderWindow;
+    }
+    return 0;
+  }
+
+  AcquireMode mode_for(const RunnerThread& th) const {
+    if (cfg_.policy == Policy::kPlain) return AcquireMode::kImmediate;
+    return th.sim.type() == CoreType::kBig ? AcquireMode::kImmediate
+                                           : AcquireMode::kReorder;
+  }
+
+  void start_epoch(RunnerThread* th) {
+    if (eng_.now() >= end_) return;
+    th->plan = gen_(th->sim, th->epoch_index, eng_.now(), rng_);
+    th->sim.epoch_begin = eng_.now();
+    th->sim.section_index = 0;
+    run_section(th);
+  }
+
+  void run_section(RunnerThread* th) {
+    if (th->sim.section_index >= th->plan.sections.size()) {
+      end_epoch(th);
+      return;
+    }
+    const Section& sec = th->plan.sections[th->sim.section_index];
+    const Time ncs = scale_ncs(*th, sec.ncs_before);
+    eng_.after(ncs, [this, th] { do_acquire(th); });
+  }
+
+  void do_acquire(RunnerThread* th) {
+    const Section& sec = th->plan.sections[th->sim.section_index];
+    SimLock* lock = locks_[sec.lock % locks_.size()].get();
+    lock->acquire(&th->sim, mode_for(*th), reorder_window(*th),
+                  [this, th, lock] {
+                    const Section& s = th->plan.sections[th->sim.section_index];
+                    const Time cs = scale_cs(*th, s.cs);
+                    eng_.after(cs, [this, th, lock] {
+                      lock->release(&th->sim);
+                      if (in_window(eng_.now())) {
+                        result_.cs_total += 1;
+                        if (th->sim.type() == CoreType::kBig) {
+                          result_.cs_big += 1;
+                        } else {
+                          result_.cs_little += 1;
+                        }
+                      }
+                      th->sim.section_index += 1;
+                      run_section(th);
+                    });
+                  });
+  }
+
+  void end_epoch(RunnerThread* th) {
+    const Time latency = eng_.now() - th->sim.epoch_begin;
+    if (in_window(eng_.now())) {
+      result_.epochs += 1;
+      result_.latency.record(th->sim.type(), latency);
+    }
+    if (cfg_.record_series) {
+      (th->sim.type() == CoreType::kBig ? result_.big_series
+                                        : result_.little_series)
+          .record(eng_.now(), latency);
+    }
+    // Algorithm 2: the feedback step runs on little cores only.
+    if (cfg_.policy == Policy::kAsl && cfg_.use_slo &&
+        th->sim.type() == CoreType::kLittle) {
+      th->controller.on_epoch_end(latency, cfg_.slo);
+    }
+    th->epoch_index += 1;
+    const Time gap = scale_ncs(*th, th->plan.gap_after);
+    eng_.after(gap, [this, th] { start_epoch(th); });
+  }
+
+  SimConfig cfg_;
+  EpochGen gen_;
+  Rng rng_;
+  Engine eng_;
+  Time end_ = 0;
+  std::vector<Core> cores_;
+  std::vector<std::unique_ptr<SimLock>> locks_;
+  std::vector<std::unique_ptr<RunnerThread>> threads_;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult run_sim(const SimConfig& config, const EpochGen& gen) {
+  Runner runner(config, gen);
+  return runner.run();
+}
+
+EpochGen single_cs_workload(Time cs_ns, Time gap_ns) {
+  return [cs_ns, gap_ns](const SimThread&, std::uint64_t, Time, Rng&) {
+    EpochPlan plan;
+    plan.sections.push_back(Section{0, cs_ns, 0});
+    plan.gap_after = gap_ns;
+    return plan;
+  };
+}
+
+}  // namespace asl::sim

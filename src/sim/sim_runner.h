@@ -1,0 +1,103 @@
+// Simulation experiment runner: spawns simulated threads executing an epoch
+// workload against a simulated lock, applies the LibASL dispatch policy, and
+// collects the statistics every figure reports.
+//
+// The AIMD feedback loop uses the production asl::WindowController — the
+// simulator drives the same code the real library ships (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "asl/window_controller.h"
+#include "harness/latency_split.h"
+#include "platform/rng.h"
+#include "sim/core_model.h"
+#include "sim/engine.h"
+#include "sim/sim_lock.h"
+#include "stats/timeseries.h"
+
+namespace asl::sim {
+
+// One critical section inside an epoch: which lock, how long the section
+// runs on a big core, and how much non-critical work precedes it.
+struct Section {
+  std::uint32_t lock = 0;
+  Time cs = 0;          // critical-section length on a big core (ns)
+  Time ncs_before = 0;  // non-critical work before acquiring (ns, big core)
+};
+
+// One epoch instance: its sections plus the inter-epoch gap that follows.
+struct EpochPlan {
+  std::vector<Section> sections;
+  Time gap_after = 0;  // non-critical work after the epoch (outside latency)
+};
+
+// Generates the next epoch for a thread. Receiving the epoch index, the
+// current virtual time and the experiment RNG lets workloads script phase
+// changes (Bench-2), random mixes (Bench-3) and per-op draws (the database
+// models).
+using EpochGen = std::function<EpochPlan(const SimThread& thread,
+                                         std::uint64_t epoch_index, Time now,
+                                         Rng& rng)>;
+
+// How lock() calls are issued.
+enum class Policy : std::uint8_t {
+  kPlain,      // every thread acquires immediately (baseline locks)
+  kAsl,        // Algorithm 3: big -> immediate; little -> reorder with the
+               // AIMD window (or the max window when no SLO is set)
+  kAslStatic,  // LibASL-OPT: little cores use a fixed window, no feedback
+};
+
+struct SimConfig {
+  MachineParams machine{};
+  std::uint32_t big_threads = 4;
+  std::uint32_t little_threads = 4;
+  LockKind lock = LockKind::kMcs;
+  std::uint32_t num_locks = 1;
+  Policy policy = Policy::kPlain;
+
+  bool use_slo = true;        // false + kAsl = LibASL-MAX (default window)
+  Time slo = 50 * kMicro;     // per-epoch latency SLO (virtual ns)
+  Time static_window = 0;     // for kAslStatic
+  WindowController::Config controller{};
+
+  Time warmup = 20 * kMilli;   // adaptation period, excluded from stats
+  Time measure = 150 * kMilli; // measurement period
+  std::uint64_t seed = 42;
+  std::uint32_t pb_proportion = 10;
+  bool record_series = false;  // per-epoch latency time series (Fig 8d)
+};
+
+struct SimResult {
+  std::uint64_t cs_total = 0;  // critical sections completed in the window
+  std::uint64_t cs_big = 0;
+  std::uint64_t cs_little = 0;
+  std::uint64_t epochs = 0;
+  Time measured = 0;
+  LatencySplit latency;        // epoch latency, split by core type
+  TimeSeries big_series;       // (time, latency) of every epoch (if enabled)
+  TimeSeries little_series;
+
+  double cs_throughput() const {
+    return measured == 0 ? 0.0
+                         : static_cast<double>(cs_total) *
+                               static_cast<double>(kSecond) /
+                               static_cast<double>(measured);
+  }
+  double epoch_throughput() const {
+    return measured == 0 ? 0.0
+                         : static_cast<double>(epochs) *
+                               static_cast<double>(kSecond) /
+                               static_cast<double>(measured);
+  }
+};
+
+SimResult run_sim(const SimConfig& config, const EpochGen& gen);
+
+// Convenience: epoch = single critical section + inter-epoch gap (the
+// Figure 1/4/8e micro-benchmark shape).
+EpochGen single_cs_workload(Time cs_ns, Time gap_ns);
+
+}  // namespace asl::sim

@@ -1,0 +1,46 @@
+// Exact percentile over a stored sample. Used as the reference oracle in
+// histogram tests and for small experiment runs where storing every sample
+// is affordable (e.g. the time-series benchmark, Figure 8d).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace asl {
+
+class ExactSample {
+ public:
+  void record(std::uint64_t v) { values_.push_back(v); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // Exact value at quantile q in [0,1] using the nearest-rank definition
+  // (matches Histogram::value_at_quantile's rank convention).
+  std::uint64_t value_at_quantile(double q) {
+    if (values_.empty()) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(values_.size()) + 0.5);
+    rank = std::max<std::size_t>(1, std::min(rank, values_.size()));
+    std::nth_element(values_.begin(), values_.begin() + (rank - 1),
+                     values_.end());
+    return values_[rank - 1];
+  }
+
+  std::uint64_t p99() { return value_at_quantile(0.99); }
+
+  std::uint64_t max() const {
+    return values_.empty() ? 0 : *std::max_element(values_.begin(),
+                                                   values_.end());
+  }
+
+  void clear() { values_.clear(); }
+  const std::vector<std::uint64_t>& values() const { return values_; }
+
+ private:
+  std::vector<std::uint64_t> values_;
+};
+
+}  // namespace asl

@@ -1,0 +1,45 @@
+// Streaming scalar statistics (count/mean/min/max) with O(1) state.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace asl {
+
+class StreamingStats {
+ public:
+  void record(double v) {
+    ++count_;
+    sum_ += v;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = count_ == 1 ? v : std::max(max_, v);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void merge(const StreamingStats& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+  void reset() { *this = StreamingStats{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace asl

@@ -1,0 +1,36 @@
+// Fixed-width table / CSV printer used by every benchmark binary so figure
+// output is uniform and grep-able.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace asl {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Append a row; cells are stringified by the caller or via the helpers.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience formatters.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_ns_as_us(std::uint64_t ns, int precision = 2);
+  static std::string fmt_ops(double ops_per_sec);  // e.g. 1.23e6
+
+  // Render as an aligned text table.
+  void print(std::ostream& os) const;
+  // Render as CSV (machine-readable companion output).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace asl

@@ -1,0 +1,55 @@
+// Time-series recorder for per-epoch latency traces (Figure 8d: "epochs'
+// latencies during first 350ms").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace asl {
+
+class TimeSeries {
+ public:
+  struct Point {
+    std::uint64_t t;  // timestamp (ns since experiment start)
+    std::uint64_t v;  // observed value (e.g. epoch latency in ns)
+  };
+
+  void record(std::uint64_t t, std::uint64_t v) { points_.push_back({t, v}); }
+
+  const std::vector<Point>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  void clear() { points_.clear(); }
+
+  // Downsample to at most `max_points` by keeping, within each stride, the
+  // point with the maximum value — tails are what the figure shows, so
+  // downsampling must not erase spikes.
+  TimeSeries downsample_keep_max(std::size_t max_points) const {
+    TimeSeries out;
+    if (points_.empty() || max_points == 0) return out;
+    const std::size_t stride = (points_.size() + max_points - 1) / max_points;
+    for (std::size_t base = 0; base < points_.size(); base += stride) {
+      std::size_t best = base;
+      const std::size_t end = std::min(base + stride, points_.size());
+      for (std::size_t i = base + 1; i < end; ++i) {
+        if (points_[i].v > points_[best].v) best = i;
+      }
+      out.record(points_[best].t, points_[best].v);
+    }
+    return out;
+  }
+
+  // Max value within [t0, t1).
+  std::uint64_t max_in(std::uint64_t t0, std::uint64_t t1) const {
+    std::uint64_t m = 0;
+    for (const Point& p : points_) {
+      if (p.t >= t0 && p.t < t1 && p.v > m) m = p.v;
+    }
+    return m;
+  }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace asl

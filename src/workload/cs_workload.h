@@ -1,0 +1,65 @@
+// Micro-benchmark critical/non-critical section bodies.
+//
+// The paper's micro-benchmarks "read-modify-write a specific number of shared
+// cache lines" inside the critical section and execute "a fixed number of NOP
+// instructions" between acquisitions. On the symmetric reproduction host the
+// big/little speed gap is emulated by scaling the iteration counts with the
+// worker's declared speed factor (a little core executing the same critical
+// section ~3.5x slower is indistinguishable, from the lock's point of view,
+// from a same-speed core executing 3.5x the work).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/cacheline.h"
+#include "platform/time.h"
+
+namespace asl {
+
+// A shared array of cache lines that critical sections read-modify-write.
+class SharedRegion {
+ public:
+  explicit SharedRegion(std::size_t num_lines = 64) : lines_(num_lines) {}
+
+  // Read-modify-write `count` lines starting at `first` (wrapping), `reps`
+  // times over. This is the paper's critical-section body.
+  void rmw(std::size_t first, std::size_t count, std::uint64_t reps = 1) {
+    const std::size_t n = lines_.size();
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      for (std::size_t i = 0; i < count; ++i) {
+        SharedLine& line = lines_[(first + i) % n];
+        line.word = line.word + 1;
+      }
+    }
+  }
+
+  std::size_t num_lines() const { return lines_.size(); }
+  std::uint64_t line_value(std::size_t i) const { return lines_[i].word; }
+
+ private:
+  std::vector<SharedLine> lines_;
+};
+
+// Worker speed emulation: scales work amounts for the core type the worker
+// plays. Big cores use {1.0, 1.0}. The defaults for little cores follow the
+// paper's M1 measurements: ~3.75x slower on memory-heavy work (Sysbench),
+// ~1.8x slower on plain instruction streams (NOP).
+struct SpeedFactors {
+  double cs_scale = 1.0;   // critical-section (memory-heavy) slowdown
+  double ncs_scale = 1.0;  // non-critical (compute) slowdown
+
+  static SpeedFactors big() { return {1.0, 1.0}; }
+  static SpeedFactors little(double cs = 3.5, double ncs = 1.8) {
+    return {cs, ncs};
+  }
+
+  std::uint64_t scale_cs(std::uint64_t reps) const {
+    return static_cast<std::uint64_t>(static_cast<double>(reps) * cs_scale);
+  }
+  std::uint64_t scale_ncs(std::uint64_t nops) const {
+    return static_cast<std::uint64_t>(static_cast<double>(nops) * ncs_scale);
+  }
+};
+
+}  // namespace asl

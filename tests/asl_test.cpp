@@ -1,0 +1,332 @@
+// LibASL core tests: AIMD window controller properties (including a
+// percentile parameter sweep), epoch bookkeeping and nesting, Algorithm 3
+// dispatch, profiler.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "asl/epoch.h"
+#include "asl/libasl.h"
+#include "asl/profiler.h"
+#include "asl/window_controller.h"
+#include "platform/topology.h"
+
+namespace asl {
+namespace {
+
+TEST(WindowController, GrowsLinearlyWhileMeetingSlo) {
+  WindowController::Config cfg;
+  cfg.initial_window = 1000;
+  cfg.initial_unit = 100;
+  WindowController ctrl(cfg);
+  const std::uint64_t w0 = ctrl.window();
+  ctrl.on_epoch_end(/*latency=*/10, /*slo=*/100);
+  EXPECT_EQ(ctrl.window(), w0 + 100);
+  ctrl.on_epoch_end(10, 100);
+  EXPECT_EQ(ctrl.window(), w0 + 200);
+}
+
+TEST(WindowController, HalvesOnViolation) {
+  WindowController::Config cfg;
+  cfg.initial_window = 4096;
+  WindowController ctrl(cfg);
+  ctrl.on_epoch_end(/*latency=*/200, /*slo=*/100);
+  EXPECT_EQ(ctrl.window(), 2048u);
+  ctrl.on_epoch_end(200, 100);
+  EXPECT_EQ(ctrl.window(), 1024u);
+}
+
+TEST(WindowController, UnitRederivedFromReducedWindow) {
+  // Algorithm 2 line 26: unit = window * (100 - PCT) / 100 after reduction.
+  WindowController::Config cfg;
+  cfg.initial_window = 100'000;
+  cfg.percentile = 99;
+  WindowController ctrl(cfg);
+  ctrl.on_epoch_end(200, 100);  // violation: window 50'000
+  EXPECT_EQ(ctrl.window(), 50'000u);
+  EXPECT_EQ(ctrl.unit(), 50'000u * 1 / 100);
+}
+
+TEST(WindowController, WindowIsBoundedByMax) {
+  WindowController::Config cfg;
+  cfg.initial_window = 90;
+  cfg.initial_unit = 50;
+  cfg.max_window = 100;
+  WindowController ctrl(cfg);
+  for (int i = 0; i < 10; ++i) ctrl.on_epoch_end(0, 100);
+  EXPECT_EQ(ctrl.window(), 100u);
+}
+
+TEST(WindowController, UnitNeverBelowMin) {
+  WindowController::Config cfg;
+  cfg.initial_window = 64;
+  cfg.min_unit = 16;
+  WindowController ctrl(cfg);
+  for (int i = 0; i < 20; ++i) ctrl.on_epoch_end(1000, 1);  // violations
+  EXPECT_EQ(ctrl.window(), 0u);
+  EXPECT_GE(ctrl.unit(), 16u);
+  // Growth must still be possible afterwards.
+  ctrl.on_epoch_end(0, 1000);
+  EXPECT_GE(ctrl.window(), 16u);
+}
+
+TEST(WindowController, ImpossibleSloDrivesWindowToZero) {
+  // SLO 0 can never be met -> FIFO fallback (window 0), the LibASL-0 case.
+  WindowController ctrl;
+  for (int i = 0; i < 64; ++i) ctrl.on_epoch_end(100, 0);
+  EXPECT_EQ(ctrl.window(), 0u);
+}
+
+TEST(WindowController, ResetRestoresInitialState) {
+  WindowController::Config cfg;
+  cfg.initial_window = 5000;
+  cfg.initial_unit = 500;
+  WindowController ctrl(cfg);
+  ctrl.on_epoch_end(1, 100);
+  ctrl.on_epoch_end(1000, 1);
+  ctrl.reset();
+  EXPECT_EQ(ctrl.window(), 5000u);
+  EXPECT_EQ(ctrl.unit(), 500u);
+}
+
+// Percentile-targeting property (paper footnote 4): with unit =
+// window*(100-PCT)/100, the steady-state fraction of epochs whose window is
+// "large" (just recovered to the violating size) is PCT/100. We verify the
+// recovery-step count: after a violation at window W, it takes
+// 100/(100-PCT) growth steps to return to W.
+class WindowPercentile : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WindowPercentile, RecoveryStepsMatchFormula) {
+  const std::uint32_t pct = GetParam();
+  WindowController::Config cfg;
+  cfg.initial_window = 1 << 20;
+  cfg.percentile = pct;
+  cfg.min_unit = 1;
+  WindowController ctrl(cfg);
+  const std::uint64_t before = ctrl.window();
+  ctrl.on_epoch_end(1, 0);  // force one violation: window halves
+  const std::uint64_t reduced = ctrl.window();
+  EXPECT_EQ(reduced, before / 2);
+  int steps = 0;
+  while (ctrl.window() < before && steps < 10000) {
+    ctrl.on_epoch_end(0, 1'000'000);  // meets SLO: grow
+    ++steps;
+  }
+  // Expected: reduced/unit = (W/2) / ((W/2)*(100-pct)/100) = 100/(100-pct),
+  // within rounding.
+  const int expected = static_cast<int>(100 / (100 - pct));
+  EXPECT_NEAR(steps, expected, expected / 10 + 2) << "PCT=" << pct;
+}
+
+INSTANTIATE_TEST_SUITE_P(Percentiles, WindowPercentile,
+                         ::testing::Values(50u, 90u, 95u, 99u));
+
+TEST(Epoch, StartEndRoundTrip) {
+  reset_thread_epochs();
+  EXPECT_EQ(current_epoch_id(), -1);
+  EXPECT_EQ(epoch_start(5), 0);
+  EXPECT_EQ(current_epoch_id(), 5);
+  EXPECT_EQ(epoch_end(5, 1000), 0);
+  EXPECT_EQ(current_epoch_id(), -1);
+}
+
+TEST(Epoch, OutOfRangeIdsRejected) {
+  reset_thread_epochs();
+  EXPECT_EQ(epoch_start(-1), -1);
+  EXPECT_EQ(epoch_start(kMaxEpochs), -1);
+  EXPECT_EQ(epoch_end(-1, 1), -1);
+  EXPECT_EQ(epoch_end(kMaxEpochs, 1), -1);
+}
+
+TEST(Epoch, NestedEpochsRestoreOuter) {
+  reset_thread_epochs();
+  epoch_start(1);
+  epoch_start(2);
+  EXPECT_EQ(current_epoch_id(), 2);
+  epoch_end(2, 1000);
+  EXPECT_EQ(current_epoch_id(), 1);  // outer restored (Algorithm 2 line 32)
+  epoch_end(1, 1000);
+  EXPECT_EQ(current_epoch_id(), -1);
+}
+
+TEST(Epoch, DeepNesting) {
+  reset_thread_epochs();
+  for (int i = 0; i < 8; ++i) epoch_start(i);
+  for (int i = 7; i >= 0; --i) {
+    EXPECT_EQ(current_epoch_id(), i);
+    epoch_end(i, 1000);
+  }
+  EXPECT_EQ(current_epoch_id(), -1);
+}
+
+TEST(Epoch, NoEpochMeansMaxWindow) {
+  reset_thread_epochs();
+  EXPECT_EQ(current_epoch_window(), kMaxReorderWindow);
+}
+
+TEST(Epoch, LittleCoreViolationShrinksWindow) {
+  reset_thread_epochs();
+  ScopedCoreType little(CoreType::kLittle);
+  WindowController::Config cfg;
+  cfg.initial_window = 1 << 20;
+  set_epoch_controller_config(cfg);
+  epoch_start(3);
+  const std::uint64_t w0 = epoch_window(3);
+  epoch_end(3, /*slo=*/0);  // elapsed > 0 == violation
+  EXPECT_EQ(epoch_window(3), w0 / 2);
+  set_epoch_controller_config(WindowController::Config{});
+  reset_thread_epochs();
+}
+
+TEST(Epoch, BigCoreSkipsFeedback) {
+  reset_thread_epochs();
+  ScopedCoreType big(CoreType::kBig);
+  WindowController::Config cfg;
+  cfg.initial_window = 1 << 20;
+  set_epoch_controller_config(cfg);
+  epoch_start(4);
+  const std::uint64_t w0 = epoch_window(4);
+  epoch_end(4, 0);  // would be a violation, but big cores skip (line 21)
+  EXPECT_EQ(epoch_window(4), w0);
+  set_epoch_controller_config(WindowController::Config{});
+  reset_thread_epochs();
+}
+
+TEST(Epoch, MetadataIsPerThread) {
+  reset_thread_epochs();
+  ScopedCoreType little(CoreType::kLittle);
+  epoch_start(7);
+  epoch_end(7, 0);  // shrink this thread's window
+  const std::uint64_t mine = epoch_window(7);
+  std::uint64_t other = 0;
+  std::thread([&] {
+    ScopedCoreType also_little(CoreType::kLittle);
+    other = epoch_window(7);  // fresh thread: initial window
+  }).join();
+  EXPECT_NE(mine, other);
+  reset_thread_epochs();
+}
+
+TEST(Epoch, EpochsAreIndependent) {
+  reset_thread_epochs();
+  ScopedCoreType little(CoreType::kLittle);
+  epoch_start(10);
+  epoch_end(10, 0);  // violate 10
+  epoch_start(11);
+  epoch_end(11, ~0ULL);  // meet 11
+  EXPECT_LT(epoch_window(10), epoch_window(11));
+  reset_thread_epochs();
+}
+
+TEST(AslMutex, BigCoreLocksImmediately) {
+  ScopedCoreType big(CoreType::kBig);
+  AslMutex<McsLock> mutex;
+  mutex.lock();
+  EXPECT_FALSE(mutex.is_free());
+  mutex.unlock();
+  EXPECT_TRUE(mutex.is_free());
+}
+
+TEST(AslMutex, LittleCoreNoEpochUsesMaxWindowButFreeLockIsFast) {
+  ScopedCoreType little(CoreType::kLittle);
+  reset_thread_epochs();
+  AslMutex<McsLock> mutex;
+  const Nanos t0 = now_ns();
+  mutex.lock();  // free lock: no standby wait despite MAX window
+  EXPECT_LT(now_ns() - t0, 5 * kNanosPerMilli);
+  mutex.unlock();
+}
+
+TEST(AslMutex, MutualExclusionAcrossCoreTypes) {
+  AslMutex<McsLock> mutex;
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      ScopedCoreType scoped(t < 2 ? CoreType::kBig : CoreType::kLittle);
+      reset_thread_epochs();
+      epoch_start(1);
+      for (int i = 0; i < 4000; ++i) {
+        mutex.lock();
+        counter = counter + 1;
+        mutex.unlock();
+      }
+      epoch_end(1, 50 * kNanosPerMicro);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 16000u);
+}
+
+TEST(AslMutex, EpochScopeRaii) {
+  ScopedCoreType little(CoreType::kLittle);
+  reset_thread_epochs();
+  {
+    EpochScope scope(9, 1000);
+    EXPECT_EQ(current_epoch_id(), 9);
+  }
+  EXPECT_EQ(current_epoch_id(), -1);
+  reset_thread_epochs();
+}
+
+TEST(BlockingAslMutex, BasicOperation) {
+  ScopedCoreType big(CoreType::kBig);
+  BlockingAslMutex mutex;
+  mutex.lock();
+  EXPECT_FALSE(mutex.is_free());
+  mutex.unlock();
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(Profiler, SweepProducesRequestedSteps) {
+  SloProfiler profiler;
+  std::vector<std::uint64_t> seen;
+  auto points = profiler.sweep(
+      {1000, 5000, 5},
+      [&](std::uint64_t slo) {
+        seen.push_back(slo);
+        SloPoint p;
+        p.throughput = static_cast<double>(slo);  // monotone fake
+        p.p99_little = slo;
+        return p;
+      });
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_EQ(seen.front(), 1000u);
+  EXPECT_EQ(seen.back(), 5000u);
+  EXPECT_EQ(points[2].slo_ns, 3000u);
+}
+
+TEST(Profiler, RecommendPicksSmallestNearBest) {
+  std::vector<SloPoint> points;
+  for (std::uint64_t slo : {10u, 20u, 30u, 40u}) {
+    SloPoint p;
+    p.slo_ns = slo;
+    p.throughput = slo >= 30 ? 100.0 : (slo >= 20 ? 96.0 : 50.0);
+    points.push_back(p);
+  }
+  const SloPoint* pick = SloProfiler::recommend(points, 0.95);
+  ASSERT_NE(pick, nullptr);
+  EXPECT_EQ(pick->slo_ns, 20u);  // smallest within 5% of best
+}
+
+TEST(Profiler, RecommendEmptyIsNull) {
+  EXPECT_EQ(SloProfiler::recommend({}, 0.9), nullptr);
+}
+
+TEST(Profiler, PrintGraphContainsAllRows) {
+  std::vector<SloPoint> points(3);
+  points[0].slo_ns = 1000;
+  points[1].slo_ns = 2000;
+  points[2].slo_ns = 3000;
+  std::ostringstream os;
+  SloProfiler::print_graph(points, os);
+  EXPECT_NE(os.str().find("slo_us"), std::string::npos);
+  EXPECT_NE(os.str().find("3.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asl

@@ -1,0 +1,494 @@
+// Mini database engine tests: CRUD, concurrency invariants, snapshot
+// isolation, SQLite state-machine legality.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/btreekv.h"
+#include "db/hashkv.h"
+#include "db/lsmkv.h"
+#include "db/minisql.h"
+#include "db/mvkv.h"
+#include "platform/rng.h"
+
+namespace asl::db {
+namespace {
+
+std::string key_of(std::uint64_t i) { return "key" + std::to_string(i); }
+std::string val_of(std::uint64_t i) { return "val" + std::to_string(i); }
+
+// --------------------------------------------------------------- HashKv
+TEST(HashKv, PutGetRoundTrip) {
+  HashKv kv(16);
+  EXPECT_TRUE(kv.put("a", "1"));
+  EXPECT_FALSE(kv.put("a", "2"));  // overwrite: not new
+  EXPECT_EQ(kv.get("a").value_or(""), "2");
+  EXPECT_FALSE(kv.get("missing").has_value());
+}
+
+TEST(HashKv, RemoveAndSize) {
+  HashKv kv(8);
+  for (std::uint64_t i = 0; i < 100; ++i) kv.put(key_of(i), val_of(i));
+  EXPECT_EQ(kv.size(), 100u);
+  EXPECT_TRUE(kv.remove(key_of(50)));
+  EXPECT_FALSE(kv.remove(key_of(50)));
+  EXPECT_EQ(kv.size(), 99u);
+  EXPECT_FALSE(kv.get(key_of(50)).has_value());
+}
+
+TEST(HashKv, ForEachSeesEverything) {
+  HashKv kv(4);
+  for (std::uint64_t i = 0; i < 64; ++i) kv.put(key_of(i), val_of(i));
+  std::set<std::string> seen;
+  kv.for_each([&](const std::string& k, const std::string&) {
+    seen.insert(k);
+  });
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(HashKv, ConcurrentMixedOps) {
+  HashKv kv(32);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t k = rng.below(256);
+        switch (rng.below(3)) {
+          case 0: kv.put(key_of(k), val_of(k)); break;
+          case 1: kv.get(key_of(k)); break;
+          default: kv.remove(key_of(k)); break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every surviving key must map to its own value (no torn writes).
+  kv.for_each([&](const std::string& k, const std::string& v) {
+    EXPECT_EQ("val" + k.substr(3), v);
+  });
+}
+
+TEST(HashKv, ConcurrentForEachDoesNotDeadlock) {
+  HashKv kv(8);
+  for (std::uint64_t i = 0; i < 32; ++i) kv.put(key_of(i), val_of(i));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(5);
+    while (!stop.load()) kv.put(key_of(rng.below(64)), "x");
+  });
+  for (int i = 0; i < 20; ++i) {
+    std::size_t n = 0;
+    kv.for_each([&](const std::string&, const std::string&) { ++n; });
+    EXPECT_GE(n, 32u);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// --------------------------------------------------------------- BtreeKv
+TEST(BtreeKv, PutGetOverwrite) {
+  BtreeKv kv;
+  kv.put(10, "a");
+  kv.put(10, "b");
+  EXPECT_EQ(kv.get(10).value_or(""), "b");
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(BtreeKv, OrderedInsertSplitsCorrectly) {
+  BtreeKv kv;
+  constexpr std::uint64_t kN = 2000;
+  for (std::uint64_t i = 0; i < kN; ++i) kv.put(i, val_of(i));
+  EXPECT_EQ(kv.size(), kN);
+  EXPECT_GT(kv.height(), 1u);  // must have split
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(kv.get(i).value_or(""), val_of(i)) << i;
+  }
+}
+
+TEST(BtreeKv, RandomInsertLookup) {
+  BtreeKv kv;
+  Rng rng(42);
+  std::set<std::uint64_t> keys;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t k = rng.below(1 << 20);
+    keys.insert(k);
+    kv.put(k, val_of(k));
+  }
+  EXPECT_EQ(kv.size(), keys.size());
+  for (std::uint64_t k : keys) {
+    ASSERT_TRUE(kv.get(k).has_value());
+  }
+  EXPECT_FALSE(kv.get(1 << 21).has_value());
+}
+
+TEST(BtreeKv, RangeScanOrderedAndComplete) {
+  BtreeKv kv;
+  for (std::uint64_t i = 0; i < 500; ++i) kv.put(i * 2, val_of(i));
+  auto out = kv.range(100, 200);
+  ASSERT_FALSE(out.empty());
+  std::uint64_t prev = 0;
+  for (const auto& [k, v] : out) {
+    EXPECT_GE(k, 100u);
+    EXPECT_LE(k, 200u);
+    EXPECT_GT(k, prev);
+    prev = k;
+  }
+  EXPECT_EQ(out.size(), 51u);  // 100,102,...,200
+}
+
+TEST(BtreeKv, EraseRemovesKey) {
+  BtreeKv kv;
+  for (std::uint64_t i = 0; i < 100; ++i) kv.put(i, val_of(i));
+  EXPECT_TRUE(kv.erase(55));
+  EXPECT_FALSE(kv.erase(55));
+  EXPECT_FALSE(kv.get(55).has_value());
+  EXPECT_EQ(kv.size(), 99u);
+}
+
+TEST(BtreeKv, CursorPoolRecycles) {
+  BtreeKv kv;
+  kv.put(1, "x");
+  const std::size_t total_after_one = kv.pool_total();
+  for (int i = 0; i < 100; ++i) kv.get(1);
+  // Sequential ops reuse the same cursor; the pool must not grow.
+  EXPECT_EQ(kv.pool_total(), total_after_one);
+  EXPECT_EQ(kv.pool_free(), kv.pool_total());
+}
+
+TEST(BtreeKv, ConcurrentInsertsAllSurvive) {
+  BtreeKv kv;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPer = 1500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        const std::uint64_t k = static_cast<std::uint64_t>(t) * kPer + i;
+        kv.put(k, val_of(k));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(kv.size(), kThreads * kPer);
+  for (std::uint64_t k = 0; k < kThreads * kPer; ++k) {
+    ASSERT_EQ(kv.get(k).value_or(""), val_of(k));
+  }
+}
+
+// ----------------------------------------------------------------- MvKv
+TEST(MvKv, PutGetErase) {
+  MvKv kv;
+  kv.put(1, "a");
+  kv.put(2, "b");
+  EXPECT_EQ(kv.get(1).value_or(""), "a");
+  EXPECT_TRUE(kv.erase(1));
+  EXPECT_FALSE(kv.erase(1));
+  EXPECT_FALSE(kv.get(1).has_value());
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(MvKv, SnapshotIsolation) {
+  MvKv kv;
+  kv.put(1, "old");
+  MvKv::Snapshot snap = kv.snapshot();
+  kv.put(1, "new");
+  kv.put(2, "added");
+  // The snapshot must still see the old world.
+  EXPECT_EQ(snap.get(1).value_or(""), "old");
+  EXPECT_FALSE(snap.get(2).has_value());
+  // Fresh reads see the new world.
+  EXPECT_EQ(kv.get(1).value_or(""), "new");
+}
+
+TEST(MvKv, VersionAdvancesOnWrites) {
+  MvKv kv;
+  const std::uint64_t v0 = kv.version();
+  kv.put(1, "a");
+  EXPECT_EQ(kv.version(), v0 + 1);
+  kv.erase(1);
+  EXPECT_EQ(kv.version(), v0 + 2);
+  kv.erase(1);  // no-op: version unchanged
+  EXPECT_EQ(kv.version(), v0 + 2);
+}
+
+TEST(MvKv, RangeQuery) {
+  MvKv kv;
+  for (std::uint64_t i = 0; i < 100; ++i) kv.put(i * 3, val_of(i));
+  auto out = kv.range(30, 60);
+  std::uint64_t prev = 0;
+  for (const auto& [k, v] : out) {
+    EXPECT_GE(k, 30u);
+    EXPECT_LE(k, 60u);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+  EXPECT_EQ(out.size(), 11u);  // 30,33,...,60
+}
+
+TEST(MvKv, DeleteWithTwoChildren) {
+  MvKv kv;
+  // Build a shape where the root has two children, then delete the root key.
+  kv.put(50, "root");
+  kv.put(25, "l");
+  kv.put(75, "r");
+  kv.put(60, "rl");
+  EXPECT_TRUE(kv.erase(50));
+  EXPECT_FALSE(kv.get(50).has_value());
+  for (std::uint64_t k : {25u, 75u, 60u}) {
+    EXPECT_TRUE(kv.get(k).has_value()) << k;
+  }
+}
+
+TEST(MvKv, ConcurrentReadersDuringWrites) {
+  MvKv kv;
+  for (std::uint64_t i = 0; i < 500; ++i) kv.put(i, val_of(i));
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> read_errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      Rng rng(7);
+      while (!stop.load()) {
+        MvKv::Snapshot snap = kv.snapshot();
+        // Within one snapshot, a key read twice must agree.
+        const std::uint64_t k = rng.below(500);
+        auto a = snap.get(k);
+        auto b = snap.get(k);
+        if (a != b) read_errors.fetch_add(1);
+      }
+    });
+  }
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    kv.put(i % 500, "updated" + std::to_string(i));
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(read_errors.load(), 0u);
+}
+
+// ----------------------------------------------------------------- LsmKv
+TEST(LsmKv, PutGetNewestWins) {
+  LsmKv kv;
+  kv.put(1, "v1");
+  kv.put(1, "v2");
+  EXPECT_EQ(kv.get(1).value_or(""), "v2");
+}
+
+TEST(LsmKv, TombstoneHidesKey) {
+  LsmKv kv;
+  kv.put(1, "a");
+  kv.erase(1);
+  EXPECT_FALSE(kv.get(1).has_value());
+  kv.put(1, "b");
+  EXPECT_EQ(kv.get(1).value_or(""), "b");
+}
+
+TEST(LsmKv, RotationCreatesRuns) {
+  LsmKv::Options opt;
+  opt.memtable_limit = 16;
+  LsmKv kv(opt);
+  for (std::uint64_t i = 0; i < 100; ++i) kv.put(i, val_of(i));
+  EXPECT_GT(kv.num_runs(), 0u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(kv.get(i).value_or(""), val_of(i)) << i;
+  }
+}
+
+TEST(LsmKv, CompactionBoundsRunCount) {
+  LsmKv::Options opt;
+  opt.memtable_limit = 8;
+  opt.max_runs = 3;
+  LsmKv kv(opt);
+  for (std::uint64_t i = 0; i < 500; ++i) kv.put(i % 64, val_of(i));
+  EXPECT_LE(kv.num_runs(), 3u);
+}
+
+TEST(LsmKv, CompactAllPreservesData) {
+  LsmKv::Options opt;
+  opt.memtable_limit = 8;
+  LsmKv kv(opt);
+  for (std::uint64_t i = 0; i < 200; ++i) kv.put(i, val_of(i));
+  kv.erase(13);
+  kv.compact_all();
+  EXPECT_EQ(kv.num_runs(), 1u);
+  EXPECT_EQ(kv.memtable_entries(), 0u);
+  EXPECT_FALSE(kv.get(13).has_value());
+  EXPECT_EQ(kv.get(7).value_or(""), val_of(7));
+}
+
+TEST(LsmKv, SnapshotUnaffectedByLaterWrites) {
+  LsmKv kv;
+  kv.put(1, "old");
+  LsmKv::Snapshot snap = kv.snapshot();
+  kv.put(1, "new");
+  EXPECT_EQ(snap.get(1).value_or(""), "old");
+  EXPECT_EQ(kv.get(1).value_or(""), "new");
+}
+
+TEST(LsmKv, ConcurrentPutsAndGets) {
+  LsmKv::Options opt;
+  opt.memtable_limit = 64;
+  LsmKv kv(opt);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 11);
+      for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t k = rng.below(128);
+        if (rng.chance(0.5)) {
+          kv.put(k, val_of(k));
+        } else {
+          auto v = kv.get(k);
+          if (v.has_value()) {
+            EXPECT_EQ(*v, val_of(k));
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// --------------------------------------------------------------- MiniSql
+TEST(MiniSql, CreateTableOnce) {
+  MiniSql db;
+  EXPECT_TRUE(db.create_table("t"));
+  EXPECT_FALSE(db.create_table("t"));
+  EXPECT_TRUE(db.has_table("t"));
+  EXPECT_FALSE(db.has_table("u"));
+}
+
+TEST(MiniSql, InsertAndPointSelect) {
+  MiniSql db;
+  db.create_table("t");
+  EXPECT_TRUE(db.insert("t", {1, 10, "one"}));
+  EXPECT_TRUE(db.insert("t", {2, 20, "two"}));
+  auto row = db.select_point("t", 2);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->payload, "two");
+  EXPECT_FALSE(db.select_point("t", 3).has_value());
+}
+
+TEST(MiniSql, RangeSelectWithFilter) {
+  MiniSql db;
+  db.create_table("t");
+  for (std::int64_t i = 0; i < 100; ++i) {
+    db.insert("t", {i, i % 10, "row"});
+  }
+  auto rows = db.select_range("t", 10, 50, 5);
+  for (const auto& r : rows) {
+    EXPECT_GE(r.id, 10);
+    EXPECT_LE(r.id, 50);
+    EXPECT_GE(r.score, 5);
+  }
+  // ids 10..50 inclusive with score (id%10) >= 5: 5..9 in each decade.
+  EXPECT_EQ(rows.size(), 20u);
+}
+
+TEST(MiniSql, FullScanReturnsAllRows) {
+  MiniSql db;
+  db.create_table("t");
+  for (std::int64_t i = 0; i < 77; ++i) db.insert("t", {i, 0, "x"});
+  EXPECT_EQ(db.full_scan("t").size(), 77u);
+  EXPECT_EQ(db.table_rows("t"), 77u);
+}
+
+TEST(MiniSql, DeferredTxnTakesLocksLazily) {
+  MiniSql db;
+  db.create_table("t");
+  MiniSql::Txn txn = db.begin();
+  EXPECT_EQ(txn.state(), MiniSql::LockState::kUnlocked);  // DEFERRED
+  txn.select_point("t", 1);
+  EXPECT_EQ(txn.state(), MiniSql::LockState::kShared);
+  txn.insert("t", {1, 0, "x"});
+  EXPECT_EQ(txn.state(), MiniSql::LockState::kReserved);
+  EXPECT_TRUE(txn.commit());
+  EXPECT_EQ(db.global_state(), MiniSql::LockState::kUnlocked);
+}
+
+TEST(MiniSql, SecondWriterGetsBusy) {
+  MiniSql db;
+  db.create_table("t");
+  MiniSql::Txn w1 = db.begin();
+  EXPECT_TRUE(w1.insert("t", {1, 0, "a"}));
+  MiniSql::Txn w2 = db.begin();
+  EXPECT_FALSE(w2.insert("t", {2, 0, "b"}));  // SQLITE_BUSY
+  w2.rollback();
+  EXPECT_TRUE(w1.commit());
+  // After w1 commits, a new writer proceeds.
+  EXPECT_TRUE(db.insert("t", {2, 0, "b"}));
+  EXPECT_GT(db.busy_rejections(), 0u);
+}
+
+TEST(MiniSql, RollbackDiscardsWrites) {
+  MiniSql db;
+  db.create_table("t");
+  {
+    MiniSql::Txn txn = db.begin();
+    txn.insert("t", {1, 0, "x"});
+    txn.rollback();
+  }
+  EXPECT_EQ(db.table_rows("t"), 0u);
+  EXPECT_EQ(db.global_state(), MiniSql::LockState::kUnlocked);
+}
+
+TEST(MiniSql, DestructorRollsBack) {
+  MiniSql db;
+  db.create_table("t");
+  {
+    MiniSql::Txn txn = db.begin();
+    txn.insert("t", {1, 0, "x"});
+    // no commit
+  }
+  EXPECT_EQ(db.table_rows("t"), 0u);
+}
+
+TEST(MiniSql, ReadersCoexistWithReservedWriter) {
+  MiniSql db;
+  db.create_table("t");
+  db.insert("t", {1, 0, "x"});
+  MiniSql::Txn writer = db.begin();
+  EXPECT_TRUE(writer.insert("t", {2, 0, "y"}));  // RESERVED held
+  // A concurrent reader may still take SHARED.
+  MiniSql::Txn reader = db.begin();
+  EXPECT_TRUE(reader.select_point("t", 1).has_value());
+  reader.rollback();
+  EXPECT_TRUE(writer.commit());
+}
+
+TEST(MiniSql, ConcurrentTransactionsSerializeCorrectly) {
+  MiniSql db;
+  db.create_table("t");
+  constexpr int kThreads = 4;
+  constexpr int kPer = 300;
+  std::atomic<std::int64_t> next_id{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      int done = 0;
+      while (done < kPer) {
+        MiniSql::Txn txn = db.begin();
+        const std::int64_t id = next_id.fetch_add(1);
+        if (txn.insert("t", {id, id % 7, "p"})) {
+          ASSERT_TRUE(txn.commit());
+          ++done;
+        } else {
+          txn.rollback();  // busy: retry with a fresh id (ids may be sparse)
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db.table_rows("t"), static_cast<std::size_t>(kThreads) * kPer);
+  EXPECT_EQ(db.commits(), static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+}  // namespace
+}  // namespace asl::db

@@ -1,0 +1,270 @@
+// Extension-feature tests: condition variables over LibASL mutexes (litl
+// technique, Section 3.3) and the cohort-lock substrate (Section 3.4's
+// NUMA-aware composition).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "asl/condvar.h"
+#include "asl/libasl.h"
+#include "locks/cohort.h"
+#include "platform/time.h"
+#include "reorder/reorderable.h"
+
+namespace asl {
+namespace {
+
+// ----------------------------------------------------------------- CondVar
+
+TEST(CondVar, SignalWakesWaiter) {
+  AslMutex<McsLock> mutex;
+  CondVar cv;
+  std::atomic<bool> ready{false};
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    mutex.lock();
+    ready.store(true);
+    while (!woke.load()) {
+      cv.wait(mutex);
+      woke.store(true);
+    }
+    mutex.unlock();
+  });
+  while (!ready.load()) {
+  }
+  // Signal until the waiter confirms (closes startup races).
+  while (!woke.load()) {
+    cv.signal();
+    sleep_ns(kNanosPerMilli);
+  }
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(CondVar, WaitReleasesAndReacquiresMutex) {
+  AslMutex<McsLock> mutex;
+  CondVar cv;
+  std::atomic<int> stage{0};
+  std::thread waiter([&] {
+    mutex.lock();
+    stage.store(1);
+    cv.wait(mutex);
+    // Mutex must be held again here.
+    EXPECT_FALSE(mutex.is_free());
+    stage.store(2);
+    mutex.unlock();
+  });
+  while (stage.load() != 1) {
+  }
+  // The waiter is blocked in wait(): the mutex must be acquirable.
+  bool acquired = false;
+  for (int i = 0; i < 1000 && !acquired; ++i) {
+    acquired = mutex.try_lock();
+    sleep_ns(kNanosPerMilli);
+  }
+  ASSERT_TRUE(acquired) << "wait() did not release the mutex";
+  mutex.unlock();
+  while (stage.load() != 2) {
+    cv.signal();
+    sleep_ns(kNanosPerMilli);
+  }
+  waiter.join();
+}
+
+TEST(CondVar, TimedWaitTimesOut) {
+  AslMutex<McsLock> mutex;
+  CondVar cv;
+  mutex.lock();
+  const Nanos t0 = now_ns();
+  const bool signalled = cv.wait_for(mutex, 20 * kNanosPerMilli);
+  const Nanos elapsed = now_ns() - t0;
+  EXPECT_FALSE(signalled);
+  EXPECT_GE(elapsed, 15 * kNanosPerMilli);
+  EXPECT_FALSE(mutex.is_free());  // reacquired after timeout
+  mutex.unlock();
+}
+
+TEST(CondVar, ProducerConsumerQueue) {
+  AslMutex<McsLock> mutex;
+  CondVar cv;
+  std::deque<int> queue;
+  constexpr int kItems = 2000;
+  std::int64_t consumed_sum = 0;
+
+  std::thread consumer([&] {
+    ScopedCoreType little(CoreType::kLittle);
+    for (int i = 0; i < kItems; ++i) {
+      mutex.lock();
+      while (queue.empty()) {
+        cv.wait(mutex);
+      }
+      consumed_sum += queue.front();
+      queue.pop_front();
+      mutex.unlock();
+    }
+  });
+  std::thread producer([&] {
+    ScopedCoreType big(CoreType::kBig);
+    for (int i = 0; i < kItems; ++i) {
+      mutex.lock();
+      queue.push_back(i);
+      mutex.unlock();
+      cv.signal();
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(consumed_sum,
+            static_cast<std::int64_t>(kItems) * (kItems - 1) / 2);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CondVar, BroadcastWakesAllWaiters) {
+  AslMutex<McsLock> mutex;
+  CondVar cv;
+  constexpr int kWaiters = 4;
+  std::atomic<int> waiting{0};
+  std::atomic<bool> go{false};
+  std::atomic<int> woke{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kWaiters; ++i) {
+    threads.emplace_back([&] {
+      mutex.lock();
+      waiting.fetch_add(1);
+      while (!go.load()) {
+        cv.wait(mutex);
+      }
+      woke.fetch_add(1);
+      mutex.unlock();
+    });
+  }
+  while (waiting.load() != kWaiters) {
+  }
+  sleep_ns(10 * kNanosPerMilli);  // let them reach cv.wait
+  go.store(true);
+  while (woke.load() != kWaiters) {
+    cv.broadcast();
+    sleep_ns(kNanosPerMilli);
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(woke.load(), kWaiters);
+}
+
+// -------------------------------------------------------------- CohortLock
+
+TEST(CohortLock, SatisfiesLockable) {
+  static_assert(Lockable<CohortLock<2>>);
+  CohortLock<2> lock;
+  EXPECT_TRUE(lock.is_free());
+  lock.lock();
+  EXPECT_FALSE(lock.is_free());
+  lock.unlock();
+  EXPECT_TRUE(lock.is_free());
+}
+
+TEST(CohortLock, TryLockSemantics) {
+  CohortLock<2> lock;
+  EXPECT_TRUE(lock.try_lock());
+  std::atomic<int> other{-1};
+  std::thread([&] { other = lock.try_lock() ? 1 : 0; }).join();
+  EXPECT_EQ(other.load(), 0);
+  lock.unlock();
+  EXPECT_TRUE(lock.is_free());
+}
+
+TEST(CohortLock, MutualExclusionAcrossNodes) {
+  CohortLock<2> lock;
+  std::uint64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 8000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      CohortLock<2>::set_this_thread_node(static_cast<std::uint32_t>(t % 2));
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        counter = counter + 1;
+        lock.unlock();
+      }
+      CohortLock<2>::clear_this_thread_node();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(CohortLock, BatchBudgetEventuallyRotatesNodes) {
+  // Two threads on node 0 churn the lock; a thread on node 1 must still get
+  // it (the batch budget bounds in-node passing).
+  CohortLock<2, /*kBatch=*/8> lock;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> node1_got_lock{false};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 2; ++t) {
+    churners.emplace_back([&] {
+      CohortLock<2, 8>::set_this_thread_node(0);
+      while (!stop.load()) {
+        lock.lock();
+        lock.unlock();
+      }
+      CohortLock<2, 8>::clear_this_thread_node();
+    });
+  }
+  std::thread other([&] {
+    CohortLock<2, 8>::set_this_thread_node(1);
+    lock.lock();
+    node1_got_lock.store(true);
+    lock.unlock();
+    CohortLock<2, 8>::clear_this_thread_node();
+  });
+  other.join();
+  stop.store(true);
+  for (auto& t : churners) t.join();
+  EXPECT_TRUE(node1_got_lock.load());
+}
+
+TEST(CohortLock, ComposesUnderReorderableLock) {
+  // Section 3.4: reorderable layer over a NUMA-aware substrate.
+  ReorderableLock<CohortLock<2>> lock;
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 4000; ++i) {
+        if (t % 2 == 0) {
+          lock.lock_immediately();
+        } else {
+          lock.lock_reorder(5 * kNanosPerMicro);
+        }
+        counter = counter + 1;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 16000u);
+}
+
+TEST(CohortLock, ComposesUnderAslMutex) {
+  AslMutex<CohortLock<2>> mutex;
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      ScopedCoreType scoped(t < 2 ? CoreType::kBig : CoreType::kLittle);
+      for (int i = 0; i < 4000; ++i) {
+        mutex.lock();
+        counter = counter + 1;
+        mutex.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 16000u);
+}
+
+}  // namespace
+}  // namespace asl

@@ -1,0 +1,127 @@
+// Real-thread harness tests: worker roles, fixed-duration runs, latency
+// split accounting, workload helpers.
+#include <gtest/gtest.h>
+
+#include "harness/latency_split.h"
+#include "harness/runner.h"
+#include "workload/cs_workload.h"
+
+namespace asl {
+namespace {
+
+TEST(LatencySplit, RoutesByCore) {
+  LatencySplit split;
+  split.record(CoreType::kBig, 100);
+  split.record(CoreType::kLittle, 2000);
+  EXPECT_EQ(split.overall().count(), 2u);
+  EXPECT_EQ(split.big().count(), 1u);
+  EXPECT_EQ(split.little().count(), 1u);
+  EXPECT_LT(split.p99_big(), split.p99_little());
+}
+
+TEST(LatencySplit, MergeAccumulates) {
+  LatencySplit a, b;
+  a.record(CoreType::kBig, 10);
+  b.record(CoreType::kBig, 20);
+  b.record(CoreType::kLittle, 30);
+  a.merge(b);
+  EXPECT_EQ(a.overall().count(), 3u);
+  EXPECT_EQ(a.big().count(), 2u);
+  EXPECT_EQ(a.little().count(), 1u);
+}
+
+TEST(M1Layout, FourBigThenLittle) {
+  auto roles = m1_layout(8);
+  ASSERT_EQ(roles.size(), 8u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(roles[i].type, CoreType::kBig) << i;
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    EXPECT_EQ(roles[i].type, CoreType::kLittle) << i;
+    EXPECT_GT(roles[i].speed.cs_scale, 1.0);
+  }
+}
+
+TEST(M1Layout, FewThreadsAllBig) {
+  auto roles = m1_layout(3);
+  ASSERT_EQ(roles.size(), 3u);
+  for (const auto& r : roles) EXPECT_EQ(r.type, CoreType::kBig);
+}
+
+TEST(SharedRegion, RmwTouchesRequestedLines) {
+  SharedRegion region(8);
+  region.rmw(0, 4, 3);  // lines 0..3, three times
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(region.line_value(i), 3u);
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_EQ(region.line_value(i), 0u);
+}
+
+TEST(SharedRegion, RmwWrapsAround) {
+  SharedRegion region(4);
+  region.rmw(3, 2, 1);  // lines 3 and 0
+  EXPECT_EQ(region.line_value(3), 1u);
+  EXPECT_EQ(region.line_value(0), 1u);
+}
+
+TEST(SpeedFactors, ScalesWork) {
+  SpeedFactors little = SpeedFactors::little(3.5, 1.8);
+  EXPECT_EQ(little.scale_cs(100), 350u);
+  EXPECT_EQ(little.scale_ncs(100), 180u);
+  SpeedFactors big = SpeedFactors::big();
+  EXPECT_EQ(big.scale_cs(100), 100u);
+}
+
+TEST(Runner, RunsForApproxDuration) {
+  auto roles = m1_layout(2);
+  const Nanos duration = 50 * kNanosPerMilli;
+  RunStats stats = run_fixed_duration(
+      roles, duration, [](const WorkerCtx&) -> WorkerBody {
+        return [](WorkerCtx& ctx) {
+          spin_nops(1000);
+          ctx.ops += 1;
+        };
+      });
+  EXPECT_GE(stats.elapsed, duration);
+  EXPECT_LT(stats.elapsed, duration * 10);  // generous: CI jitter
+  EXPECT_GT(stats.total_ops, 0u);
+  EXPECT_GT(stats.throughput_ops_per_sec(), 0.0);
+}
+
+TEST(Runner, WorkersSeeTheirDeclaredCoreType) {
+  auto roles = m1_layout(4, /*num_big=*/2);
+  std::atomic<int> big_seen{0};
+  std::atomic<int> little_seen{0};
+  run_fixed_duration(roles, 10 * kNanosPerMilli,
+                     [&](const WorkerCtx& ctx) -> WorkerBody {
+                       if (is_big_core()) {
+                         big_seen.fetch_add(1);
+                       } else {
+                         little_seen.fetch_add(1);
+                       }
+                       (void)ctx;
+                       return [](WorkerCtx& c) {
+                         spin_nops(100);
+                         c.ops += 1;
+                       };
+                     });
+  EXPECT_EQ(big_seen.load(), 2);
+  EXPECT_EQ(little_seen.load(), 2);
+}
+
+TEST(Runner, LatencyRecordsMergeAcrossWorkers) {
+  auto roles = m1_layout(2, 1);
+  RunStats stats = run_fixed_duration(
+      roles, 20 * kNanosPerMilli, [](const WorkerCtx&) -> WorkerBody {
+        return [](WorkerCtx& ctx) {
+          const Nanos t0 = now_ns();
+          spin_nops(500);
+          ctx.record_latency(now_ns() - t0);
+          ctx.ops += 1;
+        };
+      });
+  EXPECT_GT(stats.latency.overall().count(), 0u);
+  EXPECT_GT(stats.latency.big().count(), 0u);
+  EXPECT_GT(stats.latency.little().count(), 0u);
+}
+
+}  // namespace
+}  // namespace asl

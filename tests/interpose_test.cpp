@@ -1,0 +1,91 @@
+// pthread interposition shim tests. This binary links libasl_pthread ahead
+// of libpthread, so pthread_mutex_lock here resolves to the LibASL shim —
+// the Section 3.3 deployment, in-process.
+#include <gtest/gtest.h>
+#include <pthread.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "asl/interpose.h"
+#include "platform/topology.h"
+
+namespace {
+
+TEST(Interpose, RedirectsPthreadMutexLock) {
+  const std::uint64_t before = asl_interpose_redirect_count();
+  pthread_mutex_t mutex = PTHREAD_MUTEX_INITIALIZER;
+  pthread_mutex_lock(&mutex);
+  pthread_mutex_unlock(&mutex);
+  EXPECT_GT(asl_interpose_redirect_count(), before);
+}
+
+TEST(Interpose, TrylockSemantics) {
+  pthread_mutex_t mutex = PTHREAD_MUTEX_INITIALIZER;
+  EXPECT_EQ(pthread_mutex_trylock(&mutex), 0);
+  std::atomic<int> second{-1};
+  std::thread([&] { second = pthread_mutex_trylock(&mutex); }).join();
+  EXPECT_EQ(second.load(), 16);  // EBUSY
+  EXPECT_EQ(pthread_mutex_unlock(&mutex), 0);
+  EXPECT_EQ(pthread_mutex_trylock(&mutex), 0);
+  pthread_mutex_unlock(&mutex);
+}
+
+TEST(Interpose, MutualExclusionThroughShim) {
+  pthread_mutex_t mutex = PTHREAD_MUTEX_INITIALIZER;
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        pthread_mutex_lock(&mutex);
+        counter = counter + 1;
+        pthread_mutex_unlock(&mutex);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 20000u);
+}
+
+TEST(Interpose, DistinctMutexesGetDistinctShadows) {
+  pthread_mutex_t a = PTHREAD_MUTEX_INITIALIZER;
+  pthread_mutex_t b = PTHREAD_MUTEX_INITIALIZER;
+  pthread_mutex_lock(&a);
+  // If a and b shared a shadow, this would deadlock.
+  pthread_mutex_lock(&b);
+  pthread_mutex_unlock(&b);
+  pthread_mutex_unlock(&a);
+  SUCCEED();
+}
+
+TEST(Interpose, EpochApiExported) {
+  asl::ScopedCoreType little(asl::CoreType::kLittle);
+  EXPECT_EQ(asl_epoch_start(1), 0);
+  EXPECT_EQ(asl_epoch_end(1, 1'000'000), 0);
+  EXPECT_EQ(asl_epoch_start(-1), -1);
+}
+
+TEST(Interpose, WorksAcrossCoreTypes) {
+  pthread_mutex_t mutex = PTHREAD_MUTEX_INITIALIZER;
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      asl::ScopedCoreType scoped(t < 2 ? asl::CoreType::kBig
+                                       : asl::CoreType::kLittle);
+      asl_epoch_start(2);
+      for (int i = 0; i < 2000; ++i) {
+        pthread_mutex_lock(&mutex);
+        counter = counter + 1;
+        pthread_mutex_unlock(&mutex);
+      }
+      asl_epoch_end(2, 50'000);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 8000u);
+}
+
+}  // namespace

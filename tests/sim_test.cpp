@@ -1,0 +1,407 @@
+// Simulator unit tests: engine ordering/determinism, lock models, runner
+// accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "platform/rng.h"
+#include "sim/core_model.h"
+#include "sim/db_model.h"
+#include "sim/engine.h"
+#include "sim/sim_lock.h"
+#include "sim/sim_runner.h"
+
+namespace asl::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(30, [&] { order.push_back(3); });
+  eng.at(10, [&] { order.push_back(1); });
+  eng.at(20, [&] { order.push_back(2); });
+  eng.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.executed(), 3u);
+}
+
+TEST(Engine, TiesBreakByScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(10, [&] { order.push_back(1); });
+  eng.at(10, [&] { order.push_back(2); });
+  eng.at(10, [&] { order.push_back(3); });
+  eng.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, NowAdvancesWithEvents) {
+  Engine eng;
+  Time seen = 0;
+  eng.at(100, [&] { seen = eng.now(); });
+  eng.run_all();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine eng;
+  int fired = 0;
+  eng.at(10, [&] {
+    eng.after(5, [&] { fired = 1; });
+  });
+  eng.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 15u);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.at(10, [&] { ++fired; });
+  eng.at(100, [&] { ++fired; });
+  eng.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 50u);
+  EXPECT_EQ(eng.pending(), 1u);
+}
+
+TEST(Engine, PastTimesClampToNow) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(50, [&] {
+    order.push_back(1);
+    eng.at(10, [&] { order.push_back(2); });  // in the past: runs "now"
+  });
+  eng.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eng.now(), 50u);
+}
+
+class SimLockTest : public ::testing::Test {
+ protected:
+  Engine eng;
+  MachineParams mp;
+  Rng rng{7};
+  Core big_core{0, CoreType::kBig, 1};
+  Core little_core{4, CoreType::kLittle, 1};
+
+  SimThread make_thread(std::uint32_t id, Core* core) {
+    SimThread t;
+    t.id = id;
+    t.core = core;
+    return t;
+  }
+};
+
+TEST_F(SimLockTest, FifoGrantsInArrivalOrder) {
+  auto lock = make_sim_lock(LockKind::kMcs, &eng, &mp, &rng);
+  SimThread a = make_thread(0, &big_core);
+  SimThread b = make_thread(1, &big_core);
+  SimThread c = make_thread(2, &little_core);
+  std::vector<int> order;
+  lock->acquire(&a, AcquireMode::kImmediate, 0, [&] { order.push_back(0); });
+  eng.run_all();  // a holds
+  lock->acquire(&b, AcquireMode::kImmediate, 0, [&] { order.push_back(1); });
+  lock->acquire(&c, AcquireMode::kImmediate, 0, [&] { order.push_back(2); });
+  lock->release(&a);
+  eng.run_all();
+  lock->release(&b);
+  eng.run_all();
+  lock->release(&c);
+  eng.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(lock->is_free());
+}
+
+TEST_F(SimLockTest, TicketHandoverCostExceedsMcs) {
+  // Same arrival pattern; ticket's grant must land later than MCS's due to
+  // the per-waiter broadcast cost.
+  auto run_one = [&](LockKind kind) {
+    Engine local;
+    Rng r(7);
+    auto lock = make_sim_lock(kind, &local, &mp, &r);
+    SimThread a = make_thread(0, &big_core);
+    SimThread b = make_thread(1, &big_core);
+    SimThread c = make_thread(2, &big_core);
+    Time granted_b = 0;
+    lock->acquire(&a, AcquireMode::kImmediate, 0, [] {});
+    local.run_all();
+    lock->acquire(&b, AcquireMode::kImmediate, 0,
+                  [&] { granted_b = local.now(); });
+    lock->acquire(&c, AcquireMode::kImmediate, 0, [] {});
+    lock->release(&a);
+    local.run_all();
+    return granted_b;
+  };
+  EXPECT_GT(run_one(LockKind::kTicket), run_one(LockKind::kMcs));
+}
+
+TEST_F(SimLockTest, TasBigAffinityFavorsBigCores) {
+  mp.tas_affinity = TasAffinity::kBigCores;
+  mp.tas_affinity_weight = 8.0;
+  auto lock = make_sim_lock(LockKind::kTas, &eng, &mp, &rng);
+  SimThread holder = make_thread(9, &big_core);
+  SimThread big = make_thread(0, &big_core);
+  SimThread little = make_thread(1, &little_core);
+  int big_wins = 0;
+  constexpr int kRounds = 400;
+  for (int i = 0; i < kRounds; ++i) {
+    bool big_won = false;
+    lock->acquire(&holder, AcquireMode::kImmediate, 0, [] {});
+    eng.run_all();
+    lock->acquire(&big, AcquireMode::kImmediate, 0,
+                  [&] { big_won = true; });
+    lock->acquire(&little, AcquireMode::kImmediate, 0,
+                  [&] { big_won = false; });
+    lock->release(&holder);
+    eng.run_all();
+    // Winner holds; loser still spins. Release winner, then the loser gets
+    // it; release again to drain.
+    big_wins += big_won ? 1 : 0;
+    lock->release(big_won ? &big : &little);
+    eng.run_all();
+    lock->release(big_won ? &little : &big);
+    eng.run_all();
+  }
+  // Weight 8: expect ~8/9 of contended wins for the big core.
+  EXPECT_GT(big_wins, kRounds * 7 / 10);
+}
+
+TEST_F(SimLockTest, TasSymmetricIsFairish) {
+  mp.tas_affinity = TasAffinity::kSymmetric;
+  auto lock = make_sim_lock(LockKind::kTas, &eng, &mp, &rng);
+  SimThread holder = make_thread(9, &big_core);
+  SimThread big = make_thread(0, &big_core);
+  SimThread little = make_thread(1, &little_core);
+  int big_wins = 0;
+  constexpr int kRounds = 600;
+  for (int i = 0; i < kRounds; ++i) {
+    bool big_won = false;
+    lock->acquire(&holder, AcquireMode::kImmediate, 0, [] {});
+    eng.run_all();
+    lock->acquire(&big, AcquireMode::kImmediate, 0, [&] { big_won = true; });
+    lock->acquire(&little, AcquireMode::kImmediate, 0,
+                  [&] { big_won = false; });
+    lock->release(&holder);
+    eng.run_all();
+    big_wins += big_won ? 1 : 0;
+    lock->release(big_won ? &big : &little);
+    eng.run_all();
+    lock->release(big_won ? &little : &big);
+    eng.run_all();
+  }
+  EXPECT_GT(big_wins, kRounds * 35 / 100);
+  EXPECT_LT(big_wins, kRounds * 65 / 100);
+}
+
+TEST_F(SimLockTest, ReorderableImmediateOvertakesStandby) {
+  auto lock = make_sim_lock(LockKind::kReorderable, &eng, &mp, &rng);
+  SimThread holder = make_thread(0, &big_core);
+  SimThread standby = make_thread(1, &little_core);
+  SimThread imm = make_thread(2, &big_core);
+  std::vector<int> order;
+  lock->acquire(&holder, AcquireMode::kImmediate, 0, [] {});
+  eng.run_all();
+  lock->acquire(&standby, AcquireMode::kReorder, 50 * kMilli,
+                [&] { order.push_back(1); });
+  lock->acquire(&imm, AcquireMode::kImmediate, 0, [&] { order.push_back(0); });
+  lock->release(&holder);
+  eng.run_all();  // immediate gets it; standby still waiting
+  lock->release(&imm);
+  eng.run_all();  // queue empty -> standby claims on next poll
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  lock->release(&standby);
+  eng.run_all();
+  EXPECT_TRUE(lock->is_free());
+}
+
+TEST_F(SimLockTest, ReorderableWindowExpiryEnqueues) {
+  auto lock = make_sim_lock(LockKind::kReorderable, &eng, &mp, &rng);
+  SimThread holder = make_thread(0, &big_core);
+  SimThread standby = make_thread(1, &little_core);
+  Time granted_at = 0;
+  lock->acquire(&holder, AcquireMode::kImmediate, 0, [] {});
+  eng.run_all();
+  const Time window = 2 * kMilli;
+  lock->acquire(&standby, AcquireMode::kReorder, window,
+                [&] { granted_at = eng.now(); });
+  // Hold far beyond the window; the standby must enqueue at expiry and be
+  // granted on release.
+  eng.run_until(5 * kMilli);
+  lock->release(&holder);
+  eng.run_all();
+  EXPECT_GE(granted_at, window);
+  EXPECT_GT(granted_at, 0u);
+}
+
+TEST_F(SimLockTest, PthreadWakeupCostOnHandover) {
+  auto lock = make_sim_lock(LockKind::kPthread, &eng, &mp, &rng);
+  SimThread a = make_thread(0, &big_core);
+  SimThread b = make_thread(1, &big_core);
+  Time granted_b = 0;
+  lock->acquire(&a, AcquireMode::kImmediate, 0, [] {});
+  eng.run_all();
+  lock->acquire(&b, AcquireMode::kImmediate, 0, [&] { granted_b = eng.now(); });
+  EXPECT_EQ(big_core.runnable, 0u);  // b parked (started at 1, decremented)
+  const Time released_at = eng.now();
+  lock->release(&a);
+  eng.run_all();
+  EXPECT_GE(granted_b - released_at, mp.wakeup_latency);
+  EXPECT_EQ(big_core.runnable, 1u);  // b woke
+}
+
+TEST_F(SimLockTest, StpParksAfterSpinBudgetAndPaysWakeup) {
+  auto lock = make_sim_lock(LockKind::kStpMcs, &eng, &mp, &rng);
+  SimThread a = make_thread(0, &big_core);
+  SimThread b = make_thread(1, &big_core);
+  Time granted_b = 0;
+  lock->acquire(&a, AcquireMode::kImmediate, 0, [] {});
+  eng.run_all();
+  lock->acquire(&b, AcquireMode::kImmediate, 0, [&] { granted_b = eng.now(); });
+  eng.run_until(eng.now() + 100 * kMicro);  // exceed the spin budget: parks
+  EXPECT_EQ(big_core.runnable, 0u);
+  const Time released_at = eng.now();
+  lock->release(&a);
+  eng.run_all();
+  EXPECT_GE(granted_b - released_at, mp.wakeup_latency);
+}
+
+TEST_F(SimLockTest, ShflPbRotation) {
+  auto lock = make_sim_lock(LockKind::kShflPb, &eng, &mp, &rng,
+                            /*pb_proportion=*/2);
+  SimThread holder = make_thread(0, &big_core);
+  SimThread b1 = make_thread(1, &big_core);
+  SimThread b2 = make_thread(2, &big_core);
+  SimThread b3 = make_thread(3, &big_core);
+  SimThread l1 = make_thread(4, &little_core);
+  std::vector<int> order;
+  lock->acquire(&holder, AcquireMode::kImmediate, 0, [] {});
+  eng.run_all();
+  lock->acquire(&l1, AcquireMode::kImmediate, 0, [&] { order.push_back(100); });
+  lock->acquire(&b1, AcquireMode::kImmediate, 0, [&] { order.push_back(1); });
+  lock->acquire(&b2, AcquireMode::kImmediate, 0, [&] { order.push_back(2); });
+  lock->acquire(&b3, AcquireMode::kImmediate, 0, [&] { order.push_back(3); });
+  SimThread* held[] = {&holder, &b1, &b2, &l1, &b3};
+  for (SimThread* t : held) {
+    lock->release(t);
+    eng.run_all();
+  }
+  // Proportion 2: two bigs, then the little, then remaining big.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 100, 3}));
+}
+
+TEST(SimRunner, DeterministicForSameSeed) {
+  SimConfig cfg;
+  cfg.warmup = 1 * kMilli;
+  cfg.measure = 20 * kMilli;
+  cfg.lock = LockKind::kTas;
+  auto gen = single_cs_workload(100, 200);
+  SimResult a = run_sim(cfg, gen);
+  SimResult b = run_sim(cfg, gen);
+  EXPECT_EQ(a.cs_total, b.cs_total);
+  EXPECT_EQ(a.latency.p99_overall(), b.latency.p99_overall());
+}
+
+TEST(SimRunner, SeedChangesTasOutcome) {
+  SimConfig cfg;
+  cfg.warmup = 1 * kMilli;
+  cfg.measure = 20 * kMilli;
+  cfg.lock = LockKind::kTas;
+  auto gen = single_cs_workload(100, 200);
+  SimResult a = run_sim(cfg, gen);
+  cfg.seed = 1234;
+  SimResult b = run_sim(cfg, gen);
+  EXPECT_NE(a.cs_total, b.cs_total);  // randomized TAS winners
+}
+
+TEST(SimRunner, ThroughputAccountingConsistent) {
+  SimConfig cfg;
+  cfg.warmup = 0;
+  cfg.measure = 50 * kMilli;
+  cfg.big_threads = 2;
+  cfg.little_threads = 2;
+  auto gen = single_cs_workload(100, 200);
+  SimResult r = run_sim(cfg, gen);
+  EXPECT_EQ(r.cs_total, r.cs_big + r.cs_little);
+  EXPECT_GT(r.cs_total, 0u);
+  EXPECT_GT(r.cs_throughput(), 0.0);
+  // Single-section epochs: epoch count equals CS count.
+  EXPECT_EQ(r.epochs, r.cs_total);
+}
+
+TEST(SimRunner, LittleCoresExecuteSlower) {
+  // One big thread alone vs one little thread alone: the big thread must
+  // complete ~cs_slowdown x more critical sections.
+  SimConfig big_only;
+  big_only.big_threads = 1;
+  big_only.little_threads = 0;
+  big_only.warmup = 0;
+  big_only.measure = 20 * kMilli;
+  SimConfig little_only = big_only;
+  little_only.big_threads = 0;
+  little_only.little_threads = 1;
+  auto gen = single_cs_workload(1000, 0);
+  SimResult rb = run_sim(big_only, gen);
+  SimResult rl = run_sim(little_only, gen);
+  const double ratio = rb.cs_throughput() / rl.cs_throughput();
+  EXPECT_GT(ratio, big_only.machine.little_cs_slowdown * 0.7);
+  EXPECT_LT(ratio, big_only.machine.little_cs_slowdown * 1.3);
+}
+
+TEST(SimRunner, RecordSeriesCapturesEpochs) {
+  SimConfig cfg;
+  cfg.warmup = 0;
+  cfg.measure = 10 * kMilli;
+  cfg.record_series = true;
+  cfg.big_threads = 1;
+  cfg.little_threads = 1;
+  auto gen = single_cs_workload(500, 500);
+  SimResult r = run_sim(cfg, gen);
+  EXPECT_FALSE(r.big_series.empty());
+  EXPECT_FALSE(r.little_series.empty());
+}
+
+TEST(DbModel, AllModelsProduceValidPlans) {
+  for (DbKind kind : {DbKind::kKyoto, DbKind::kUpscaleDb, DbKind::kLmdb,
+                      DbKind::kLevelDb, DbKind::kSqlite}) {
+    DbWorkload w = make_db_workload(kind);
+    EXPECT_NE(std::string(w.name), "");
+    Rng rng(1);
+    SimThread t;
+    Core core{0, CoreType::kBig, 1};
+    t.core = &core;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+      EpochPlan plan = w.gen(t, i, 0, rng);
+      ASSERT_FALSE(plan.sections.empty());
+      for (const Section& s : plan.sections) {
+        ASSERT_LT(s.lock, w.num_locks) << w.name;
+        ASSERT_GT(s.cs, 0u);
+      }
+    }
+  }
+}
+
+TEST(DbModel, SqliteHasRareGiantEpochs) {
+  DbWorkload w = make_db_workload(DbKind::kSqlite);
+  Rng rng(1);
+  SimThread t;
+  Core core{0, CoreType::kBig, 1};
+  t.core = &core;
+  Time normal_max = 0, giant = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EpochPlan plan = w.gen(t, i, 0, rng);
+    Time total = 0;
+    for (const Section& s : plan.sections) total += s.cs;
+    if (i % 1000 == 999) {
+      giant = total;
+    } else {
+      normal_max = std::max(normal_max, total);
+    }
+  }
+  EXPECT_GT(giant, normal_max * 5);
+}
+
+}  // namespace
+}  // namespace asl::sim

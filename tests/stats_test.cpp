@@ -1,0 +1,278 @@
+// Statistics substrate tests: histogram vs exact-percentile oracle
+// (parameterized over distributions), CDF, merge, streaming stats, time
+// series, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "platform/rng.h"
+#include "stats/histogram.h"
+#include "stats/percentile.h"
+#include "stats/streaming.h"
+#include "stats/table.h"
+#include "stats/timeseries.h"
+
+namespace asl {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 12345u);
+  EXPECT_EQ(h.min(), 12345u);
+  // Quantile returns the bucket's upper edge clamped to max.
+  EXPECT_EQ(h.p99(), 12345u);
+  EXPECT_EQ(h.value_at_quantile(0.0), 12345u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Octave 0 buckets are width-1: values < kSubBuckets report exactly.
+  Histogram h;
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_upper_edge(Histogram::bucket_index(v)), v);
+  }
+}
+
+TEST(Histogram, BucketIndexMonotone) {
+  std::uint32_t prev = 0;
+  for (std::uint64_t v = 1; v < (1ULL << 30); v = v * 3 / 2 + 1) {
+    const std::uint32_t idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(Histogram, BucketRelativeErrorBounded) {
+  // The reported value (bucket upper edge) overestimates by < 1/kSubBuckets.
+  for (std::uint64_t v = 100; v < (1ULL << 40); v *= 7) {
+    const std::uint64_t edge =
+        Histogram::bucket_upper_edge(Histogram::bucket_index(v));
+    EXPECT_GE(edge, v);
+    EXPECT_LE(static_cast<double>(edge - v) / static_cast<double>(v),
+              2.0 / Histogram::kSubBuckets);
+  }
+}
+
+TEST(Histogram, RecordNMatchesRepeatedRecord) {
+  Histogram a, b;
+  a.record_n(777, 5);
+  for (int i = 0; i < 5; ++i) b.record(777);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.p99(), b.p99());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(Histogram, MergeCombinesCountsAndExtremes) {
+  Histogram a, b;
+  a.record(10);
+  b.record(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtOne) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.record(rng.below(1 << 20));
+  auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev = 0;
+  std::uint64_t prev_v = 0;
+  for (const auto& p : cdf) {
+    EXPECT_GE(p.cumulative, prev);
+    EXPECT_GE(p.value, prev_v);
+    prev = p.cumulative;
+    prev_v = p.value;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+}
+
+// Parameterized distribution sweep: histogram P50/P99/P999 must agree with
+// the exact oracle within the bucket quantization error.
+struct DistroCase {
+  const char* name;
+  std::uint64_t (*draw)(Rng&);
+};
+
+std::uint64_t draw_uniform(Rng& rng) { return rng.below(1'000'000); }
+std::uint64_t draw_exponentialish(Rng& rng) {
+  return static_cast<std::uint64_t>(-std::log(1.0 - rng.uniform()) * 50'000.0);
+}
+std::uint64_t draw_bimodal(Rng& rng) {
+  return rng.chance(0.9) ? rng.below(10'000) : 1'000'000 + rng.below(100'000);
+}
+std::uint64_t draw_constant(Rng&) { return 77'777; }
+std::uint64_t draw_heavy_tail(Rng& rng) {
+  const double u = rng.uniform();
+  return static_cast<std::uint64_t>(1000.0 / std::pow(1.0 - u, 1.5));
+}
+
+class HistogramDistro : public ::testing::TestWithParam<DistroCase> {};
+
+TEST_P(HistogramDistro, MatchesExactOracle) {
+  const DistroCase& c = GetParam();
+  Histogram h;
+  ExactSample exact;
+  Rng rng(99);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = c.draw(rng);
+    h.record(v);
+    exact.record(v);
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto approx = static_cast<double>(h.value_at_quantile(q));
+    const auto truth = static_cast<double>(exact.value_at_quantile(q));
+    // Allow bucket quantization (~1.6%) plus rank-vs-edge slack.
+    EXPECT_LE(std::abs(approx - truth), truth * 0.05 + 2.0)
+        << c.name << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, HistogramDistro,
+    ::testing::Values(DistroCase{"uniform", draw_uniform},
+                      DistroCase{"exponential", draw_exponentialish},
+                      DistroCase{"bimodal", draw_bimodal},
+                      DistroCase{"constant", draw_constant},
+                      DistroCase{"heavy_tail", draw_heavy_tail}),
+    [](const ::testing::TestParamInfo<DistroCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ExactSample, NearestRankDefinition) {
+  ExactSample s;
+  for (std::uint64_t v = 1; v <= 100; ++v) s.record(v);
+  EXPECT_EQ(s.value_at_quantile(0.50), 50u);
+  EXPECT_EQ(s.value_at_quantile(0.99), 99u);
+  EXPECT_EQ(s.value_at_quantile(1.0), 100u);
+  EXPECT_EQ(s.value_at_quantile(0.0), 1u);
+}
+
+TEST(StreamingStats, Basics) {
+  StreamingStats s;
+  s.record(1);
+  s.record(3);
+  s.record(2);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(StreamingStats, MergeEquivalentToCombinedStream) {
+  StreamingStats a, b, all;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform() * 100;
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.record(5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(TimeSeries, RecordsInOrder) {
+  TimeSeries ts;
+  ts.record(1, 10);
+  ts.record(2, 20);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.points()[0].t, 1u);
+  EXPECT_EQ(ts.points()[1].v, 20u);
+}
+
+TEST(TimeSeries, DownsampleKeepsSpikes) {
+  TimeSeries ts;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ts.record(i, i == 500 ? 999999u : 10u);
+  }
+  TimeSeries down = ts.downsample_keep_max(50);
+  EXPECT_LE(down.size(), 51u);
+  bool found_spike = false;
+  for (const auto& p : down.points()) found_spike |= p.v == 999999u;
+  EXPECT_TRUE(found_spike);
+}
+
+TEST(TimeSeries, MaxInWindow) {
+  TimeSeries ts;
+  ts.record(10, 5);
+  ts.record(20, 50);
+  ts.record(30, 7);
+  EXPECT_EQ(ts.max_in(0, 15), 5u);
+  EXPECT_EQ(ts.max_in(0, 25), 50u);
+  EXPECT_EQ(ts.max_in(25, 40), 7u);
+  EXPECT_EQ(ts.max_in(40, 50), 0u);
+}
+
+TEST(Table, AlignedOutputContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(1.234, 2), "1.23");
+  EXPECT_EQ(Table::fmt_ns_as_us(1500, 1), "1.5");
+  EXPECT_EQ(Table::fmt_ops(2.5e6), "2.5e+06");
+}
+
+}  // namespace
+}  // namespace asl
