@@ -1,54 +1,22 @@
-// Shared scaffolding for the figure-reproduction benches: uniform headers,
-// lock-comparison rows, shape-check assertions printed as PASS/FAIL, and the
-// SIM_TIME_SCALE knob.
+// Shared scaffolding for the figure-reproduction benches.
+//
+// The per-bench main() boilerplate (CLI, SIM_TIME_SCALE, shape-check
+// accounting, CSV output) lives in the scenario layer
+// (src/harness/scenario.h); this header only keeps the table helpers every
+// figure shares. Benches register with ASL_SCENARIO and receive a
+// ScenarioContext.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-#include <iostream>
 #include <string>
 
 #include "harness/experiment.h"
+#include "harness/scenario.h"
 #include "stats/table.h"
 
 namespace asl::bench {
 
 using sim::SimConfig;
 using sim::SimResult;
-
-// SIM_TIME_SCALE scales the simulated measurement window (default 1.0; the
-// shapes are stable down to ~0.2).
-inline double time_scale() {
-  const char* env = std::getenv("SIM_TIME_SCALE");
-  if (env == nullptr) return 1.0;
-  const double v = std::atof(env);
-  return v > 0 ? v : 1.0;
-}
-
-inline SimConfig scaled(SimConfig cfg) {
-  return sim::scale_durations(cfg, time_scale());
-}
-
-inline void banner(const std::string& figure, const std::string& title) {
-  std::cout << "\n=== " << figure << ": " << title << " ===\n";
-}
-
-inline void note(const std::string& text) {
-  std::cout << "  # " << text << "\n";
-}
-
-// Shape check: prints PASS/FAIL so bench output doubles as verification.
-inline bool g_all_shapes_ok = true;
-inline void shape_check(bool ok, const std::string& what) {
-  std::cout << (ok ? "  [shape PASS] " : "  [shape FAIL] ") << what << "\n";
-  g_all_shapes_ok = g_all_shapes_ok && ok;
-}
-
-inline int finish() {
-  std::cout << (g_all_shapes_ok ? "\nAll shape checks passed.\n"
-                                : "\nSOME SHAPE CHECKS FAILED.\n");
-  return g_all_shapes_ok ? 0 : 1;
-}
 
 // A standard comparison row: lock name, Big/Little/Overall P99 (us),
 // throughput (ops/s).

@@ -5,6 +5,9 @@
 //   (c) latency CDF at the paper's CDF SLO.
 #pragma once
 
+#include <cmath>
+#include <string>
+
 #include "bench_common.h"
 #include "sim/db_model.h"
 #include "sim/sim_runner.h"
@@ -17,20 +20,21 @@ using sim::LockKind;
 using sim::Policy;
 using sim::Time;
 
-inline int run_db_figure(DbKind kind, const char* figure) {
+inline void run_db_figure(ScenarioContext& ctx, DbKind kind,
+                          const char* figure) {
   using namespace asl::sim;
   DbWorkload w = make_db_workload(kind);
 
-  banner(figure, std::string(w.name) + " — lock comparison");
+  ctx.banner(figure, std::string(w.name) + " — lock comparison");
   Table table = comparison_table();
 
   auto run_plain = [&](const char* name, LockKind lock) {
-    SimResult r = run_sim(scaled(db_config(w, lock)), w.gen);
+    SimResult r = run_sim(ctx.scaled(db_config(w, lock)), w.gen);
     add_comparison_row(table, name, r, r.epoch_throughput());
     return r;
   };
   auto run_asl = [&](const std::string& name, Time slo, bool use_slo) {
-    SimResult r = run_sim(scaled(db_asl_config(w, slo, use_slo)), w.gen);
+    SimResult r = run_sim(ctx.scaled(db_asl_config(w, slo, use_slo)), w.gen);
     add_comparison_row(table, name, r, r.epoch_throughput());
     return r;
   };
@@ -38,7 +42,7 @@ inline int run_db_figure(DbKind kind, const char* figure) {
   SimResult pthread = run_plain("pthread", LockKind::kPthread);
   SimResult tas = run_plain("tas", LockKind::kTas);
   run_plain("ticket", LockKind::kTicket);
-  SimConfig shfl_cfg = scaled(db_config(w, LockKind::kShflPb));
+  SimConfig shfl_cfg = ctx.scaled(db_config(w, LockKind::kShflPb));
   shfl_cfg.pb_proportion = 10;
   SimResult shfl = run_sim(shfl_cfg, w.gen);
   add_comparison_row(table, "shfl-pb10", shfl, shfl.epoch_throughput());
@@ -51,30 +55,30 @@ inline int run_db_figure(DbKind kind, const char* figure) {
   SimResult asla = run_asl(name_a, w.paper_slo_a, true);
   SimResult aslb = run_asl(name_b, w.paper_slo_b, true);
   SimResult aslmax = run_asl("libasl-max", 0, false);
-  table.print(std::cout);
+  ctx.emit(table, "db_lock_comparison");
 
-  shape_check(std::abs(asl0.epoch_throughput() / mcs.epoch_throughput() -
-                       1.0) < 0.2,
-              "LibASL-0 falls back to FIFO");
-  shape_check(aslmax.epoch_throughput() >= mcs.epoch_throughput() * 1.1,
-              "LibASL-MAX beats MCS");
-  shape_check(aslmax.epoch_throughput() >= tas.epoch_throughput() * 0.95,
-              "LibASL-MAX at least matches TAS throughput");
-  shape_check(aslmax.epoch_throughput() >= pthread.epoch_throughput(),
-              "LibASL-MAX beats pthread");
-  shape_check(aslb.latency.p99_little() <= w.paper_slo_b * 13 / 10,
-              "LibASL keeps the configured SLO");
-  shape_check(asla.epoch_throughput() <= aslb.epoch_throughput() * 1.05,
-              "larger SLO buys at least as much throughput");
+  ctx.shape_check(std::abs(asl0.epoch_throughput() / mcs.epoch_throughput() -
+                           1.0) < 0.2,
+                  "LibASL-0 falls back to FIFO");
+  ctx.shape_check(aslmax.epoch_throughput() >= mcs.epoch_throughput() * 1.1,
+                  "LibASL-MAX beats MCS");
+  ctx.shape_check(aslmax.epoch_throughput() >= tas.epoch_throughput() * 0.95,
+                  "LibASL-MAX at least matches TAS throughput");
+  ctx.shape_check(aslmax.epoch_throughput() >= pthread.epoch_throughput(),
+                  "LibASL-MAX beats pthread");
+  ctx.shape_check(aslb.latency.p99_little() <= w.paper_slo_b * 13 / 10,
+                  "LibASL keeps the configured SLO");
+  ctx.shape_check(asla.epoch_throughput() <= aslb.epoch_throughput() * 1.05,
+                  "larger SLO buys at least as much throughput");
 
-  banner(figure, std::string(w.name) + " — variant SLOs");
+  ctx.banner(figure, std::string(w.name) + " — variant SLOs");
   Table sweep({"slo_us", "big_p99_us", "little_p99_us", "tput_ops"});
   const Time lo = w.sweep_max / 10;
   bool tracked = true;
   double tput_first = 0, tput_last = 0;
   for (std::uint32_t i = 1; i <= 8; ++i) {
     const Time slo = lo * i + (w.sweep_max - lo * 8) * i / 8;
-    SimResult r = run_sim(scaled(db_asl_config(w, slo, true)), w.gen);
+    SimResult r = run_sim(ctx.scaled(db_asl_config(w, slo, true)), w.gen);
     sweep.add_row({std::to_string(slo / kMicro),
                    Table::fmt_ns_as_us(r.latency.p99_big()),
                    Table::fmt_ns_as_us(r.latency.p99_little()),
@@ -83,13 +87,13 @@ inline int run_db_figure(DbKind kind, const char* figure) {
     if (i == 8) tput_last = r.epoch_throughput();
     if (i >= 3) tracked = tracked && r.latency.p99_little() <= slo * 14 / 10;
   }
-  sweep.print(std::cout);
-  shape_check(tput_last >= tput_first, "throughput grows with the SLO");
-  shape_check(tracked, "little-core P99 tracks the SLO across the sweep");
+  ctx.emit(sweep, "db_slo_sweep");
+  ctx.shape_check(tput_last >= tput_first, "throughput grows with the SLO");
+  ctx.shape_check(tracked, "little-core P99 tracks the SLO across the sweep");
 
-  banner(figure, std::string(w.name) + " — latency CDF (SLO " +
-                     std::to_string(w.cdf_slo / kMicro) + "us)");
-  SimResult cdf_run = run_sim(scaled(db_asl_config(w, w.cdf_slo, true)),
+  ctx.banner(figure, std::string(w.name) + " — latency CDF (SLO " +
+                         std::to_string(w.cdf_slo / kMicro) + "us)");
+  SimResult cdf_run = run_sim(ctx.scaled(db_asl_config(w, w.cdf_slo, true)),
                               w.gen);
   Table cdf({"latency_us", "overall_cum", "little_cum"});
   auto overall = cdf_run.latency.overall().cdf();
@@ -109,10 +113,9 @@ inline int run_db_figure(DbKind kind, const char* figure) {
                  Table::fmt(overall[i].cumulative, 3),
                  Table::fmt(little_at(overall[i].value), 3)});
   }
-  cdf.print(std::cout);
-  shape_check(cdf_run.latency.p99_little() <= w.cdf_slo * 13 / 10,
-              "CDF run: little-core P99 within the SLO");
-  return finish();
+  ctx.emit(cdf, "db_latency_cdf");
+  ctx.shape_check(cdf_run.latency.p99_little() <= w.cdf_slo * 13 / 10,
+                  "CDF run: little-core P99 within the SLO");
 }
 
 }  // namespace asl::bench

@@ -9,9 +9,10 @@ using namespace asl;
 using namespace asl::bench;
 using namespace asl::sim;
 
-int main() {
-  banner("Figure 1", "throughput & latency collapse (TAS little-affinity)");
-  note("CS = 4 shared cache lines; threads bound big-first (M1 layout)");
+ASL_SCENARIO(fig01_collapse,
+             "Figure 1: throughput & latency collapse (TAS little-affinity)") {
+  ctx.banner("Figure 1", "throughput & latency collapse (TAS little-affinity)");
+  ctx.note("CS = 4 shared cache lines; threads bound big-first (M1 layout)");
 
   auto gen = collapse_workload(4, 150);
   Table table({"threads", "mcs_tput", "tas_tput", "mcs_p99_us", "tas_p99_us"});
@@ -20,10 +21,11 @@ int main() {
   std::uint64_t mcs8_p99 = 0, tas8_p99 = 0;
   for (std::uint32_t n = 1; n <= 8; ++n) {
     SimResult mcs = run_sim(
-        scaled(collapse_config(n, LockKind::kMcs, TasAffinity::kSymmetric)),
+        ctx.scaled(collapse_config(n, LockKind::kMcs, TasAffinity::kSymmetric)),
         gen);
     SimResult tas = run_sim(
-        scaled(collapse_config(n, LockKind::kTas, TasAffinity::kLittleCores)),
+        ctx.scaled(
+            collapse_config(n, LockKind::kTas, TasAffinity::kLittleCores)),
         gen);
     table.add_row({std::to_string(n), Table::fmt_ops(mcs.cs_throughput()),
                    Table::fmt_ops(tas.cs_throughput()),
@@ -37,13 +39,12 @@ int main() {
       tas8_p99 = tas.latency.p99_overall();
     }
   }
-  table.print(std::cout);
+  ctx.emit(table, "collapse");
 
-  shape_check(mcs8 < mcs4 * 0.55,
-              "MCS throughput collapses >45% from 4 big cores to 4+4");
-  shape_check(tas8 < mcs8,
-              "little-affinity TAS throughput below MCS at 8 threads");
-  shape_check(tas8_p99 > mcs8_p99 * 2,
-              "TAS P99 latency is a multiple of MCS P99 (paper: 6.2x)");
-  return finish();
+  ctx.shape_check(mcs8 < mcs4 * 0.55,
+                  "MCS throughput collapses >45% from 4 big cores to 4+4");
+  ctx.shape_check(tas8 < mcs8,
+                  "little-affinity TAS throughput below MCS at 8 threads");
+  ctx.shape_check(tas8_p99 > mcs8_p99 * 2,
+                  "TAS P99 latency is a multiple of MCS P99 (paper: 6.2x)");
 }

@@ -8,9 +8,12 @@ using namespace asl;
 using namespace asl::bench;
 using namespace asl::sim;
 
-int main() {
-  banner("Figure 4", "TAS big-core-affinity: throughput up, latency collapse");
-  note("CS = 64 shared cache lines (vs 4 in Figure 1)");
+ASL_SCENARIO(fig04_big_affinity,
+             "Figure 4: TAS big-core-affinity — throughput up, latency "
+             "collapse") {
+  ctx.banner("Figure 4",
+             "TAS big-core-affinity: throughput up, latency collapse");
+  ctx.note("CS = 64 shared cache lines (vs 4 in Figure 1)");
 
   auto gen = collapse_workload(64, 1500);
   Table table({"threads", "mcs_tput", "tas_tput", "mcs_p99_us", "tas_p99_us"});
@@ -19,10 +22,10 @@ int main() {
   std::uint64_t mcs8_p99 = 0, tas8_p99 = 0;
   for (std::uint32_t n = 1; n <= 8; ++n) {
     SimResult mcs = run_sim(
-        scaled(collapse_config(n, LockKind::kMcs, TasAffinity::kSymmetric)),
+        ctx.scaled(collapse_config(n, LockKind::kMcs, TasAffinity::kSymmetric)),
         gen);
     SimResult tas = run_sim(
-        scaled(collapse_config(n, LockKind::kTas, TasAffinity::kBigCores)),
+        ctx.scaled(collapse_config(n, LockKind::kTas, TasAffinity::kBigCores)),
         gen);
     table.add_row({std::to_string(n), Table::fmt_ops(mcs.cs_throughput()),
                    Table::fmt_ops(tas.cs_throughput()),
@@ -35,11 +38,10 @@ int main() {
       tas8_p99 = tas.latency.p99_overall();
     }
   }
-  table.print(std::cout);
+  ctx.emit(table, "big_affinity");
 
-  shape_check(tas8 > mcs8 * 1.1,
-              "big-affinity TAS beats MCS throughput (paper: +32%)");
-  shape_check(tas8_p99 > mcs8_p99 * 2,
-              "TAS latency still collapses relative to MCS");
-  return finish();
+  ctx.shape_check(tas8 > mcs8 * 1.1,
+                  "big-affinity TAS beats MCS throughput (paper: +32%)");
+  ctx.shape_check(tas8_p99 > mcs8_p99 * 2,
+                  "TAS latency still collapses relative to MCS");
 }

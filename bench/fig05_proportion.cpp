@@ -1,6 +1,8 @@
 // Figure 5: static proportional execution sweep. N = big cores get N times
 // higher chance to lock; throughput and little-core tail latency both grow
 // with N — the static trade-off that motivates SLO-guided ordering.
+#include <algorithm>
+
 #include "bench_common.h"
 #include "sim/sim_runner.h"
 
@@ -8,9 +10,11 @@ using namespace asl;
 using namespace asl::bench;
 using namespace asl::sim;
 
-int main() {
-  banner("Figure 5", "throughput vs P99 for static proportions 0..29");
-  note("proportion N: exactly 1 little-core acquisition per N big-core ones");
+ASL_SCENARIO(fig05_proportion,
+             "Figure 5: throughput vs P99 for static proportions 0..29") {
+  ctx.banner("Figure 5", "throughput vs P99 for static proportions 0..29");
+  ctx.note("proportion N: exactly 1 little-core acquisition per N big-core "
+           "ones");
 
   // Single heavily-saturated lock (64-line CS, minimal gap): the rotation
   // counter is the only thing letting little cores in, as in the paper's
@@ -20,7 +24,7 @@ int main() {
   double first_tput = 0, last_tput = 0;
   std::uint64_t first_p99 = 0, last_p99 = 0;
   for (std::uint32_t n : {0u, 1u, 2u, 3u, 5u, 8u, 10u, 14u, 19u, 24u, 29u}) {
-    SimConfig cfg = scaled(
+    SimConfig cfg = ctx.scaled(
         collapse_config(8, LockKind::kShflPb, TasAffinity::kSymmetric));
     cfg.pb_proportion = n == 0 ? 1 : n;
     SimResult r = run_sim(cfg, gen);
@@ -36,28 +40,29 @@ int main() {
       last_p99 = r.latency.p99_little();
     }
   }
-  table.print(std::cout);
+  ctx.emit(table, "proportion_sweep");
 
-  shape_check(last_tput > first_tput * 1.1,
-              "throughput grows with the proportion");
-  shape_check(last_p99 > first_p99 * 2,
-              "little-core P99 grows with the proportion (mutual exclusivity)");
+  ctx.shape_check(last_tput > first_tput * 1.1,
+                  "throughput grows with the proportion");
+  ctx.shape_check(
+      last_p99 > first_p99 * 2,
+      "little-core P99 grows with the proportion (mutual exclusivity)");
 
   // Section 2.3's second strawman argument: "since applications' loads may
   // change over time, the latency is unstable when setting a fixed
   // proportion". Run PB10 and LibASL on a light and a heavy load; the fixed
   // proportion's little-core P99 swings with the load while LibASL pins it
   // to the SLO in both.
-  banner("Section 2.3", "fixed proportion is unstable across loads");
+  ctx.banner("Section 2.3", "fixed proportion is unstable across loads");
   auto light = collapse_workload(16, 2000);
   auto heavy = collapse_workload(64, 100);
-  SimConfig pb = scaled(
+  SimConfig pb = ctx.scaled(
       collapse_config(8, LockKind::kShflPb, TasAffinity::kSymmetric));
   pb.pb_proportion = 10;
   SimResult pb_light = run_sim(pb, light);
   SimResult pb_heavy = run_sim(pb, heavy);
   const Time slo = 60 * kMicro;
-  SimConfig asl = scaled(
+  SimConfig asl = ctx.scaled(
       collapse_config(8, LockKind::kReorderable, TasAffinity::kSymmetric));
   asl.policy = Policy::kAsl;
   asl.use_slo = true;
@@ -73,16 +78,15 @@ int main() {
   unstable.add_row({"libasl (slo 60us)",
                     Table::fmt_ns_as_us(asl_light.latency.p99_little()),
                     Table::fmt_ns_as_us(asl_heavy.latency.p99_little())});
-  unstable.print(std::cout);
+  ctx.emit(unstable, "load_instability");
 
   const double pb_swing =
       static_cast<double>(pb_heavy.latency.p99_little()) /
       static_cast<double>(std::max<std::uint64_t>(
           pb_light.latency.p99_little(), 1));
-  shape_check(pb_swing > 3.0,
-              "fixed proportion: little-core P99 swings >3x across loads");
-  shape_check(asl_heavy.latency.p99_little() <= slo * 13 / 10 &&
-                  asl_light.latency.p99_little() <= slo * 13 / 10,
-              "LibASL: little-core P99 pinned to the SLO under both loads");
-  return finish();
+  ctx.shape_check(pb_swing > 3.0,
+                  "fixed proportion: little-core P99 swings >3x across loads");
+  ctx.shape_check(asl_heavy.latency.p99_little() <= slo * 13 / 10 &&
+                      asl_light.latency.p99_little() <= slo * 13 / 10,
+                  "LibASL: little-core P99 pinned to the SLO under both loads");
 }

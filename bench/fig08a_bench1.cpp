@@ -10,20 +10,20 @@ using namespace asl;
 using namespace asl::bench;
 using namespace asl::sim;
 
-int main() {
-  banner("Figure 8a", "Bench-1 lock comparison");
-  note("epoch = 4 CS over 2 locks (64 lines); TAS shows big-core affinity");
+ASL_SCENARIO(fig08a_bench1, "Figure 8a: Bench-1 lock comparison") {
+  ctx.banner("Figure 8a", "Bench-1 lock comparison");
+  ctx.note("epoch = 4 CS over 2 locks (64 lines); TAS shows big-core affinity");
 
   auto gen = bench1_workload();
   Table table = comparison_table();
 
   auto run_plain = [&](const char* name, LockKind kind) {
-    SimResult r = run_sim(scaled(bench1_config(kind)), gen);
+    SimResult r = run_sim(ctx.scaled(bench1_config(kind)), gen);
     add_comparison_row(table, name, r, r.cs_throughput());
     return r;
   };
   auto run_asl = [&](const char* name, Time slo, bool use_slo) {
-    SimResult r = run_sim(scaled(bench1_asl_config(slo, use_slo)), gen);
+    SimResult r = run_sim(ctx.scaled(bench1_asl_config(slo, use_slo)), gen);
     add_comparison_row(table, name, r, r.cs_throughput());
     return r;
   };
@@ -31,7 +31,7 @@ int main() {
   SimResult pthread = run_plain("pthread", LockKind::kPthread);
   SimResult tas = run_plain("tas", LockKind::kTas);
   SimResult ticket = run_plain("ticket", LockKind::kTicket);
-  SimConfig shfl_cfg = scaled(bench1_config(LockKind::kShflPb));
+  SimConfig shfl_cfg = ctx.scaled(bench1_config(LockKind::kShflPb));
   shfl_cfg.pb_proportion = 10;
   SimResult shfl = run_sim(shfl_cfg, gen);
   add_comparison_row(table, "shfl-pb10", shfl, shfl.cs_throughput());
@@ -41,7 +41,7 @@ int main() {
   // LibASL-OPT: static window chosen to land near the 50us SLO behaviour.
   // Bench-1 epochs take 4 locks, each acquisition may wait out the window,
   // so the per-acquisition optimum is ~SLO/4.
-  SimConfig opt_cfg = scaled(bench1_config(LockKind::kReorderable));
+  SimConfig opt_cfg = ctx.scaled(bench1_config(LockKind::kReorderable));
   opt_cfg.policy = Policy::kAslStatic;
   opt_cfg.static_window = 12 * kMicro;
   SimResult opt = run_sim(opt_cfg, gen);
@@ -49,31 +49,33 @@ int main() {
   SimResult asl50 = run_asl("libasl-50", 50 * kMicro, true);
   SimResult asl65 = run_asl("libasl-65", 65 * kMicro, true);
   SimResult aslmax = run_asl("libasl-max", 0, false);
-  table.print(std::cout);
+  ctx.emit(table, "lock_comparison");
 
   (void)ticket;
-  shape_check(std::abs(asl0.cs_throughput() / mcs.cs_throughput() - 1.0) <
-                  0.15,
-              "LibASL-0 falls back to FIFO (== MCS throughput)");
-  shape_check(asl25.cs_throughput() <= asl50.cs_throughput() * 1.05 &&
-                  asl50.cs_throughput() <= aslmax.cs_throughput() * 1.05,
-              "throughput grows with the SLO");
-  shape_check(aslmax.cs_throughput() > tas.cs_throughput(),
-              "LibASL-MAX beats the TAS lock (paper: up to 1.2x)");
-  shape_check(aslmax.cs_throughput() > mcs.cs_throughput() * 1.3,
-              "LibASL-MAX substantially beats MCS (paper: 1.7x)");
-  shape_check(pthread.cs_throughput() < mcs.cs_throughput(),
-              "pthread_mutex_lock has the worst throughput");
-  shape_check(asl25.latency.p99_overall() < tas.latency.p99_overall() * 3 / 4,
-              "at similar throughput (LibASL-25), tail latency well below "
-              "TAS (paper: >50% reduction)");
-  shape_check(asl50.cs_throughput() > tas.cs_throughput(),
-              "at similar tail latency (LibASL-50), throughput above TAS "
-              "(paper: +50%)");
-  shape_check(asl50.cs_throughput() > opt.cs_throughput() * 0.85,
-              "AIMD window costs little vs the static-window OPT (paper: 6%)");
-  shape_check(aslmax.cs_throughput() > shfl.cs_throughput() * 1.2,
-              "LibASL's dynamic ordering dominates the static SHFL-PB10 "
-              "trade-off point");
-  return finish();
+  (void)asl65;
+  ctx.shape_check(std::abs(asl0.cs_throughput() / mcs.cs_throughput() - 1.0) <
+                      0.15,
+                  "LibASL-0 falls back to FIFO (== MCS throughput)");
+  ctx.shape_check(asl25.cs_throughput() <= asl50.cs_throughput() * 1.05 &&
+                      asl50.cs_throughput() <= aslmax.cs_throughput() * 1.05,
+                  "throughput grows with the SLO");
+  ctx.shape_check(aslmax.cs_throughput() > tas.cs_throughput(),
+                  "LibASL-MAX beats the TAS lock (paper: up to 1.2x)");
+  ctx.shape_check(aslmax.cs_throughput() > mcs.cs_throughput() * 1.3,
+                  "LibASL-MAX substantially beats MCS (paper: 1.7x)");
+  ctx.shape_check(pthread.cs_throughput() < mcs.cs_throughput(),
+                  "pthread_mutex_lock has the worst throughput");
+  ctx.shape_check(
+      asl25.latency.p99_overall() < tas.latency.p99_overall() * 3 / 4,
+      "at similar throughput (LibASL-25), tail latency well below "
+      "TAS (paper: >50% reduction)");
+  ctx.shape_check(asl50.cs_throughput() > tas.cs_throughput(),
+                  "at similar tail latency (LibASL-50), throughput above TAS "
+                  "(paper: +50%)");
+  ctx.shape_check(
+      asl50.cs_throughput() > opt.cs_throughput() * 0.85,
+      "AIMD window costs little vs the static-window OPT (paper: 6%)");
+  ctx.shape_check(aslmax.cs_throughput() > shfl.cs_throughput() * 1.2,
+                  "LibASL's dynamic ordering dominates the static SHFL-PB10 "
+                  "trade-off point");
 }

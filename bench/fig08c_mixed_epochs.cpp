@@ -39,8 +39,9 @@ EpochGen mixed_workload(std::uint32_t short_pct) {
 
 }  // namespace
 
-int main() {
-  banner("Figure 8c", "mixed short/long (100x) epochs, SLO 100us");
+ASL_SCENARIO(fig08c_mixed_epochs,
+             "Figure 8c: mixed short/long (100x) epochs, SLO 100us") {
+  ctx.banner("Figure 8c", "mixed short/long (100x) epochs, SLO 100us");
 
   const Time slo = 100 * kMicro;
   Table table({"short_pct", "asl_tput_norm_mcs", "opt_tput_norm_mcs",
@@ -51,9 +52,9 @@ int main() {
   bool beats_mcs = true;
   for (std::uint32_t pct : {0u, 20u, 40u, 50u, 60u, 80u, 100u}) {
     auto gen = mixed_workload(pct);
-    SimResult mcs = run_sim(scaled(bench1_config(LockKind::kMcs)), gen);
-    SimResult asl = run_sim(scaled(bench1_asl_config(slo)), gen);
-    SimConfig opt_cfg = scaled(bench1_config(LockKind::kReorderable));
+    SimResult mcs = run_sim(ctx.scaled(bench1_config(LockKind::kMcs)), gen);
+    SimResult asl = run_sim(ctx.scaled(bench1_asl_config(slo)), gen);
+    SimConfig opt_cfg = ctx.scaled(bench1_config(LockKind::kReorderable));
     opt_cfg.policy = Policy::kAslStatic;
     // "Directly chooses a suitable (static) window": the window a long
     // epoch can afford (SLO minus its little-core compute).
@@ -82,13 +83,12 @@ int main() {
       beats_mcs = beats_mcs && asl_norm > 1.05;
     }
   }
-  table.print(std::cout);
+  ctx.emit(table, "mixed_epochs");
 
-  shape_check(slo_ok,
-              "latency within SLO at every feasible mix (FIFO fallback when "
-              "all epochs are long)");
-  shape_check(beats_mcs, "throughput above MCS at intermediate mixes");
-  shape_check(near_opt,
-              "close to the static-window optimum (paper: max 20% gap)");
-  return finish();
+  ctx.shape_check(slo_ok,
+                  "latency within SLO at every feasible mix (FIFO fallback "
+                  "when all epochs are long)");
+  ctx.shape_check(beats_mcs, "throughput above MCS at intermediate mixes");
+  ctx.shape_check(near_opt,
+                  "close to the static-window optimum (paper: max 20% gap)");
 }

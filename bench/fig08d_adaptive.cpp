@@ -41,9 +41,10 @@ EpochGen phased_workload() {
 
 }  // namespace
 
-int main() {
-  banner("Figure 8d", "self-adaptive reorder window under phase changes");
-  note("phases: 1x | 128x | 1x | random | 1024x (SLO 100us)");
+ASL_SCENARIO(fig08d_adaptive,
+             "Figure 8d: self-adaptive reorder window under phase changes") {
+  ctx.banner("Figure 8d", "self-adaptive reorder window under phase changes");
+  ctx.note("phases: 1x | 128x | 1x | random | 1024x (SLO 100us)");
 
   SimConfig cfg = bench1_asl_config(100 * kMicro);
   cfg.num_locks = 1;
@@ -77,21 +78,20 @@ int main() {
     table.add_row({phases[i].name, Table::fmt_ns_as_us(little_max[i]),
                    Table::fmt_ns_as_us(big_max[i]), std::to_string(n)});
   }
-  table.print(std::cout);
+  ctx.emit(table, "phase_envelope");
 
   const Time slo = 100 * kMicro;
   // Transient spikes right at a phase change are expected (that is the
   // feedback detecting the violation); the envelope must stay within a
   // small multiple of the SLO and re-converge.
-  shape_check(little_max[0] <= slo * 13 / 10,
-              "steady 1x phase: latency within SLO");
-  shape_check(little_max[1] <= slo * 3,
-              "128x phase: re-converges near SLO after the spike");
-  shape_check(little_max[2] <= slo * 13 / 10,
-              "back to 1x: window re-opens, SLO still met");
-  shape_check(little_max[3] <= slo * 3,
-              "random phase: SLO maintained under heterogeneity");
-  shape_check(big_max[4] > slo && little_max[4] < big_max[4] * 3,
-              "1024x phase: SLO impossible -> FIFO fallback, big ~ little");
-  return finish();
+  ctx.shape_check(little_max[0] <= slo * 13 / 10,
+                  "steady 1x phase: latency within SLO");
+  ctx.shape_check(little_max[1] <= slo * 3,
+                  "128x phase: re-converges near SLO after the spike");
+  ctx.shape_check(little_max[2] <= slo * 13 / 10,
+                  "back to 1x: window re-opens, SLO still met");
+  ctx.shape_check(little_max[3] <= slo * 3,
+                  "random phase: SLO maintained under heterogeneity");
+  ctx.shape_check(big_max[4] > slo && little_max[4] < big_max[4] * 3,
+                  "1024x phase: SLO impossible -> FIFO fallback, big ~ little");
 }

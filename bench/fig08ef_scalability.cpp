@@ -1,6 +1,8 @@
 // Figures 8e/8f (Bench-4): scalability 1..8 threads on the Figure 4
 // workload — lock throughput and overall tail latency for MCS, TAS and
 // LibASL-{0, 12us, 50us, MAX}.
+#include <cmath>
+
 #include "bench_common.h"
 #include "sim/sim_runner.h"
 
@@ -22,9 +24,10 @@ SimConfig asl_cfg(std::uint32_t threads, Time slo, bool use_slo) {
 
 }  // namespace
 
-int main() {
-  banner("Figure 8e/8f", "scalability: throughput and P99 vs thread count");
-  note("Figure 4 workload (64-line CS); LibASL-X = SLO X us");
+ASL_SCENARIO(fig08ef_scalability,
+             "Figure 8e/8f: scalability — throughput and P99 vs threads") {
+  ctx.banner("Figure 8e/8f", "scalability: throughput and P99 vs thread count");
+  ctx.note("Figure 4 workload (64-line CS); LibASL-X = SLO X us");
 
   auto gen = collapse_workload(64, 1500);
   Table table({"threads", "mcs_tput", "tas_tput", "asl0_tput", "asl12_tput",
@@ -36,18 +39,19 @@ int main() {
   std::uint64_t asl12_p99_8 = 0, asl50_p99_8 = 0, tas_p99_8 = 0;
   for (std::uint32_t n = 1; n <= 8; ++n) {
     SimResult mcs = run_sim(
-        scaled(collapse_config(n, LockKind::kMcs, TasAffinity::kSymmetric)),
+        ctx.scaled(collapse_config(n, LockKind::kMcs, TasAffinity::kSymmetric)),
         gen);
     SimResult tas = run_sim(
-        scaled(collapse_config(n, LockKind::kTas, TasAffinity::kBigCores)),
+        ctx.scaled(collapse_config(n, LockKind::kTas, TasAffinity::kBigCores)),
         gen);
-    SimResult a0 = run_sim(scaled(asl_cfg(n, 0, true)), gen);
-    SimResult a12 = run_sim(scaled(asl_cfg(n, 12 * kMicro, true)), gen);
-    SimResult a50 = run_sim(scaled(asl_cfg(n, 50 * kMicro, true)), gen);
-    SimResult amax = run_sim(scaled(asl_cfg(n, 0, false)), gen);
+    SimResult a0 = run_sim(ctx.scaled(asl_cfg(n, 0, true)), gen);
+    SimResult a12 = run_sim(ctx.scaled(asl_cfg(n, 12 * kMicro, true)), gen);
+    SimResult a50 = run_sim(ctx.scaled(asl_cfg(n, 50 * kMicro, true)), gen);
+    SimResult amax = run_sim(ctx.scaled(asl_cfg(n, 0, false)), gen);
     table.add_row(
         {std::to_string(n), Table::fmt_ops(mcs.cs_throughput()),
-         Table::fmt_ops(tas.cs_throughput()), Table::fmt_ops(a0.cs_throughput()),
+         Table::fmt_ops(tas.cs_throughput()),
+         Table::fmt_ops(a0.cs_throughput()),
          Table::fmt_ops(a12.cs_throughput()),
          Table::fmt_ops(a50.cs_throughput()),
          Table::fmt_ops(amax.cs_throughput()),
@@ -72,21 +76,22 @@ int main() {
       tas_p99_8 = tas.latency.p99_overall();
     }
   }
-  table.print(std::cout);
+  ctx.emit(table, "scalability");
 
+  (void)tas8;
   (void)asl12_8;
   (void)asl12_p99_8;
-  shape_check(std::abs(asl0_8 / mcs8 - 1.0) < 0.15,
-              "LibASL-0 behaves as the MCS lock");
-  shape_check(aslmax8 >= aslmax4 * 0.93,
-              "LibASL-MAX throughput does not drop when little cores join");
+  ctx.shape_check(std::abs(asl0_8 / mcs8 - 1.0) < 0.15,
+                  "LibASL-0 behaves as the MCS lock");
+  ctx.shape_check(aslmax8 >= aslmax4 * 0.93,
+                  "LibASL-MAX throughput does not drop when little cores "
+                  "join");
   // Note: in our TAS model surviving little-core epochs keep TAS's overall
   // P99 high, whereas on M1 little cores starve out of the P99 entirely
   // (the paper's 12us TAS tail is big-core-only). The comparable claim is
   // therefore made at LibASL-50: far better tail than TAS at comparable
   // throughput, and much better throughput than MCS.
-  shape_check(asl50_8 > mcs8 * 1.3 && asl50_p99_8 < tas_p99_8,
-              "LibASL-50: >1.3x MCS throughput at a tail far below TAS");
-  shape_check(mcs8 < mcs4 * 0.6, "MCS still collapses on this workload");
-  return finish();
+  ctx.shape_check(asl50_8 > mcs8 * 1.3 && asl50_p99_8 < tas_p99_8,
+                  "LibASL-50: >1.3x MCS throughput at a tail far below TAS");
+  ctx.shape_check(mcs8 < mcs4 * 0.6, "MCS still collapses on this workload");
 }

@@ -10,9 +10,11 @@ using namespace asl;
 using namespace asl::bench;
 using namespace asl::sim;
 
-int main() {
-  banner("Figure 8g", "LibASL speedup vs contention (10^n NOP intervals)");
-  note("speedup = LibASL-MAX throughput / baseline throughput - 1 (x100 %)");
+ASL_SCENARIO(fig08g_contention,
+             "Figure 8g: LibASL speedup vs contention (10^n NOP intervals)") {
+  ctx.banner("Figure 8g", "LibASL speedup vs contention (10^n NOP intervals)");
+  ctx.note("speedup = LibASL-MAX throughput / baseline throughput - 1 "
+           "(x100 %)");
 
   Table table({"nops_10^n", "vs_mcs4_pct", "vs_tas_pct", "vs_ticket_pct",
                "vs_mcs_pct", "vs_pthread_pct", "vs_shflpb10_pct"});
@@ -26,13 +28,13 @@ int main() {
                                     TasAffinity::kSymmetric);
     asl.policy = Policy::kAsl;
     asl.use_slo = false;
-    SimResult ra = run_sim(scaled(asl), gen);
+    SimResult ra = run_sim(ctx.scaled(asl), gen);
 
     auto speedup_pct = [&](LockKind kind, std::uint32_t threads,
                            TasAffinity aff) {
       SimConfig cfg = collapse_config(threads, kind, aff);
       cfg.pb_proportion = 10;
-      SimResult r = run_sim(scaled(cfg), gen);
+      SimResult r = run_sim(ctx.scaled(cfg), gen);
       return (ra.cs_throughput() / r.cs_throughput() - 1.0) * 100.0;
     };
 
@@ -56,12 +58,14 @@ int main() {
     if (decade == 5) low_contention_vs_mcs4 = vs_mcs4;
     never_bad = never_bad && vs_mcs > -20.0;
   }
-  table.print(std::cout);
+  ctx.emit(table, "contention_speedup");
 
-  shape_check(std::abs(high_contention_vs_mcs4) < 25.0,
-              "at extreme contention LibASL ~ MCS-4 (standby little cores)");
-  shape_check(low_contention_vs_mcs4 > 30.0,
-              "at low contention little cores bring real speedup (paper: 68%)");
-  shape_check(never_bad, "LibASL never falls far below MCS at any contention");
-  return finish();
+  ctx.shape_check(std::abs(high_contention_vs_mcs4) < 25.0,
+                  "at extreme contention LibASL ~ MCS-4 (standby little "
+                  "cores)");
+  ctx.shape_check(low_contention_vs_mcs4 > 30.0,
+                  "at low contention little cores bring real speedup "
+                  "(paper: 68%)");
+  ctx.shape_check(never_bad,
+                  "LibASL never falls far below MCS at any contention");
 }

@@ -31,64 +31,67 @@ SimConfig blocking_asl(Time slo, bool use_slo) {
 
 }  // namespace
 
-int main() {
-  banner("Figure 8h", "blocking locks, 2 threads/core (Bench-1)");
-  note("LibASL-X = blocking LibASL with SLO X ms");
+ASL_SCENARIO(fig08hi_oversub,
+             "Figure 8h/8i: blocking locks, 2 threads/core (Bench-1)") {
+  ctx.banner("Figure 8h", "blocking locks, 2 threads/core (Bench-1)");
+  ctx.note("LibASL-X = blocking LibASL with SLO X ms");
 
   auto gen = bench1_workload();
   Table table = comparison_table();
 
-  SimResult pth = run_sim(scaled(oversub(bench1_config(LockKind::kPthread))),
-                          gen);
+  SimResult pth = run_sim(
+      ctx.scaled(oversub(bench1_config(LockKind::kPthread))), gen);
   add_comparison_row(table, "pthread", pth, pth.cs_throughput());
-  SimResult stp = run_sim(scaled(oversub(bench1_config(LockKind::kStpMcs))),
-                          gen);
+  SimResult stp = run_sim(
+      ctx.scaled(oversub(bench1_config(LockKind::kStpMcs))), gen);
   add_comparison_row(table, "mcs-stp", stp, stp.cs_throughput());
-  SimResult asl0 = run_sim(scaled(blocking_asl(0, true)), gen);
+  SimResult asl0 = run_sim(ctx.scaled(blocking_asl(0, true)), gen);
   add_comparison_row(table, "libasl-0", asl0, asl0.cs_throughput());
-  SimResult asl3 = run_sim(scaled(blocking_asl(3 * kMilli, true)), gen);
+  SimResult asl3 = run_sim(ctx.scaled(blocking_asl(3 * kMilli, true)), gen);
   add_comparison_row(table, "libasl-3ms", asl3, asl3.cs_throughput());
-  SimResult asl8 = run_sim(scaled(blocking_asl(8 * kMilli, true)), gen);
+  SimResult asl8 = run_sim(ctx.scaled(blocking_asl(8 * kMilli, true)), gen);
   add_comparison_row(table, "libasl-8ms", asl8, asl8.cs_throughput());
-  SimResult aslmax = run_sim(scaled(blocking_asl(0, false)), gen);
+  SimResult aslmax = run_sim(ctx.scaled(blocking_asl(0, false)), gen);
   add_comparison_row(table, "libasl-max", aslmax, aslmax.cs_throughput());
   // Ablation 4: spinning standby while oversubscribed (what LibASL avoids).
   SimConfig spin_cfg = oversub(bench1_config(LockKind::kReorderable));
   spin_cfg.policy = Policy::kAsl;
   spin_cfg.use_slo = false;
-  SimResult spin = run_sim(scaled(spin_cfg), gen);
+  SimResult spin = run_sim(ctx.scaled(spin_cfg), gen);
   add_comparison_row(table, "spin-standby(ablation)", spin,
                      spin.cs_throughput());
-  table.print(std::cout);
+  ctx.emit(table, "oversub_comparison");
 
-  shape_check(stp.cs_throughput() < pth.cs_throughput() * 0.7,
-              "spin-then-park MCS pays a wakeup per handover and loses to "
-              "pthread (paper: 96% worse)");
-  shape_check(aslmax.cs_throughput() > pth.cs_throughput() * 1.1,
-              "blocking LibASL beats pthread (paper: up to 80%)");
-  shape_check(aslmax.cs_throughput() > spin.cs_throughput(),
-              "sleeping standby beats spinning standby when oversubscribed");
+  ctx.shape_check(stp.cs_throughput() < pth.cs_throughput() * 0.7,
+                  "spin-then-park MCS pays a wakeup per handover and loses "
+                  "to pthread (paper: 96% worse)");
+  ctx.shape_check(aslmax.cs_throughput() > pth.cs_throughput() * 1.1,
+                  "blocking LibASL beats pthread (paper: up to 80%)");
+  ctx.shape_check(aslmax.cs_throughput() > spin.cs_throughput(),
+                  "sleeping standby beats spinning standby when "
+                  "oversubscribed");
 
-  banner("Figure 8i", "blocking LibASL with variant SLOs");
+  ctx.banner("Figure 8i", "blocking LibASL with variant SLOs");
   Table sweep({"slo_ms", "big_p99_ms", "little_p99_ms", "tput_ops"});
   double tput_hi = 0;
   bool tracked = true;
   for (Time slo_ms : {1u, 2u, 3u, 4u, 5u, 6u, 8u, 10u}) {
-    SimResult r = run_sim(scaled(blocking_asl(slo_ms * kMilli, true)), gen);
+    SimResult r = run_sim(ctx.scaled(blocking_asl(slo_ms * kMilli, true)),
+                          gen);
     sweep.add_row({std::to_string(slo_ms),
                    Table::fmt(static_cast<double>(r.latency.p99_big()) / 1e6),
-                   Table::fmt(static_cast<double>(r.latency.p99_little()) / 1e6),
+                   Table::fmt(
+                       static_cast<double>(r.latency.p99_little()) / 1e6),
                    Table::fmt_ops(r.cs_throughput())});
     if (slo_ms == 10) tput_hi = r.cs_throughput();
     if (slo_ms >= 4) {
       tracked = tracked && r.latency.p99_little() <= slo_ms * kMilli * 2;
     }
   }
-  sweep.print(std::cout);
+  ctx.emit(sweep, "oversub_slo_sweep");
   // The knee of this workload sits below SLO = 1ms, so growth is measured
   // from the FIFO fallback (LibASL-0) to the loose-SLO plateau.
-  shape_check(tput_hi > asl0.cs_throughput() * 1.1,
-              "throughput grows from the FIFO fallback to loose SLOs");
-  shape_check(tracked, "SLO tracked despite unstable pthread handover");
-  return finish();
+  ctx.shape_check(tput_hi > asl0.cs_throughput() * 1.1,
+                  "throughput grows from the FIFO fallback to loose SLOs");
+  ctx.shape_check(tracked, "SLO tracked despite unstable pthread handover");
 }

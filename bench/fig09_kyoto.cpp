@@ -1,9 +1,7 @@
-// Figure-9a-c: database figure for the kKyoto workload model (see db_bench_common.h and
-// sim/db_model.cpp for the lock pattern and op mix).
-#include <cmath>
-
+// Figure-9a-c: database figure for the kKyoto workload model (see
+// db_bench_common.h and sim/db_model.cpp for the lock pattern and op mix).
 #include "db_bench_common.h"
 
-int main() {
-  return asl::bench::run_db_figure(asl::sim::DbKind::kKyoto, "Figure-9a-c");
+ASL_SCENARIO(fig09_kyoto, "Figure 9a-c: Kyoto Cabinet workload model") {
+  asl::bench::run_db_figure(ctx, asl::sim::DbKind::kKyoto, "Figure-9a-c");
 }

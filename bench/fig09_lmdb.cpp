@@ -1,9 +1,7 @@
-// Figure-9g-i: database figure for the kLmdb workload model (see db_bench_common.h and
-// sim/db_model.cpp for the lock pattern and op mix).
-#include <cmath>
-
+// Figure-9g-i: database figure for the kLmdb workload model (see
+// db_bench_common.h and sim/db_model.cpp for the lock pattern and op mix).
 #include "db_bench_common.h"
 
-int main() {
-  return asl::bench::run_db_figure(asl::sim::DbKind::kLmdb, "Figure-9g-i");
+ASL_SCENARIO(fig09_lmdb, "Figure 9g-i: LMDB workload model") {
+  asl::bench::run_db_figure(ctx, asl::sim::DbKind::kLmdb, "Figure-9g-i");
 }

@@ -1,9 +1,7 @@
-// Figure-9d-f: database figure for the kUpscaleDb workload model (see db_bench_common.h and
-// sim/db_model.cpp for the lock pattern and op mix).
-#include <cmath>
-
+// Figure-9d-f: database figure for the kUpscaleDb workload model (see
+// db_bench_common.h and sim/db_model.cpp for the lock pattern and op mix).
 #include "db_bench_common.h"
 
-int main() {
-  return asl::bench::run_db_figure(asl::sim::DbKind::kUpscaleDb, "Figure-9d-f");
+ASL_SCENARIO(fig09_upscaledb, "Figure 9d-f: upscaledb workload model") {
+  asl::bench::run_db_figure(ctx, asl::sim::DbKind::kUpscaleDb, "Figure-9d-f");
 }

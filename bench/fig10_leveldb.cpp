@@ -1,9 +1,7 @@
-// Figure-10a-c: database figure for the kLevelDb workload model (see db_bench_common.h and
-// sim/db_model.cpp for the lock pattern and op mix).
-#include <cmath>
-
+// Figure-10a-c: database figure for the kLevelDb workload model (see
+// db_bench_common.h and sim/db_model.cpp for the lock pattern and op mix).
 #include "db_bench_common.h"
 
-int main() {
-  return asl::bench::run_db_figure(asl::sim::DbKind::kLevelDb, "Figure-10a-c");
+ASL_SCENARIO(fig10_leveldb, "Figure 10a-c: LevelDB workload model") {
+  asl::bench::run_db_figure(ctx, asl::sim::DbKind::kLevelDb, "Figure-10a-c");
 }

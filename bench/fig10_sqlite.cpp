@@ -1,9 +1,7 @@
-// Figure-10d-f: database figure for the kSqlite workload model (see db_bench_common.h and
-// sim/db_model.cpp for the lock pattern and op mix).
-#include <cmath>
-
+// Figure-10d-f: database figure for the kSqlite workload model (see
+// db_bench_common.h and sim/db_model.cpp for the lock pattern and op mix).
 #include "db_bench_common.h"
 
-int main() {
-  return asl::bench::run_db_figure(asl::sim::DbKind::kSqlite, "Figure-10d-f");
+ASL_SCENARIO(fig10_sqlite, "Figure 10d-f: SQLite workload model") {
+  asl::bench::run_db_figure(ctx, asl::sim::DbKind::kSqlite, "Figure-10d-f");
 }

@@ -1,0 +1,12 @@
+// Single entry point for every figure bench. Per-figure binaries are this
+// same file compiled with ASL_DEFAULT_SCENARIO set (see CMakeLists.txt);
+// asl_figures carries no default and can run any registered scenario.
+#include "harness/scenario.h"
+
+#ifndef ASL_DEFAULT_SCENARIO
+#define ASL_DEFAULT_SCENARIO nullptr
+#endif
+
+int main(int argc, char** argv) {
+  return asl::bench::scenario_main(argc, argv, ASL_DEFAULT_SCENARIO);
+}

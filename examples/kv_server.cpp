@@ -17,7 +17,6 @@ using namespace asl;
 
 namespace {
 
-constexpr int kOpEpoch = 1;
 constexpr Nanos kSlo = 2 * kNanosPerMilli;
 constexpr std::uint64_t kKeySpace = 4096;
 
@@ -28,6 +27,13 @@ std::string key_of(std::uint64_t i) { return "user:" + std::to_string(i); }
 int main() {
   std::cout << "KV server (HashKv / Kyoto-style): 50% put, 50% get, SLO "
             << kSlo / kNanosPerMicro << " us\n";
+
+  // Register the request class by name with its SLO as the per-epoch
+  // default; the request loop then ends the epoch without repeating it.
+  EpochOptions op_opts;
+  op_opts.default_slo_ns = kSlo;
+  const int kOpEpoch =
+      EpochRegistry::instance().register_epoch("kv-op", op_opts);
 
   db::HashKv store(64);
   for (std::uint64_t i = 0; i < kKeySpace; ++i) {
@@ -52,7 +58,7 @@ int main() {
                            std::memory_order_relaxed);
             gets.fetch_add(1, std::memory_order_relaxed);
           }
-          epoch_end(kOpEpoch, kSlo);
+          epoch_end(kOpEpoch);  // SLO comes from the registry default
           c.record_latency(now_ns() - t0);
           c.ops += 1;
           spin_nops(speed.scale_ncs(500));
@@ -70,5 +76,18 @@ int main() {
             << "P99 (us): big=" << stats.latency.p99_big() / 1000.0
             << " little=" << stats.latency.p99_little() / 1000.0 << "\n"
             << "store size: " << store.size() << "\n";
+
+  // Runtime introspection: what the epoch runtime saw, per request class
+  // (the workers exited, so completions come from the registry's retired
+  // counts).
+  for (const EpochSnapshot& s : EpochRegistry::instance().snapshot()) {
+    std::cout << "epoch '" << s.name << "' (id " << s.id
+              << "): completions=" << s.completions;
+    if (s.threads > 0) {
+      std::cout << " live_threads=" << s.threads
+                << " window_mean_us=" << s.window_mean / 1000.0;
+    }
+    std::cout << "\n";
+  }
   return 0;
 }

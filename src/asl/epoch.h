@@ -6,18 +6,23 @@
 // stack supporting nested epochs. The two epoch operations cost ~a hundred
 // cycles (one clock_gettime plus integer arithmetic), matching the paper's
 // ~93-cycle figure.
+//
+// This header is the stable C-style annotation API; it is implemented by the
+// layered runtime in runtime.h/.cpp. Epoch ids are dynamic: register them by
+// name through the EpochRegistry (which also carries per-epoch default SLOs
+// and controller configs), or just use small integers directly — state is
+// materialized on first use.
 #pragma once
 
 #include <cstdint>
 
-#include "platform/time.h"
-#include "asl/window_controller.h"
+#include "asl/runtime.h"
 
 namespace asl {
 
-// Maximum distinct epoch ids (statically assigned by programmers; the paper
-// sizes per-thread metadata at 24 bytes/epoch and leaves the count small).
-inline constexpr int kMaxEpochs = 64;
+// Historical alias for the epoch-id cap. The seed sized fixed per-thread
+// arrays with this; ids are now dynamic and this is only the validity bound.
+inline constexpr int kMaxEpochs = kMaxEpochId;
 // Maximum nesting depth of epochs on one thread.
 inline constexpr int kMaxEpochDepth = 16;
 
@@ -28,9 +33,20 @@ int epoch_start(int epoch_id);
 
 // Ends epoch `epoch_id` with the given latency SLO in nanoseconds. On little
 // cores this measures the epoch latency and runs the AIMD window update; on
-// big cores the update is skipped (Algorithm 2 line 21) because big cores
-// never stand by. Returns 0, or -1 for out-of-range ids.
+// big cores the update is skipped (Algorithm 2 line 21, gated by
+// DispatchPolicy::updates_window) because big cores never stand by.
+//
+// Hardened against mismatched nesting: ending an epoch that is not the
+// innermost one unwinds the per-thread stack to its frame (inner frames are
+// abandoned without feedback); ending an epoch that is not on the stack at
+// all returns -1 and leaves the stack untouched. Returns 0 on success, -1
+// for out-of-range ids or mismatches.
 int epoch_end(int epoch_id, std::uint64_t slo_ns);
+
+// As above, but takes the SLO from the EpochRegistry's per-epoch default.
+// With no default registered the epoch still ends (the stack pops) but no
+// feedback runs.
+int epoch_end(int epoch_id);
 
 // Epoch id currently governing the calling thread, or -1 when not in any
 // epoch (Algorithm 3 consults this).
@@ -46,10 +62,12 @@ std::uint64_t epoch_window(int epoch_id);
 
 // Override the percentile / controller configuration for this thread's
 // epochs (applies to epochs started afterwards; existing controllers are
-// re-seeded). Primarily for experiments; the default is P99.
+// re-seeded). Primarily for experiments; the default is P99 or, for
+// registered epochs, the registry's per-epoch controller config.
 void set_epoch_controller_config(const WindowController::Config& config);
 
 // Reset all epoch state on the calling thread (between experiment phases).
+// The thread's controller-config override, if any, survives the reset.
 void reset_thread_epochs();
 
 }  // namespace asl

@@ -1,7 +1,10 @@
 // LibASL public lock API — Algorithm 3 (asl_mutex_lock) over the
 // reorderable lock plus the epoch feedback of Algorithm 2.
 //
-// Dispatch rule:
+// The dispatch rule itself lives in exactly one place: DispatchPolicy
+// (runtime.h). Both mutexes here template over the policy, and the
+// simulator's Policy::kAsl consumes the same class, so real and simulated
+// paths provably share the production dispatch code:
 //   big core              -> lock_immediately (join FIFO queue now)
 //   little core, no epoch -> lock_reorder(kMaxReorderWindow)  (default
 //                            loose window: maximum throughput, still
@@ -18,23 +21,22 @@
 #include "reorder/blocking_reorderable.h"
 #include "reorder/reorderable.h"
 #include "asl/epoch.h"
+#include "asl/runtime.h"
 
 namespace asl {
 
-template <Lockable Fifo = McsLock>
+template <Lockable Fifo = McsLock, typename Policy = DispatchPolicy>
 class AslMutex {
  public:
   AslMutex() = default;
   AslMutex(const AslMutex&) = delete;
   AslMutex& operator=(const AslMutex&) = delete;
 
-  // Algorithm 3.
+  // Algorithm 3, via the shared policy. The window lookup is lazy: big
+  // cores enqueue without touching epoch state.
   void lock() {
-    if (is_big_core()) {
-      inner_.lock_immediately();
-    } else {
-      inner_.lock_reorder(current_epoch_window());
-    }
+    Policy::lock(inner_, current_core_type(),
+                 [] { return current_epoch_window(); });
   }
 
   bool try_lock() { return inner_.try_lock(); }
@@ -48,18 +50,16 @@ class AslMutex {
 };
 
 // Blocking variant for core-oversubscribed deployments (Bench-6).
-class BlockingAslMutex {
+template <typename Policy = DispatchPolicy>
+class BasicBlockingAslMutex {
  public:
-  BlockingAslMutex() = default;
-  BlockingAslMutex(const BlockingAslMutex&) = delete;
-  BlockingAslMutex& operator=(const BlockingAslMutex&) = delete;
+  BasicBlockingAslMutex() = default;
+  BasicBlockingAslMutex(const BasicBlockingAslMutex&) = delete;
+  BasicBlockingAslMutex& operator=(const BasicBlockingAslMutex&) = delete;
 
   void lock() {
-    if (is_big_core()) {
-      inner_.lock_immediately();
-    } else {
-      inner_.lock_reorder(current_epoch_window());
-    }
+    Policy::lock(inner_, current_core_type(),
+                 [] { return current_epoch_window(); });
   }
 
   bool try_lock() { return inner_.try_lock(); }
@@ -70,6 +70,8 @@ class BlockingAslMutex {
   BlockingReorderableLock<PthreadLock> inner_;
 };
 
+using BlockingAslMutex = BasicBlockingAslMutex<>;
+
 static_assert(Lockable<AslMutex<McsLock>>);
 static_assert(Lockable<BlockingAslMutex>);
 
@@ -78,16 +80,31 @@ static_assert(Lockable<BlockingAslMutex>);
 class EpochScope {
  public:
   EpochScope(int epoch_id, std::uint64_t slo_ns)
-      : id_(epoch_id), slo_(slo_ns) {
+      : id_(epoch_id), slo_(slo_ns), use_registry_default_(false) {
     epoch_start(id_);
   }
-  ~EpochScope() { epoch_end(id_, slo_); }
+  // Registry-default-SLO variant for epochs registered with EpochOptions.
+  // Ends through the epoch_end(id) overload so an epoch without a default
+  // SLO pops cleanly with no feedback (an slo of 0 would instead count
+  // every epoch as a violation).
+  explicit EpochScope(int epoch_id)
+      : id_(epoch_id), slo_(0), use_registry_default_(true) {
+    epoch_start(id_);
+  }
+  ~EpochScope() {
+    if (use_registry_default_) {
+      epoch_end(id_);
+    } else {
+      epoch_end(id_, slo_);
+    }
+  }
   EpochScope(const EpochScope&) = delete;
   EpochScope& operator=(const EpochScope&) = delete;
 
  private:
   int id_;
   std::uint64_t slo_;
+  bool use_registry_default_;
 };
 
 }  // namespace asl

@@ -1,0 +1,490 @@
+// Epoch runtime: the EpochRegistry plus the per-thread epoch state behind
+// the epoch.h API. Replaces the seed's fixed `EpochState epochs[64]`
+// thread_local arrays with dynamically grown per-thread vectors, so the
+// number of distinct epochs is bounded by kMaxEpochId, not by a compile-time
+// array size.
+//
+// Locking: each thread's state block carries a spinlock taken by that
+// thread's epoch operations (uncontended in steady state) and by
+// EpochRegistry::snapshot() when it aggregates windows across threads.
+// Registry metadata has its own spinlock. Lock order: thread block before
+// registry; snapshot() copies the registry first and only then visits thread
+// blocks, so the two orders never nest in conflicting directions.
+#include "asl/runtime.h"
+
+#include <algorithm>
+
+#include "asl/epoch.h"
+#include "platform/raw_spinlock.h"
+#include "platform/time.h"
+
+namespace asl {
+namespace {
+
+struct EpochState {
+  WindowController controller;
+  Nanos start = 0;
+  std::uint64_t completions = 0;
+  bool initialized = false;
+};
+
+struct ThreadEpochs {
+  RawSpinLock lock;
+  std::vector<EpochState> states;  // indexed by epoch id, grown on demand
+  int stack[kMaxEpochDepth] = {};
+  int depth = 0;
+  int current = -1;
+  bool has_override = false;
+  // Set (under `lock`) once the destructor has folded this thread's
+  // completions into the registry; snapshot() then skips the block so the
+  // counts are never reported twice.
+  bool retired = false;
+  WindowController::Config override_config{};
+
+  ThreadEpochs();
+  ~ThreadEpochs();
+};
+
+// Live thread blocks, for snapshot(). Leaked on purpose: thread_local
+// destructors of late-exiting threads may run after static destructors.
+struct ThreadList {
+  RawSpinLock lock;
+  std::vector<ThreadEpochs*> threads;
+};
+
+ThreadList& thread_list() {
+  static ThreadList* list = new ThreadList;
+  return *list;
+}
+
+struct RegistrySlot {
+  bool used = false;
+  std::string name;
+  EpochOptions options{};
+};
+
+struct RegistryData {
+  mutable RawSpinLock lock;
+  std::vector<RegistrySlot> slots;  // indexed by id
+  // Completion counts folded in from exited threads, so snapshots survive
+  // thread churn (a server's worker pools come and go).
+  std::vector<std::uint64_t> retired_completions;
+  int next_auto_id = 0;
+};
+
+RegistryData& registry_data() {
+  static RegistryData* data = new RegistryData;
+  return *data;
+}
+
+ThreadEpochs::ThreadEpochs() {
+  ThreadList& list = thread_list();
+  list.lock.lock();
+  list.threads.push_back(this);
+  list.lock.unlock();
+}
+
+ThreadEpochs::~ThreadEpochs() {
+  // Fold completion counts into the registry before disappearing. The
+  // `retired` flag and the fold are published atomically (both under this
+  // block's lock, with the registry lock nested inside — the same
+  // thread-then-registry order state_for() uses), so a concurrent
+  // snapshot() sees the counts either live or retired, never both.
+  lock.lock();
+  RegistryData& data = registry_data();
+  data.lock.lock();
+  if (data.retired_completions.size() < states.size()) {
+    data.retired_completions.resize(states.size(), 0);
+  }
+  for (std::size_t id = 0; id < states.size(); ++id) {
+    if (states[id].initialized) {
+      data.retired_completions[id] += states[id].completions;
+    }
+  }
+  data.lock.unlock();
+  retired = true;
+  lock.unlock();
+
+  ThreadList& list = thread_list();
+  list.lock.lock();
+  auto& v = list.threads;
+  v.erase(std::remove(v.begin(), v.end(), this), v.end());
+  list.lock.unlock();
+}
+
+thread_local ThreadEpochs t_epochs;
+
+bool valid_id(int epoch_id) { return epoch_id >= 0 && epoch_id < kMaxEpochId; }
+
+// Requires te.lock held.
+EpochState& state_for(ThreadEpochs& te, int epoch_id) {
+  if (te.states.size() <= static_cast<std::size_t>(epoch_id)) {
+    te.states.resize(static_cast<std::size_t>(epoch_id) + 1);
+  }
+  EpochState& st = te.states[static_cast<std::size_t>(epoch_id)];
+  if (!st.initialized) {
+    st.controller = WindowController(
+        te.has_override ? te.override_config
+                        : EpochRegistry::instance().controller_config(epoch_id));
+    st.initialized = true;
+  }
+  return st;
+}
+
+// Pops the epoch stack down to (and including) `epoch_id`. Requires te.lock
+// held and `epoch_id` == te.current or present on te.stack. Frames inside
+// the matched epoch are abandoned without feedback — their epoch never
+// cleanly ended.
+void unwind_to(ThreadEpochs& te, int epoch_id) {
+  while (te.current != epoch_id && te.depth > 0) {
+    te.current = te.stack[--te.depth];
+  }
+  // te.current == epoch_id now; pop it.
+  te.current = te.depth > 0 ? te.stack[--te.depth] : -1;
+}
+
+bool on_stack(const ThreadEpochs& te, int epoch_id) {
+  if (te.current == epoch_id) return true;
+  for (int i = 0; i < te.depth; ++i) {
+    if (te.stack[i] == epoch_id) return true;
+  }
+  return false;
+}
+
+// Shared implementation of epoch_end / epoch_end_with_latency /
+// epoch_end(id) [registry-default SLO].
+int end_epoch(int epoch_id, std::uint64_t slo_ns, bool run_feedback,
+              const std::uint64_t* latency_override) {
+  if (!valid_id(epoch_id)) return -1;
+  ThreadEpochs& te = t_epochs;
+  te.lock.lock();
+  // Mismatch hardening: ending an epoch that is not the innermost one
+  // unwinds to its frame (abandoning the inner frames); ending an epoch
+  // that was never started leaves the stack untouched and reports failure.
+  if (!on_stack(te, epoch_id)) {
+    te.lock.unlock();
+    return -1;
+  }
+  EpochState& st = state_for(te, epoch_id);
+  // Algorithm 2 line 21 via DispatchPolicy: big cores never stand by, so
+  // their windows are irrelevant and the measurement is skipped.
+  if (run_feedback && DispatchPolicy::updates_window(current_core_type())) {
+    const Nanos latency =
+        latency_override != nullptr ? *latency_override : now_ns() - st.start;
+    st.controller.on_epoch_end(latency, slo_ns);
+  }
+  st.completions += 1;
+  unwind_to(te, epoch_id);
+  te.lock.unlock();
+  return 0;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ epoch.h API
+
+int epoch_start(int epoch_id) {
+  if (!valid_id(epoch_id)) return -1;
+  ThreadEpochs& te = t_epochs;
+  te.lock.lock();
+  if (te.current >= 0 && te.depth < kMaxEpochDepth) {
+    te.stack[te.depth++] = te.current;
+  }
+  te.current = epoch_id;
+  state_for(te, epoch_id).start = now_ns();
+  te.lock.unlock();
+  return 0;
+}
+
+int epoch_end(int epoch_id, std::uint64_t slo_ns) {
+  return end_epoch(epoch_id, slo_ns, /*run_feedback=*/true, nullptr);
+}
+
+int epoch_end(int epoch_id) {
+  const std::uint64_t slo = EpochRegistry::instance().default_slo(epoch_id);
+  // Without a registered default SLO the end still pops the epoch, but no
+  // feedback runs (there is nothing to compare the latency against).
+  return end_epoch(epoch_id, slo, /*run_feedback=*/slo != 0, nullptr);
+}
+
+int epoch_end_with_latency(int epoch_id, std::uint64_t slo_ns,
+                           std::uint64_t latency_ns) {
+  return end_epoch(epoch_id, slo_ns, /*run_feedback=*/true, &latency_ns);
+}
+
+int current_epoch_id() {
+  ThreadEpochs& te = t_epochs;
+  te.lock.lock();
+  const int id = te.current;
+  te.lock.unlock();
+  return id;
+}
+
+std::uint64_t current_epoch_window() {
+  ThreadEpochs& te = t_epochs;
+  te.lock.lock();
+  const int id = te.current;
+  const std::uint64_t w = id < 0 ? DispatchPolicy::no_epoch_window()
+                                 : state_for(te, id).controller.window();
+  te.lock.unlock();
+  return w;
+}
+
+std::uint64_t epoch_window(int epoch_id) {
+  if (!valid_id(epoch_id)) return kMaxReorderWindow;
+  ThreadEpochs& te = t_epochs;
+  te.lock.lock();
+  const std::uint64_t w = state_for(te, epoch_id).controller.window();
+  te.lock.unlock();
+  return w;
+}
+
+void set_epoch_controller_config(const WindowController::Config& config) {
+  ThreadEpochs& te = t_epochs;
+  te.lock.lock();
+  te.has_override = true;
+  te.override_config = config;
+  for (EpochState& st : te.states) {
+    if (st.initialized) {
+      st.controller = WindowController(config);
+    }
+  }
+  te.lock.unlock();
+}
+
+void reset_thread_epochs() {
+  ThreadEpochs& te = t_epochs;
+  te.lock.lock();
+  // The config override survives a reset (seed semantics): experiments call
+  // reset between phases and expect the configured controller to persist.
+  te.states.clear();
+  te.states.shrink_to_fit();
+  te.depth = 0;
+  te.current = -1;
+  te.lock.unlock();
+}
+
+// -------------------------------------------------------------- registry
+
+EpochRegistry& EpochRegistry::instance() {
+  static EpochRegistry* registry = new EpochRegistry;
+  return *registry;
+}
+
+int EpochRegistry::register_epoch(std::string_view name,
+                                  const EpochOptions& options) {
+  RegistryData& data = registry_data();
+  data.lock.lock();
+  for (std::size_t id = 0; id < data.slots.size(); ++id) {
+    if (data.slots[id].used && data.slots[id].name == name) {
+      data.slots[id].options = options;
+      data.lock.unlock();
+      return static_cast<int>(id);
+    }
+  }
+  // Allocate the next id never handed out (ids below next_auto_id may also
+  // be taken by register_epoch_id users; skip those).
+  int id = data.next_auto_id;
+  while (id < kMaxEpochId &&
+         static_cast<std::size_t>(id) < data.slots.size() &&
+         data.slots[static_cast<std::size_t>(id)].used) {
+    ++id;
+  }
+  if (id >= kMaxEpochId) {
+    data.lock.unlock();
+    return -1;
+  }
+  if (data.slots.size() <= static_cast<std::size_t>(id)) {
+    data.slots.resize(static_cast<std::size_t>(id) + 1);
+  }
+  data.slots[static_cast<std::size_t>(id)] = {true, std::string(name), options};
+  data.next_auto_id = id + 1;
+  data.lock.unlock();
+  return id;
+}
+
+int EpochRegistry::register_epoch_id(int id, std::string_view name,
+                                     const EpochOptions& options) {
+  if (!valid_id(id)) return -1;
+  RegistryData& data = registry_data();
+  data.lock.lock();
+  if (data.slots.size() <= static_cast<std::size_t>(id)) {
+    data.slots.resize(static_cast<std::size_t>(id) + 1);
+  }
+  data.slots[static_cast<std::size_t>(id)] = {true, std::string(name), options};
+  data.lock.unlock();
+  return id;
+}
+
+int EpochRegistry::find(std::string_view name) const {
+  RegistryData& data = registry_data();
+  data.lock.lock();
+  for (std::size_t id = 0; id < data.slots.size(); ++id) {
+    if (data.slots[id].used && data.slots[id].name == name) {
+      data.lock.unlock();
+      return static_cast<int>(id);
+    }
+  }
+  data.lock.unlock();
+  return -1;
+}
+
+bool EpochRegistry::registered(int id) const {
+  if (!valid_id(id)) return false;
+  RegistryData& data = registry_data();
+  data.lock.lock();
+  const bool used = static_cast<std::size_t>(id) < data.slots.size() &&
+                    data.slots[static_cast<std::size_t>(id)].used;
+  data.lock.unlock();
+  return used;
+}
+
+std::size_t EpochRegistry::registered_count() const {
+  RegistryData& data = registry_data();
+  data.lock.lock();
+  std::size_t n = 0;
+  for (const RegistrySlot& slot : data.slots) n += slot.used ? 1 : 0;
+  data.lock.unlock();
+  return n;
+}
+
+bool EpochRegistry::set_options(int id, const EpochOptions& options) {
+  if (!valid_id(id)) return false;
+  RegistryData& data = registry_data();
+  data.lock.lock();
+  if (static_cast<std::size_t>(id) >= data.slots.size() ||
+      !data.slots[static_cast<std::size_t>(id)].used) {
+    data.lock.unlock();
+    return false;
+  }
+  data.slots[static_cast<std::size_t>(id)].options = options;
+  data.lock.unlock();
+  return true;
+}
+
+EpochDescriptor EpochRegistry::describe(int id) const {
+  EpochDescriptor desc;
+  if (!valid_id(id)) return desc;
+  RegistryData& data = registry_data();
+  data.lock.lock();
+  if (static_cast<std::size_t>(id) < data.slots.size() &&
+      data.slots[static_cast<std::size_t>(id)].used) {
+    desc.id = id;
+    desc.name = data.slots[static_cast<std::size_t>(id)].name;
+    desc.options = data.slots[static_cast<std::size_t>(id)].options;
+  }
+  data.lock.unlock();
+  return desc;
+}
+
+std::uint64_t EpochRegistry::default_slo(int id) const {
+  if (!valid_id(id)) return 0;
+  RegistryData& data = registry_data();
+  data.lock.lock();
+  const std::uint64_t slo =
+      static_cast<std::size_t>(id) < data.slots.size() &&
+              data.slots[static_cast<std::size_t>(id)].used
+          ? data.slots[static_cast<std::size_t>(id)].options.default_slo_ns
+          : 0;
+  data.lock.unlock();
+  return slo;
+}
+
+WindowController::Config EpochRegistry::controller_config(int id) const {
+  if (!valid_id(id)) return WindowController::Config{};
+  RegistryData& data = registry_data();
+  data.lock.lock();
+  const WindowController::Config cfg =
+      static_cast<std::size_t>(id) < data.slots.size() &&
+              data.slots[static_cast<std::size_t>(id)].used
+          ? data.slots[static_cast<std::size_t>(id)].options.controller
+          : WindowController::Config{};
+  data.lock.unlock();
+  return cfg;
+}
+
+std::vector<EpochSnapshot> EpochRegistry::snapshot() const {
+  // Copy the registry metadata first so no thread lock nests inside the
+  // registry lock.
+  std::vector<EpochSnapshot> out;
+  std::vector<std::uint64_t> retired;
+  {
+    RegistryData& data = registry_data();
+    data.lock.lock();
+    for (std::size_t id = 0; id < data.slots.size(); ++id) {
+      if (!data.slots[id].used) continue;
+      EpochSnapshot snap;
+      snap.id = static_cast<int>(id);
+      snap.name = data.slots[id].name;
+      snap.default_slo_ns = data.slots[id].options.default_slo_ns;
+      out.push_back(std::move(snap));
+    }
+    retired = data.retired_completions;
+    data.lock.unlock();
+  }
+  auto find_or_add = [&out](int id) -> EpochSnapshot& {
+    for (EpochSnapshot& snap : out) {
+      if (snap.id == id) return snap;
+    }
+    EpochSnapshot snap;
+    snap.id = id;
+    snap.name = "epoch-" + std::to_string(id);
+    out.push_back(std::move(snap));
+    return out.back();
+  };
+
+  for (std::size_t id = 0; id < retired.size(); ++id) {
+    if (retired[id] != 0) {
+      find_or_add(static_cast<int>(id)).completions += retired[id];
+    }
+  }
+
+  ThreadList& list = thread_list();
+  list.lock.lock();
+  for (ThreadEpochs* te : list.threads) {
+    te->lock.lock();
+    if (te->retired) {
+      // Mid-exit: its counts are already in the retired copy (or will be in
+      // the next snapshot); reading them here would double-count.
+      te->lock.unlock();
+      continue;
+    }
+    for (std::size_t id = 0; id < te->states.size(); ++id) {
+      const EpochState& st = te->states[id];
+      if (!st.initialized) continue;
+      EpochSnapshot& snap = find_or_add(static_cast<int>(id));
+      const std::uint64_t w = st.controller.window();
+      if (snap.threads == 0) {
+        snap.window_min = snap.window_max = w;
+      } else {
+        snap.window_min = std::min(snap.window_min, w);
+        snap.window_max = std::max(snap.window_max, w);
+      }
+      snap.window_mean += static_cast<double>(w);
+      snap.completions += st.completions;
+      snap.threads += 1;
+    }
+    te->lock.unlock();
+  }
+  list.lock.unlock();
+
+  for (EpochSnapshot& snap : out) {
+    if (snap.threads > 0) snap.window_mean /= snap.threads;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EpochSnapshot& a, const EpochSnapshot& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void EpochRegistry::reset_registrations() {
+  RegistryData& data = registry_data();
+  data.lock.lock();
+  data.slots.clear();
+  data.retired_completions.clear();
+  data.next_auto_id = 0;
+  data.lock.unlock();
+}
+
+}  // namespace asl

@@ -1,0 +1,180 @@
+// Layered runtime core shared by the real library and the simulator.
+//
+// Two pieces live here (DESIGN.md §1):
+//
+//  * DispatchPolicy — THE implementation of Algorithm 3's big/little dispatch
+//    rule and of Algorithm 2's "feedback runs on little cores only" gate.
+//    AslMutex, BlockingAslMutex and the simulator's Policy::kAsl all consume
+//    this class; no other place in the tree is allowed to branch on the core
+//    type to pick between lock_immediately and lock_reorder, so the simulator
+//    provably exercises the production dispatch code.
+//
+//  * EpochRegistry — process-wide epoch metadata: dynamic registration by
+//    name or id (the seed's fixed 64-slot arrays are gone), per-epoch default
+//    SLO and controller configuration, and a snapshot/introspection API that
+//    aggregates the live per-thread reorder windows for the profiler.
+//
+// Per-thread epoch *state* (controllers, start timestamps, the nesting
+// stack) stays thread-local and is owned by the epoch runtime in
+// runtime.cpp; the registry only holds shared metadata and reaches the
+// thread states for snapshots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "asl/window_controller.h"
+#include "platform/topology.h"
+#include "reorder/reorderable.h"
+
+namespace asl {
+
+// Upper bound on epoch ids accepted by the runtime. Ids are dense indices
+// into per-thread state vectors that grow on demand, so this is a sanity cap
+// (rejecting garbage ids), not a preallocation size.
+inline constexpr int kMaxEpochId = 65'536;
+
+// ------------------------------------------------------------ DispatchPolicy
+
+// The outcome of Algorithm 3 for one lock acquisition.
+struct LockPlan {
+  bool immediate = true;        // true: join the FIFO queue now
+  std::uint64_t window_ns = 0;  // standby window when !immediate
+};
+
+// Algorithm 3 (asl_mutex_lock) + the Algorithm 2 line 21 feedback gate.
+//
+// Stateless on purpose: the inputs (core type, current epoch window) come
+// from the caller, so the same rule serves real threads (wall-clock windows)
+// and simulated threads (virtual-time windows).
+class DispatchPolicy {
+ public:
+  // Algorithm 3: big core -> enqueue immediately; little core -> stand by
+  // for the caller's current reorder window.
+  static constexpr LockPlan plan(CoreType caller, std::uint64_t window_ns) {
+    if (caller == CoreType::kBig) return LockPlan{true, 0};
+    return LockPlan{false, window_ns};
+  }
+
+  // Algorithm 2 line 21: big cores never stand by, so only little cores run
+  // the AIMD window update at epoch end.
+  static constexpr bool updates_window(CoreType caller) {
+    return caller == CoreType::kLittle;
+  }
+
+  // Window an out-of-epoch thread uses: the loose maximum (starvation-free,
+  // maximum-throughput default).
+  static constexpr std::uint64_t no_epoch_window() { return kMaxReorderWindow; }
+
+  // Apply the plan to any reorderable-lock-shaped object (the real
+  // ReorderableLock / BlockingReorderableLock; the simulator drives its
+  // continuation-passing locks from plan() directly). `window` is either a
+  // window in ns or a callable producing one; callables are only invoked
+  // when the plan stands by, so the big-core fast path never pays for the
+  // epoch-window lookup it would discard.
+  template <typename Reorderable, typename WindowSource>
+  static void lock(Reorderable& lk, CoreType caller, WindowSource&& window) {
+    LockPlan p = plan(caller, 0);
+    if (!p.immediate) {
+      if constexpr (std::is_invocable_v<WindowSource&>) {
+        p = plan(caller, window());
+      } else {
+        p = plan(caller, window);
+      }
+    }
+    if (p.immediate) {
+      lk.lock_immediately();
+    } else {
+      lk.lock_reorder(p.window_ns);
+    }
+  }
+};
+
+// ------------------------------------------------------------- EpochRegistry
+
+// Shared per-epoch metadata, applied when a thread first touches the epoch.
+struct EpochOptions {
+  // Default latency SLO for epoch_end(id) callers that do not pass one.
+  // 0 = no default: such an end still pops the epoch but skips feedback.
+  std::uint64_t default_slo_ns = 0;
+  // Controller seed for threads without a thread-local config override.
+  WindowController::Config controller{};
+};
+
+struct EpochDescriptor {
+  int id = -1;
+  std::string name;
+  EpochOptions options{};
+};
+
+// Aggregate view of one epoch across all live threads (profiler input).
+struct EpochSnapshot {
+  int id = -1;
+  std::string name;
+  std::uint64_t default_slo_ns = 0;
+  std::uint32_t threads = 0;        // threads holding live state
+  std::uint64_t completions = 0;    // epoch_end count across threads
+  std::uint64_t window_min = 0;     // current windows across threads
+  std::uint64_t window_max = 0;
+  double window_mean = 0.0;
+};
+
+class EpochRegistry {
+ public:
+  // The global instance the epoch runtime consults.
+  static EpochRegistry& instance();
+
+  // Registers an epoch by name and returns its id. Re-registering an
+  // existing name updates its options and returns the existing id. Returns
+  // -1 when the id space is exhausted.
+  int register_epoch(std::string_view name, const EpochOptions& options = {});
+
+  // Registers (or updates) the epoch at a specific id — for programs with a
+  // static id scheme (Figure 6 style annotations). Returns `id`, or -1 when
+  // out of range.
+  int register_epoch_id(int id, std::string_view name,
+                        const EpochOptions& options = {});
+
+  // Id registered under `name`, or -1.
+  int find(std::string_view name) const;
+
+  bool registered(int id) const;
+  std::size_t registered_count() const;
+
+  // Update per-epoch defaults. Applies to threads that first touch the
+  // epoch afterwards; live controllers are not re-seeded (use the
+  // thread-local set_epoch_controller_config for that). Returns false for
+  // unregistered ids.
+  bool set_options(int id, const EpochOptions& options);
+
+  // Descriptor for `id`; id == -1 in the result means "not registered".
+  EpochDescriptor describe(int id) const;
+
+  // Default SLO for `id` (0 when unregistered or none configured).
+  std::uint64_t default_slo(int id) const;
+
+  // Controller seed for `id` (default config when unregistered).
+  WindowController::Config controller_config(int id) const;
+
+  // Aggregates live per-thread state for every epoch that is registered or
+  // has per-thread state. Unregistered-but-used ids appear as "epoch-<id>".
+  // Completion counts of exited threads are retained (folded in at thread
+  // exit); window aggregates cover live threads only. Sorted by id.
+  std::vector<EpochSnapshot> snapshot() const;
+
+  // Drops all registrations (test isolation). Per-thread state is not
+  // touched; call reset_thread_epochs() on the threads that need it.
+  void reset_registrations();
+};
+
+// Deterministic feedback entry: ends the current epoch exactly like
+// epoch_end(id, slo) but with a caller-supplied latency instead of the
+// wall-clock measurement. This is the hook the parity tests use to drive the
+// production feedback path with the same latency trace the simulator sees.
+int epoch_end_with_latency(int epoch_id, std::uint64_t slo_ns,
+                           std::uint64_t latency_ns);
+
+}  // namespace asl

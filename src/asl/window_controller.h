@@ -30,24 +30,38 @@ class WindowController {
     std::uint64_t initial_window = 1'000;      // ns; adapts within a few epochs
     std::uint64_t initial_unit = 100;          // ns
     std::uint64_t max_window = 100'000'000;    // 100 ms = kMaxReorderWindow
+    std::uint64_t min_window = 16;             // ns; floor for multiplicative
+                                               // decrease — repeated halving
+                                               // cannot drive the window to 0
+                                               // (16 ns is indistinguishable
+                                               // from FIFO, but growth stays
+                                               // proportional, not stuck at 0)
     std::uint64_t min_unit = 16;               // ns; keeps growth alive after
                                                // deep multiplicative decrease
     std::uint32_t percentile = 99;             // the PCT in Algorithm 2
+    bool fixed_unit = false;                   // Figure 8b ablation: keep the
+                                               // growth unit fixed instead of
+                                               // re-deriving it from the
+                                               // window and percentile
   };
 
   WindowController() : WindowController(Config{}) {}
   explicit WindowController(const Config& config) : config_(config) {
     config_.percentile = std::clamp<std::uint32_t>(config_.percentile, 1, 99);
-    window_ = std::min(config_.initial_window, config_.max_window);
+    config_.min_window = std::min(config_.min_window, config_.max_window);
+    window_ = std::clamp(config_.initial_window, config_.min_window,
+                         config_.max_window);
     unit_ = std::max(config_.initial_unit, config_.min_unit);
   }
 
   // Feedback step at epoch end (Algorithm 2 lines 22-30).
   void on_epoch_end(std::uint64_t latency, std::uint64_t slo) {
     if (latency > slo) {
-      window_ >>= 1;
-      unit_ = std::max<std::uint64_t>(
-          window_ * (100 - config_.percentile) / 100, config_.min_unit);
+      window_ = std::max(window_ >> 1, config_.min_window);
+      if (!config_.fixed_unit) {
+        unit_ = std::max<std::uint64_t>(
+            window_ * (100 - config_.percentile) / 100, config_.min_unit);
+      }
     } else {
       window_ = std::min(window_ + unit_, config_.max_window);
     }
@@ -58,7 +72,8 @@ class WindowController {
   const Config& config() const { return config_; }
 
   void reset() {
-    window_ = std::min(config_.initial_window, config_.max_window);
+    window_ = std::clamp(config_.initial_window, config_.min_window,
+                         config_.max_window);
     unit_ = std::max(config_.initial_unit, config_.min_unit);
   }
 

@@ -15,7 +15,7 @@
 
 #include "platform/time.h"
 #include "platform/topology.h"
-#include "harness/latency_split.h"
+#include "stats/latency_split.h"
 #include "workload/cs_workload.h"
 
 namespace asl {

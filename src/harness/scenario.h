@@ -1,0 +1,102 @@
+// Scenario registry + shared bench driver.
+//
+// Every figure reproduction registers a named scenario (ASL_SCENARIO) and
+// the per-bench main() boilerplate lives once in scenario_main(): shared CLI
+// (--list, --scenario selection, --time-scale, --csv), the SIM_TIME_SCALE
+// environment knob, uniform banners/shape-check accounting, and
+// machine-readable CSV output alongside the human tables. Figure binaries
+// are generated from one driver (bench/figures_main.cpp) compiled against
+// the scenario objects — the setbench-style "one target graph, many
+// executables" layout (DESIGN.md §1).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "stats/table.h"
+
+namespace asl::bench {
+
+// Per-run services handed to a scenario: output, shape-check accounting and
+// the shared time-scale knob.
+class ScenarioContext {
+ public:
+  ScenarioContext(std::string scenario, double time_scale, std::ostream* csv);
+
+  // Simulated-duration scaling (SIM_TIME_SCALE / --time-scale).
+  double time_scale() const { return time_scale_; }
+  sim::SimConfig scaled(sim::SimConfig cfg) const {
+    return sim::scale_durations(cfg, time_scale_);
+  }
+
+  void banner(const std::string& figure, const std::string& title);
+  void note(const std::string& text);
+
+  // Shape check: prints PASS/FAIL so bench output doubles as verification;
+  // the driver's exit code aggregates over every scenario run.
+  void shape_check(bool ok, const std::string& what);
+
+  // Print the table to stdout and, when CSV output is enabled, append it to
+  // the CSV stream tagged with the scenario and table name.
+  void emit(const Table& table, const std::string& tag);
+
+  bool all_ok() const { return all_ok_; }
+  const std::string& scenario() const { return scenario_; }
+
+ private:
+  std::string scenario_;
+  double time_scale_ = 1.0;
+  std::ostream* csv_ = nullptr;
+  bool all_ok_ = true;
+};
+
+using ScenarioFn = std::function<void(ScenarioContext&)>;
+
+struct Scenario {
+  std::string name;   // CLI name, e.g. "fig01_collapse"
+  std::string title;  // one-line description for --list
+  ScenarioFn run;
+};
+
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  void add(Scenario scenario);
+  const Scenario* find(const std::string& name) const;
+  // All scenarios, sorted by name.
+  std::vector<const Scenario*> list() const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+struct ScenarioRegistrar {
+  ScenarioRegistrar(std::string name, std::string title, ScenarioFn fn);
+};
+
+// Registers `void` scenario body: ASL_SCENARIO(fig01_collapse, "...") { ... }
+// The body receives `ScenarioContext& ctx`.
+#define ASL_SCENARIO(scenario_name, scenario_title)                          \
+  static void asl_scenario_body_##scenario_name(                             \
+      ::asl::bench::ScenarioContext& ctx);                                   \
+  static const ::asl::bench::ScenarioRegistrar                               \
+      asl_scenario_reg_##scenario_name{#scenario_name, scenario_title,       \
+                                       asl_scenario_body_##scenario_name};   \
+  static void asl_scenario_body_##scenario_name(                             \
+      ::asl::bench::ScenarioContext& ctx)
+
+// The shared driver. CLI:
+//   --list                 print registered scenarios and exit
+//   --time-scale=<f>       override SIM_TIME_SCALE
+//   --csv=<path>           write every emitted table as CSV to <path>
+//   --all                  run every registered scenario
+//   <name>...              scenarios to run (default: `default_scenario`,
+//                          or --list behaviour when none is configured)
+// Exit code 0 iff every shape check of every scenario passed.
+int scenario_main(int argc, char** argv, const char* default_scenario);
+
+}  // namespace asl::bench

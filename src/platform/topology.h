@@ -60,9 +60,14 @@ class Topology {
   std::string describe() const;
 };
 
+// Core type governing the calling thread (DispatchPolicy input).
+inline CoreType current_core_type() {
+  return Topology::instance().current_core_type();
+}
+
 // LibASL's core-type predicate (Algorithm 3 line 2).
 inline bool is_big_core() {
-  return Topology::instance().current_core_type() == CoreType::kBig;
+  return current_core_type() == CoreType::kBig;
 }
 
 // RAII helper for scoped thread core-type declaration in tests/harnesses.

@@ -5,10 +5,14 @@
 #include <utility>
 #include <vector>
 
+#include "reorder/reorderable.h"
+
 namespace asl::sim {
 namespace {
 
-constexpr Time kSimMaxReorderWindow = 100 * kMilli;
+// The production bound from reorder/reorderable.h (100 ms), shared so real
+// and simulated standby competitors clamp identically.
+constexpr Time kSimMaxReorderWindow = asl::kMaxReorderWindow;
 // Standby poll backoff cap: Algorithm 1's exponential check spacing, bounded
 // so a long-standing standby competitor still detects a free lock promptly.
 constexpr Time kPollGapCap = 16 * kMicro;

@@ -87,23 +87,22 @@ class Runner {
                              stretch);
   }
 
-  // Reorder window Algorithm 3 would use for this thread right now.
+  // Window Algorithm 3 receives for this thread right now: the AIMD
+  // controller's (or the no-SLO maximum) under kAsl, the fixed window under
+  // kAslStatic.
   Time reorder_window(const RunnerThread& th) const {
-    switch (cfg_.policy) {
-      case Policy::kPlain:
-        return 0;
-      case Policy::kAslStatic:
-        return cfg_.static_window;
-      case Policy::kAsl:
-        return cfg_.use_slo ? th.controller.window() : kMaxReorderWindow;
-    }
-    return 0;
+    if (cfg_.policy == Policy::kAslStatic) return cfg_.static_window;
+    return cfg_.use_slo ? th.controller.window()
+                        : DispatchPolicy::no_epoch_window();
   }
 
-  AcquireMode mode_for(const RunnerThread& th) const {
-    if (cfg_.policy == Policy::kPlain) return AcquireMode::kImmediate;
-    return th.sim.type() == CoreType::kBig ? AcquireMode::kImmediate
-                                           : AcquireMode::kReorder;
+  // The acquisition decision. kPlain bypasses LibASL entirely (baseline
+  // locks have no reorder entry point); the ASL policies go through the
+  // production DispatchPolicy — the same Algorithm 3 implementation
+  // AslMutex::lock() runs.
+  LockPlan plan_for(const RunnerThread& th) const {
+    if (cfg_.policy == Policy::kPlain) return LockPlan{true, 0};
+    return DispatchPolicy::plan(th.sim.type(), reorder_window(th));
   }
 
   void start_epoch(RunnerThread* th) {
@@ -127,7 +126,11 @@ class Runner {
   void do_acquire(RunnerThread* th) {
     const Section& sec = th->plan.sections[th->sim.section_index];
     SimLock* lock = locks_[sec.lock % locks_.size()].get();
-    lock->acquire(&th->sim, mode_for(*th), reorder_window(*th),
+    const LockPlan plan = plan_for(*th);
+    lock->acquire(&th->sim,
+                  plan.immediate ? AcquireMode::kImmediate
+                                 : AcquireMode::kReorder,
+                  plan.window_ns,
                   [this, th, lock] {
                     const Section& s = th->plan.sections[th->sim.section_index];
                     const Time cs = scale_cs(*th, s.cs);
@@ -158,11 +161,10 @@ class Runner {
                                         : result_.little_series)
           .record(eng_.now(), latency);
     }
-    // Algorithm 2: the feedback step runs on little cores only.
-    if (cfg_.policy == Policy::kAsl && cfg_.use_slo &&
-        th->sim.type() == CoreType::kLittle) {
-      th->controller.on_epoch_end(latency, cfg_.slo);
-    }
+    // Algorithm 2 feedback, gated by the production DispatchPolicy (little
+    // cores only).
+    asl_epoch_feedback(cfg_.policy, cfg_.use_slo, th->sim.type(),
+                       th->controller, latency, cfg_.slo);
     th->epoch_index += 1;
     const Time gap = scale_ncs(*th, th->plan.gap_after);
     eng_.after(gap, [this, th] { start_epoch(th); });

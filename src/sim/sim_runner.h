@@ -2,16 +2,20 @@
 // workload against a simulated lock, applies the LibASL dispatch policy, and
 // collects the statistics every figure reports.
 //
-// The AIMD feedback loop uses the production asl::WindowController — the
-// simulator drives the same code the real library ships (DESIGN.md §2).
+// Both halves of the feedback loop are the production code (DESIGN.md §2):
+// the AIMD controller is asl::WindowController and the big/little dispatch
+// plus the little-cores-only feedback gate come from asl::DispatchPolicy —
+// the simulator consumes the very classes AslMutex ships, not a
+// reimplementation.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "asl/runtime.h"
 #include "asl/window_controller.h"
-#include "harness/latency_split.h"
+#include "stats/latency_split.h"
 #include "platform/rng.h"
 #include "sim/core_model.h"
 #include "sim/engine.h"
@@ -45,10 +49,23 @@ using EpochGen = std::function<EpochPlan(const SimThread& thread,
 // How lock() calls are issued.
 enum class Policy : std::uint8_t {
   kPlain,      // every thread acquires immediately (baseline locks)
-  kAsl,        // Algorithm 3: big -> immediate; little -> reorder with the
-               // AIMD window (or the max window when no SLO is set)
+  kAsl,        // Algorithm 3 via asl::DispatchPolicy: big -> immediate;
+               // little -> reorder with the AIMD window (or the max window
+               // when no SLO is set)
   kAslStatic,  // LibASL-OPT: little cores use a fixed window, no feedback
 };
+
+// The per-epoch feedback step, shared verbatim by Runner::end_epoch and the
+// dispatch-parity tests: Policy::kAsl with an SLO runs the production AIMD
+// update on the threads DispatchPolicy says adapt (little cores).
+inline void asl_epoch_feedback(Policy policy, bool use_slo, CoreType type,
+                               WindowController& controller, Time latency,
+                               Time slo) {
+  if (policy == Policy::kAsl && use_slo &&
+      DispatchPolicy::updates_window(type)) {
+    controller.on_epoch_end(latency, slo);
+  }
+}
 
 struct SimConfig {
   MachineParams machine{};

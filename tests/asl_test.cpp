@@ -63,21 +63,27 @@ TEST(WindowController, WindowIsBoundedByMax) {
 TEST(WindowController, UnitNeverBelowMin) {
   WindowController::Config cfg;
   cfg.initial_window = 64;
+  cfg.min_window = 16;
   cfg.min_unit = 16;
   WindowController ctrl(cfg);
   for (int i = 0; i < 20; ++i) ctrl.on_epoch_end(1000, 1);  // violations
-  EXPECT_EQ(ctrl.window(), 0u);
+  EXPECT_EQ(ctrl.window(), 16u);
   EXPECT_GE(ctrl.unit(), 16u);
   // Growth must still be possible afterwards.
   ctrl.on_epoch_end(0, 1000);
-  EXPECT_GE(ctrl.window(), 16u);
+  EXPECT_GE(ctrl.window(), 32u);
 }
 
-TEST(WindowController, ImpossibleSloDrivesWindowToZero) {
-  // SLO 0 can never be met -> FIFO fallback (window 0), the LibASL-0 case.
+TEST(WindowController, ImpossibleSloDrivesWindowToFloor) {
+  // SLO 0 can never be met -> FIFO fallback: the window pins at min_window
+  // (a few ns of standby is indistinguishable from an immediate enqueue),
+  // the LibASL-0 case. The floor means repeated multiplicative decrease can
+  // never produce window 0, from which additive growth could only restart
+  // via min_unit.
   WindowController ctrl;
   for (int i = 0; i < 64; ++i) ctrl.on_epoch_end(100, 0);
-  EXPECT_EQ(ctrl.window(), 0u);
+  EXPECT_EQ(ctrl.window(), WindowController::Config{}.min_window);
+  EXPECT_GT(ctrl.window(), 0u);
 }
 
 TEST(WindowController, ResetRestoresInitialState) {

@@ -2,7 +2,7 @@
 // split accounting, workload helpers.
 #include <gtest/gtest.h>
 
-#include "harness/latency_split.h"
+#include "stats/latency_split.h"
 #include "harness/runner.h"
 #include "workload/cs_workload.h"
 

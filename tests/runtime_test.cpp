@@ -1,0 +1,436 @@
+// Runtime-layer tests: EpochRegistry registration/snapshot/reset semantics,
+// the single DispatchPolicy implementation of Algorithm 3 (including parity
+// between the real epoch feedback path and the simulator's), the
+// WindowController min_window floor and the fixed_unit ablation switch, and
+// the hardened nested-epoch bookkeeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asl/epoch.h"
+#include "asl/libasl.h"
+#include "asl/runtime.h"
+#include "asl/window_controller.h"
+#include "platform/topology.h"
+#include "sim/sim_runner.h"
+
+namespace asl {
+namespace {
+
+// ---------------------------------------------------------- DispatchPolicy
+
+TEST(DispatchPolicy, BigCoresEnqueueImmediately) {
+  const LockPlan p = DispatchPolicy::plan(CoreType::kBig, 12345);
+  EXPECT_TRUE(p.immediate);
+}
+
+TEST(DispatchPolicy, LittleCoresStandByForTheWindow) {
+  const LockPlan p = DispatchPolicy::plan(CoreType::kLittle, 12345);
+  EXPECT_FALSE(p.immediate);
+  EXPECT_EQ(p.window_ns, 12345u);
+}
+
+TEST(DispatchPolicy, OnlyLittleCoresUpdateWindows) {
+  EXPECT_FALSE(DispatchPolicy::updates_window(CoreType::kBig));
+  EXPECT_TRUE(DispatchPolicy::updates_window(CoreType::kLittle));
+}
+
+TEST(DispatchPolicy, NoEpochWindowIsTheLooseMaximum) {
+  EXPECT_EQ(DispatchPolicy::no_epoch_window(), kMaxReorderWindow);
+}
+
+// The policy drives any reorderable-shaped lock; record which entry point
+// it picks.
+struct RecordingReorderable {
+  int immediate_calls = 0;
+  std::vector<std::uint64_t> reorder_windows;
+  void lock_immediately() { ++immediate_calls; }
+  void lock_reorder(std::uint64_t w) { reorder_windows.push_back(w); }
+};
+
+TEST(DispatchPolicy, LockHelperRoutesByCoreType) {
+  RecordingReorderable lk;
+  DispatchPolicy::lock(lk, CoreType::kBig, 500);
+  EXPECT_EQ(lk.immediate_calls, 1);
+  EXPECT_TRUE(lk.reorder_windows.empty());
+  DispatchPolicy::lock(lk, CoreType::kLittle, 500);
+  EXPECT_EQ(lk.immediate_calls, 1);
+  ASSERT_EQ(lk.reorder_windows.size(), 1u);
+  EXPECT_EQ(lk.reorder_windows[0], 500u);
+}
+
+TEST(DispatchPolicy, BigCoresNeverEvaluateTheWindowSource) {
+  RecordingReorderable lk;
+  bool window_queried = false;
+  auto window = [&window_queried] {
+    window_queried = true;
+    return std::uint64_t{500};
+  };
+  DispatchPolicy::lock(lk, CoreType::kBig, window);
+  EXPECT_EQ(lk.immediate_calls, 1);
+  EXPECT_FALSE(window_queried);  // the FIFO fast path skips epoch state
+  DispatchPolicy::lock(lk, CoreType::kLittle, window);
+  EXPECT_TRUE(window_queried);
+  ASSERT_EQ(lk.reorder_windows.size(), 1u);
+  EXPECT_EQ(lk.reorder_windows[0], 500u);
+}
+
+// Parity: the real library's epoch feedback (epoch_end_with_latency through
+// the thread-local controller) and the simulator's feedback step
+// (sim::asl_epoch_feedback through the same DispatchPolicy gate) must
+// produce identical window sequences for the same latency trace.
+TEST(DispatchPolicy, RealAndSimFeedbackProduceIdenticalWindowSequences) {
+  WindowController::Config cfg;
+  cfg.initial_window = 100'000;
+  cfg.initial_unit = 1'000;
+  cfg.percentile = 90;
+  const std::uint64_t slo = 2'000;
+  const std::vector<std::uint64_t> trace = {10,   20,  5'000, 30,   8'000,
+                                            1,    1,   9'999, 500,  2'001,
+                                            2'000, 100, 7,     4'000, 3};
+
+  std::vector<std::uint64_t> real_windows;
+  {
+    ScopedCoreType little(CoreType::kLittle);
+    reset_thread_epochs();
+    set_epoch_controller_config(cfg);
+    const int id = 42;
+    for (const std::uint64_t latency : trace) {
+      ASSERT_EQ(epoch_start(id), 0);
+      ASSERT_EQ(epoch_end_with_latency(id, slo, latency), 0);
+      real_windows.push_back(epoch_window(id));
+    }
+    set_epoch_controller_config(WindowController::Config{});
+    reset_thread_epochs();
+  }
+
+  std::vector<std::uint64_t> sim_windows;
+  {
+    WindowController controller(cfg);
+    for (const std::uint64_t latency : trace) {
+      sim::asl_epoch_feedback(sim::Policy::kAsl, /*use_slo=*/true,
+                              CoreType::kLittle, controller, latency, slo);
+      sim_windows.push_back(controller.window());
+    }
+  }
+
+  EXPECT_EQ(real_windows, sim_windows);
+}
+
+TEST(DispatchPolicy, BigCoreFeedbackIsSkippedOnBothPaths) {
+  WindowController::Config cfg;
+  cfg.initial_window = 100'000;
+
+  ScopedCoreType big(CoreType::kBig);
+  reset_thread_epochs();
+  set_epoch_controller_config(cfg);
+  const int id = 43;
+  ASSERT_EQ(epoch_start(id), 0);
+  ASSERT_EQ(epoch_end_with_latency(id, /*slo=*/1, /*latency=*/1'000'000), 0);
+  EXPECT_EQ(epoch_window(id), 100'000u);  // real path: unchanged
+  set_epoch_controller_config(WindowController::Config{});
+  reset_thread_epochs();
+
+  WindowController controller(cfg);
+  sim::asl_epoch_feedback(sim::Policy::kAsl, true, CoreType::kBig, controller,
+                          1'000'000, 1);
+  EXPECT_EQ(controller.window(), 100'000u);  // sim path: unchanged
+}
+
+// -------------------------------------------------------- WindowController
+
+TEST(WindowController, MinWindowFloorsMultiplicativeDecrease) {
+  WindowController::Config cfg;
+  cfg.initial_window = 1 << 20;
+  cfg.min_window = 64;
+  WindowController ctrl(cfg);
+  for (int i = 0; i < 100; ++i) ctrl.on_epoch_end(/*latency=*/100, /*slo=*/1);
+  EXPECT_EQ(ctrl.window(), 64u);
+}
+
+TEST(WindowController, InitialWindowClampedToFloor) {
+  WindowController::Config cfg;
+  cfg.initial_window = 10;
+  cfg.min_window = 64;
+  WindowController ctrl(cfg);
+  EXPECT_EQ(ctrl.window(), 64u);
+}
+
+TEST(WindowController, FixedUnitIsNeverRederived) {
+  WindowController::Config cfg;
+  cfg.initial_window = 1 << 20;
+  cfg.initial_unit = 100;
+  cfg.fixed_unit = true;
+  cfg.percentile = 99;
+  WindowController ctrl(cfg);
+  ctrl.on_epoch_end(/*latency=*/100, /*slo=*/1);  // violation halves window
+  EXPECT_EQ(ctrl.window(), (1u << 20) / 2);
+  EXPECT_EQ(ctrl.unit(), 100u);  // would be ~5242 if derived
+  const std::uint64_t w = ctrl.window();
+  ctrl.on_epoch_end(/*latency=*/1, /*slo=*/100);  // growth adds the unit
+  EXPECT_EQ(ctrl.window(), w + 100);
+}
+
+// --------------------------------------------------- nested-epoch hardening
+
+TEST(EpochNesting, EndingAnEpochNotOnTheStackFails) {
+  reset_thread_epochs();
+  ASSERT_EQ(epoch_start(1), 0);
+  EXPECT_EQ(epoch_end(2, 100), -1);   // 2 was never started
+  EXPECT_EQ(current_epoch_id(), 1);   // stack untouched
+  EXPECT_EQ(epoch_end(1, 100), 0);
+  EXPECT_EQ(current_epoch_id(), -1);
+  EXPECT_EQ(epoch_end(1, 100), -1);   // already ended
+  reset_thread_epochs();
+}
+
+TEST(EpochNesting, EndingAnOuterEpochUnwindsAbandonedInnerFrames) {
+  ScopedCoreType little(CoreType::kLittle);
+  reset_thread_epochs();
+  set_epoch_controller_config(WindowController::Config{});
+  ASSERT_EQ(epoch_start(1), 0);
+  ASSERT_EQ(epoch_start(2), 0);
+  ASSERT_EQ(epoch_start(3), 0);
+  const std::uint64_t w3_before = epoch_window(3);
+  // Ending 2 abandons 3 (no feedback for it) and restores 1.
+  EXPECT_EQ(epoch_end_with_latency(2, /*slo=*/100, /*latency=*/100'000), 0);
+  EXPECT_EQ(current_epoch_id(), 1);
+  EXPECT_EQ(epoch_window(3), w3_before);        // abandoned: untouched
+  EXPECT_LT(epoch_window(2), w3_before);        // ended with a violation
+  EXPECT_EQ(epoch_end(1, 100), 0);
+  EXPECT_EQ(current_epoch_id(), -1);
+  reset_thread_epochs();
+}
+
+// ------------------------------------------------------------ EpochRegistry
+
+TEST(EpochRegistry, SupportsHundredsOfDynamicallyRegisteredEpochs) {
+  EpochRegistry& reg = EpochRegistry::instance();
+  reg.reset_registrations();
+  std::vector<int> ids;
+  for (int i = 0; i < 300; ++i) {
+    EpochOptions opts;
+    opts.default_slo_ns = 1'000 * static_cast<std::uint64_t>(i + 1);
+    const int id = reg.register_epoch("request-class-" + std::to_string(i),
+                                      opts);
+    ASSERT_GE(id, 0);
+    ids.push_back(id);
+  }
+  EXPECT_EQ(reg.registered_count(), 300u);
+  // Ids are distinct and resolvable by name.
+  std::vector<int> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_EQ(reg.find("request-class-123"), ids[123]);
+  const EpochDescriptor desc = reg.describe(ids[123]);
+  EXPECT_EQ(desc.id, ids[123]);
+  EXPECT_EQ(desc.name, "request-class-123");
+  EXPECT_EQ(desc.options.default_slo_ns, 124'000u);
+  // Every registered epoch works end to end.
+  reset_thread_epochs();
+  ASSERT_EQ(epoch_start(ids[299]), 0);
+  EXPECT_EQ(epoch_end(ids[299]), 0);
+  reset_thread_epochs();
+  reg.reset_registrations();
+}
+
+TEST(EpochRegistry, RegisterByNameIsIdempotentAndUpdatesOptions) {
+  EpochRegistry& reg = EpochRegistry::instance();
+  reg.reset_registrations();
+  const int id = reg.register_epoch("txn");
+  EpochOptions opts;
+  opts.default_slo_ns = 5'000;
+  EXPECT_EQ(reg.register_epoch("txn", opts), id);
+  EXPECT_EQ(reg.registered_count(), 1u);
+  EXPECT_EQ(reg.default_slo(id), 5'000u);
+  opts.default_slo_ns = 9'000;
+  EXPECT_TRUE(reg.set_options(id, opts));
+  EXPECT_EQ(reg.default_slo(id), 9'000u);
+  reg.reset_registrations();
+}
+
+TEST(EpochRegistry, FixedIdRegistrationCoexistsWithAutoIds) {
+  EpochRegistry& reg = EpochRegistry::instance();
+  reg.reset_registrations();
+  EXPECT_EQ(reg.register_epoch_id(0, "static-zero"), 0);
+  EXPECT_EQ(reg.register_epoch("auto"), 1);  // skips the taken id
+  EXPECT_TRUE(reg.registered(0));
+  EXPECT_TRUE(reg.registered(1));
+  EXPECT_FALSE(reg.registered(2));
+  EXPECT_EQ(reg.register_epoch_id(kMaxEpochId, "out-of-range"), -1);
+  EXPECT_EQ(reg.register_epoch_id(-1, "negative"), -1);
+  reg.reset_registrations();
+}
+
+TEST(EpochRegistry, DefaultSloDrivesTheEpochEndOverload) {
+  EpochRegistry& reg = EpochRegistry::instance();
+  reg.reset_registrations();
+  ScopedCoreType little(CoreType::kLittle);
+  reset_thread_epochs();
+  set_epoch_controller_config(WindowController::Config{});
+
+  // Generous default SLO: the wall-clock latency of an empty epoch meets
+  // it, so the window grows by one unit.
+  EpochOptions opts;
+  opts.default_slo_ns = 10ull * 1000 * 1000 * 1000;  // 10 s
+  const int fed = reg.register_epoch("with-slo", opts);
+  ASSERT_EQ(epoch_start(fed), 0);
+  const std::uint64_t w0 = epoch_window(fed);
+  ASSERT_EQ(epoch_end(fed), 0);
+  EXPECT_GT(epoch_window(fed), w0);
+
+  // No default SLO: the overload pops the epoch but runs no feedback.
+  const int unfed = reg.register_epoch("no-slo");
+  ASSERT_EQ(epoch_start(unfed), 0);
+  const std::uint64_t w1 = epoch_window(unfed);
+  ASSERT_EQ(epoch_end(unfed), 0);
+  EXPECT_EQ(epoch_window(unfed), w1);
+
+  reset_thread_epochs();
+  reg.reset_registrations();
+}
+
+TEST(EpochRegistry, EpochScopeWithoutDefaultSloRunsNoFeedback) {
+  // The single-argument EpochScope must go through the epoch_end(id)
+  // overload: with no registered default SLO the epoch pops with no
+  // feedback, instead of treating slo=0 as "always violated" and
+  // collapsing the window.
+  EpochRegistry& reg = EpochRegistry::instance();
+  reg.reset_registrations();
+  ScopedCoreType little(CoreType::kLittle);
+  reset_thread_epochs();
+  set_epoch_controller_config(WindowController::Config{});
+  const int id = reg.register_epoch("scoped-no-slo");
+  const std::uint64_t w0 = epoch_window(id);
+  { EpochScope scope(id); }
+  EXPECT_EQ(epoch_window(id), w0);
+  EXPECT_EQ(current_epoch_id(), -1);
+  reset_thread_epochs();
+  reg.reset_registrations();
+}
+
+TEST(EpochRegistry, PerEpochControllerConfigSeedsFreshThreads) {
+  EpochRegistry& reg = EpochRegistry::instance();
+  reg.reset_registrations();
+  EpochOptions opts;
+  opts.controller.initial_window = 77'777;
+  const int id = reg.register_epoch("seeded", opts);
+  // A fresh thread (no thread-local override) picks up the registry config.
+  std::uint64_t seen = 0;
+  std::thread([&] { seen = epoch_window(id); }).join();
+  EXPECT_EQ(seen, 77'777u);
+  reg.reset_registrations();
+}
+
+TEST(EpochRegistry, SnapshotAggregatesLiveThreadState) {
+  EpochRegistry& reg = EpochRegistry::instance();
+  reg.reset_registrations();
+  EpochOptions opts;
+  opts.default_slo_ns = 1'000'000;
+  const int id = reg.register_epoch("snapshotted", opts);
+
+  reset_thread_epochs();
+  {
+    ScopedCoreType little(CoreType::kLittle);
+    ASSERT_EQ(epoch_start(id), 0);
+    ASSERT_EQ(epoch_end_with_latency(id, 1'000'000, 10), 0);
+  }
+
+  std::atomic<bool> worker_ready{false};
+  std::atomic<bool> release_worker{false};
+  std::thread worker([&] {
+    ScopedCoreType little(CoreType::kLittle);
+    for (int i = 0; i < 3; ++i) {
+      epoch_start(id);
+      epoch_end_with_latency(id, 1'000'000, 10);
+    }
+    worker_ready.store(true);
+    while (!release_worker.load()) std::this_thread::yield();
+  });
+  while (!worker_ready.load()) std::this_thread::yield();
+
+  const std::vector<EpochSnapshot> snaps = reg.snapshot();
+  release_worker.store(true);
+  worker.join();
+
+  const EpochSnapshot* snap = nullptr;
+  for (const EpochSnapshot& s : snaps) {
+    if (s.id == id) snap = &s;
+  }
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->name, "snapshotted");
+  EXPECT_EQ(snap->default_slo_ns, 1'000'000u);
+  EXPECT_GE(snap->threads, 2u);      // this thread + the worker
+  EXPECT_GE(snap->completions, 4u);  // 1 here + 3 in the worker
+  EXPECT_GT(snap->window_min, 0u);
+  EXPECT_GE(snap->window_max, snap->window_min);
+  EXPECT_GE(snap->window_mean, static_cast<double>(snap->window_min));
+
+  reset_thread_epochs();
+  reg.reset_registrations();
+}
+
+TEST(EpochRegistry, CompletionsSurviveThreadExit) {
+  EpochRegistry& reg = EpochRegistry::instance();
+  reg.reset_registrations();
+  const int id = reg.register_epoch("churned");
+  std::thread([&] {
+    for (int i = 0; i < 5; ++i) {
+      epoch_start(id);
+      epoch_end(id, 1'000'000);
+    }
+  }).join();
+  const std::vector<EpochSnapshot> snaps = reg.snapshot();
+  const EpochSnapshot* snap = nullptr;
+  for (const EpochSnapshot& s : snaps) {
+    if (s.id == id) snap = &s;
+  }
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->completions, 5u);  // folded in at thread exit
+  EXPECT_EQ(snap->threads, 0u);      // no live state remains
+  reg.reset_registrations();
+}
+
+TEST(EpochRegistry, UnregisteredButUsedEpochsAppearInSnapshots) {
+  EpochRegistry& reg = EpochRegistry::instance();
+  reg.reset_registrations();
+  reset_thread_epochs();
+  ASSERT_EQ(epoch_start(7), 0);
+  ASSERT_EQ(epoch_end(7, 1'000), 0);
+  const std::vector<EpochSnapshot> snaps = reg.snapshot();
+  const EpochSnapshot* snap = nullptr;
+  for (const EpochSnapshot& s : snaps) {
+    if (s.id == 7) snap = &s;
+  }
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->name, "epoch-7");
+  EXPECT_GE(snap->threads, 1u);
+  reset_thread_epochs();
+  reg.reset_registrations();
+}
+
+TEST(EpochRegistry, ResetRegistrationsClearsEverything) {
+  EpochRegistry& reg = EpochRegistry::instance();
+  reg.reset_registrations();
+  reg.register_epoch("a");
+  reg.register_epoch("b");
+  EXPECT_EQ(reg.registered_count(), 2u);
+  reg.reset_registrations();
+  EXPECT_EQ(reg.registered_count(), 0u);
+  EXPECT_EQ(reg.find("a"), -1);
+}
+
+// Bounds shared with the legacy API.
+TEST(EpochRegistry, IdBoundsMatchTheEpochApi) {
+  EXPECT_EQ(epoch_start(kMaxEpochId), -1);
+  EXPECT_EQ(epoch_start(-1), -1);
+  EXPECT_EQ(epoch_end(kMaxEpochId, 1), -1);
+  EXPECT_EQ(kMaxEpochs, kMaxEpochId);
+}
+
+}  // namespace
+}  // namespace asl
