@@ -1,0 +1,131 @@
+// Open-loop KV service scenarios (DESIGN.md §4): the {uniform, zipfian} x
+// {steady, bursty} family plus a diurnal ramp, each run as a real-thread
+// service under scheduled arrivals. Two tables per scenario:
+//   * offered — the deterministic arrival digest (pure function of the
+//     seeds; the determinism tests compare it byte-for-byte);
+//   * measured — offered vs achieved throughput, backpressure counts and
+//     the per-class latency / SLO-attainment split.
+// Shape checks stay on accounting invariants (conservation, drain
+// completeness, epoch tagging) rather than wall-clock latency thresholds,
+// so the scenarios are CI-stable on noisy shared runners.
+#include <string>
+
+#include "bench_common.h"
+#include "server/scenarios.h"
+#include "workload/open_loop.h"
+
+namespace asl::bench {
+namespace {
+
+using server::ClassReport;
+using server::KvScenario;
+using server::KvService;
+using server::OpenLoopResult;
+using server::ServiceReport;
+
+void run_kv_scenario(ScenarioContext& ctx, const std::string& name) {
+  KvScenario sc = server::make_kv_scenario(name);
+  const Nanos horizon = static_cast<Nanos>(
+      static_cast<double>(sc.horizon) * ctx.time_scale());
+  // Compress the arrival modulation (burst dwells, diurnal period) with the
+  // horizon, so a --time-scale run sees the same number of burst cycles and
+  // the same fraction of the "day", just faster.
+  for (server::LoadSpec& spec : sc.load) {
+    spec.arrivals = spec.arrivals.with_time_scale(ctx.time_scale());
+  }
+
+  ctx.banner(name, sc.title);
+  ctx.note("shards=" + std::to_string(sc.service.num_shards) +
+           " workers/shard=" + std::to_string(sc.service.workers_per_shard) +
+           " queue_capacity=" + std::to_string(sc.service.queue_capacity) +
+           " horizon_ms=" + std::to_string(horizon / kNanosPerMilli));
+
+  ctx.emit(server::offered_trace_table(sc.load, horizon), "kv_offered");
+
+  KvService service(sc.service);
+  EpochRegistry& registry = EpochRegistry::instance();
+  std::vector<std::uint64_t> completions_before;
+  for (std::uint32_t c = 0; c < sc.service.classes.size(); ++c) {
+    completions_before.push_back(registry.completions(service.epoch_id(c)));
+  }
+  service.start();
+  OpenLoopResult load = server::run_open_loop(service, sc.load, horizon);
+  service.stop();
+  ServiceReport report = service.report();
+
+  Table measured({"class", "slo_us", "offered_ops", "accepted", "rejected",
+                  "completed", "attain_pct", "p50_us", "p99_big_us",
+                  "p99_little_us", "qwait_p99_us"});
+  for (const ClassReport& c : report.classes) {
+    measured.add_row(
+        {c.name, std::to_string(c.slo_ns / kNanosPerMicro),
+         std::to_string(c.accepted + c.rejected), std::to_string(c.accepted),
+         std::to_string(c.rejected), std::to_string(c.completed),
+         Table::fmt(100.0 * c.attainment(), 1),
+         Table::fmt_ns_as_us(c.total.overall().p50()),
+         Table::fmt_ns_as_us(c.total.p99_big()),
+         Table::fmt_ns_as_us(c.total.p99_little()),
+         Table::fmt_ns_as_us(c.queue_wait.p99())});
+  }
+  ctx.emit(measured, "kv_measured");
+
+  const double achieved =
+      load.elapsed == 0 ? 0.0
+                        : static_cast<double>(report.total_completed()) *
+                              static_cast<double>(kNanosPerSec) /
+                              static_cast<double>(load.elapsed);
+  ctx.note("offered " + Table::fmt_ops(load.offered_rate_per_sec()) +
+           " ops/s, achieved " + Table::fmt_ops(achieved) + " ops/s");
+
+  // Conservation across the layers: generator counts == service counts,
+  // the drain on stop() completes every accepted request, and every
+  // completion was epoch-tagged exactly once.
+  ctx.shape_check(load.offered == load.accepted + load.rejected,
+                  "offered = accepted + rejected (generator)");
+  ctx.shape_check(load.accepted == report.total_accepted() &&
+                      load.rejected == report.total_rejected(),
+                  "generator and service admission counts agree");
+  ctx.shape_check(report.total_completed() == report.total_accepted(),
+                  "stop() drains every accepted request");
+  ctx.shape_check(report.total_completed() > 0, "service made progress");
+  bool tagged = true;
+  for (std::uint32_t c = 0; c < sc.service.classes.size(); ++c) {
+    const std::uint64_t delta =
+        registry.completions(service.epoch_id(c)) - completions_before[c];
+    tagged = tagged && delta == report.classes[c].completed;
+  }
+  ctx.shape_check(tagged, "per-class epoch completions match served counts");
+  bool met_some = true;
+  for (const ClassReport& c : report.classes) {
+    met_some = met_some && (c.completed == 0 || c.slo_met > 0);
+  }
+  ctx.shape_check(met_some, "each class met its SLO at least once");
+}
+
+}  // namespace
+}  // namespace asl::bench
+
+ASL_SCENARIO(kv_uniform_steady,
+             "open-loop KV: uniform keys, steady Poisson arrivals") {
+  asl::bench::run_kv_scenario(ctx, "kv_uniform_steady");
+}
+
+ASL_SCENARIO(kv_uniform_bursty,
+             "open-loop KV: uniform keys, bursty (MMPP) arrivals") {
+  asl::bench::run_kv_scenario(ctx, "kv_uniform_bursty");
+}
+
+ASL_SCENARIO(kv_zipf_steady,
+             "open-loop KV: zipfian keys, steady Poisson arrivals") {
+  asl::bench::run_kv_scenario(ctx, "kv_zipf_steady");
+}
+
+ASL_SCENARIO(kv_zipf_bursty,
+             "open-loop KV: zipfian keys, bursty (MMPP) arrivals") {
+  asl::bench::run_kv_scenario(ctx, "kv_zipf_bursty");
+}
+
+ASL_SCENARIO(kv_zipf_diurnal,
+             "open-loop KV: zipfian keys, diurnal-ramp arrivals") {
+  asl::bench::run_kv_scenario(ctx, "kv_zipf_diurnal");
+}

@@ -1,93 +1,75 @@
-// KV-server scenario: the Kyoto-Cabinet-style workload of Section 4.2 on
-// the real HashKv engine — 50% Put / 50% Get per request epoch, slot-level
-// locks plus a method lock, annotated with a latency SLO.
+// KV server example — the open-loop service layer end to end.
 //
-// Demonstrates the "integrating LibASL only requires inserting 3 lines"
-// claim: the engine itself (db/hashkv.*) has no LibASL-specific code; only
-// this request loop adds epoch_start/epoch_end.
+// Builds the sharded KV front-end (src/server/): HashKv shards behind
+// BlockingAslMutex locks and bounded request queues, a big/little worker
+// pair per shard, and two request classes registered as named epochs with
+// different SLOs. A Poisson open-loop generator offers traffic on its own
+// schedule; the report shows offered vs achieved throughput, backpressure
+// and the per-class SLO attainment, then the EpochRegistry snapshot shows
+// what the runtime saw per request class.
 #include <iostream>
 #include <string>
 
-#include "asl/libasl.h"
-#include "db/hashkv.h"
-#include "harness/runner.h"
-#include "platform/rng.h"
+#include "server/kv_service.h"
+#include "workload/open_loop.h"
 
 using namespace asl;
-
-namespace {
-
-constexpr Nanos kSlo = 2 * kNanosPerMilli;
-constexpr std::uint64_t kKeySpace = 4096;
-
-std::string key_of(std::uint64_t i) { return "user:" + std::to_string(i); }
-
-}  // namespace
+using namespace asl::server;
 
 int main() {
-  std::cout << "KV server (HashKv / Kyoto-style): 50% put, 50% get, SLO "
-            << kSlo / kNanosPerMicro << " us\n";
+  KvServiceConfig cfg;
+  cfg.num_shards = 4;
+  cfg.workers_per_shard = 2;  // one big + one little worker per shard
+  cfg.big_workers = 4;
+  cfg.queue_capacity = 256;
+  cfg.prefill_keys = 1 << 14;
+  cfg.classes.push_back(RequestClass{"kv-get", 1 * kNanosPerMilli});
+  cfg.classes.push_back(RequestClass{"kv-put", 4 * kNanosPerMilli});
 
-  // Register the request class by name with its SLO as the per-epoch
-  // default; the request loop then ends the epoch without repeating it.
-  EpochOptions op_opts;
-  op_opts.default_slo_ns = kSlo;
-  const int kOpEpoch =
-      EpochRegistry::instance().register_epoch("kv-op", op_opts);
+  std::cout << "KV service: " << cfg.num_shards << " shards, "
+            << cfg.num_shards * cfg.workers_per_shard
+            << " workers, classes kv-get (SLO 1 ms) / kv-put (SLO 4 ms)\n";
 
-  db::HashKv store(64);
-  for (std::uint64_t i = 0; i < kKeySpace; ++i) {
-    store.put(key_of(i), "initial");
+  LoadSpec gets;
+  gets.arrivals = workload::ArrivalProcess::poisson(12'000);
+  gets.keys = workload::KeyDist::uniform(cfg.prefill_keys);
+  gets.put_fraction = 0.0;
+  gets.class_index = 0;
+  gets.seed = 7;
+  LoadSpec puts;
+  puts.arrivals = workload::ArrivalProcess::poisson(4'000);
+  puts.keys = workload::KeyDist::zipfian(cfg.prefill_keys);
+  puts.put_fraction = 1.0;
+  puts.class_index = 1;
+  puts.seed = 8;
+
+  KvService service(cfg);
+  service.start();
+  OpenLoopResult load =
+      run_open_loop(service, {gets, puts}, 300 * kNanosPerMilli);
+  service.stop();
+
+  std::cout << "offered: " << load.offered << " requests ("
+            << static_cast<long>(load.offered_rate_per_sec())
+            << " ops/s), accepted " << load.accepted << ", rejected "
+            << load.rejected << "\n";
+
+  for (const ClassReport& c : service.report().classes) {
+    std::cout << "class '" << c.name << "' (epoch " << c.epoch_id
+              << ", SLO " << c.slo_ns / kNanosPerMicro
+              << " us): completed=" << c.completed
+              << " attainment=" << 100.0 * c.attainment() << "%"
+              << " p99_us big=" << c.total.p99_big() / 1000.0
+              << " little=" << c.total.p99_little() / 1000.0
+              << " qwait_p99_us=" << c.queue_wait.p99() / 1000.0 << "\n";
   }
+  std::cout << "store size: " << service.store_size() << "\n";
 
-  auto roles = m1_layout(4, /*num_big=*/2);
-  std::atomic<std::uint64_t> puts{0}, gets{0}, hits{0};
-  RunStats stats = run_fixed_duration(
-      roles, 500 * kNanosPerMilli, [&](const WorkerCtx& ctx) -> WorkerBody {
-        auto rng = std::make_shared<Rng>(ctx.index + 17);
-        const SpeedFactors speed = ctx.role.speed;
-        return [&, rng, speed](WorkerCtx& c) {
-          const std::uint64_t k = rng->below(kKeySpace);
-          const Nanos t0 = now_ns();
-          epoch_start(kOpEpoch);
-          if (rng->chance(0.5)) {
-            store.put(key_of(k), "value-" + std::to_string(c.ops));
-            puts.fetch_add(1, std::memory_order_relaxed);
-          } else {
-            hits.fetch_add(store.get(key_of(k)).has_value() ? 1 : 0,
-                           std::memory_order_relaxed);
-            gets.fetch_add(1, std::memory_order_relaxed);
-          }
-          epoch_end(kOpEpoch);  // SLO comes from the registry default
-          c.record_latency(now_ns() - t0);
-          c.ops += 1;
-          spin_nops(speed.scale_ncs(500));
-        };
-      });
-
-  std::cout << "ops: " << stats.total_ops << " (puts=" << puts.load()
-            << ", gets=" << gets.load() << ", hit-rate="
-            << (gets.load() ? 100.0 * static_cast<double>(hits.load()) /
-                                  static_cast<double>(gets.load())
-                            : 0.0)
-            << "%)\n"
-            << "throughput: "
-            << static_cast<long>(stats.throughput_ops_per_sec()) << " ops/s\n"
-            << "P99 (us): big=" << stats.latency.p99_big() / 1000.0
-            << " little=" << stats.latency.p99_little() / 1000.0 << "\n"
-            << "store size: " << store.size() << "\n";
-
-  // Runtime introspection: what the epoch runtime saw, per request class
-  // (the workers exited, so completions come from the registry's retired
-  // counts).
+  // Runtime introspection: the workers exited at stop(), so completions
+  // come from the registry's retired-completion folding.
   for (const EpochSnapshot& s : EpochRegistry::instance().snapshot()) {
     std::cout << "epoch '" << s.name << "' (id " << s.id
-              << "): completions=" << s.completions;
-    if (s.threads > 0) {
-      std::cout << " live_threads=" << s.threads
-                << " window_mean_us=" << s.window_mean / 1000.0;
-    }
-    std::cout << "\n";
+              << "): completions=" << s.completions << "\n";
   }
   return 0;
 }

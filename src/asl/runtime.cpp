@@ -478,6 +478,13 @@ std::vector<EpochSnapshot> EpochRegistry::snapshot() const {
   return out;
 }
 
+std::uint64_t EpochRegistry::completions(int id) const {
+  for (const EpochSnapshot& snap : snapshot()) {
+    if (snap.id == id) return snap.completions;
+  }
+  return 0;
+}
+
 void EpochRegistry::reset_registrations() {
   RegistryData& data = registry_data();
   data.lock.lock();

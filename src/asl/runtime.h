@@ -165,6 +165,12 @@ class EpochRegistry {
   // exit); window aggregates cover live threads only. Sorted by id.
   std::vector<EpochSnapshot> snapshot() const;
 
+  // Completions currently attributed to `id` (live threads plus the
+  // retired fold) — the single-epoch slice of snapshot(). Callers that run
+  // back to back in one process compare before/after deltas, not absolute
+  // counts.
+  std::uint64_t completions(int id) const;
+
   // Drops all registrations (test isolation). Per-thread state is not
   // touched; call reset_thread_epochs() on the threads that need it.
   void reset_registrations();

@@ -83,4 +83,17 @@ class WindowController {
   std::uint64_t unit_ = 0;
 };
 
+// Seed `config` proportionally to an SLO: start the window *at* the SLO
+// (multiplicative decrease walks down to equilibrium; starting low is an
+// absorbing trap — see experiment.h's fuller rationale) with a growth unit
+// on the SLO's scale so adaptation converges within a few dozen epochs in
+// any SLO decade. The one rule shared by the simulator configs
+// (seed_controller) and the KV service's per-class registration; other
+// config fields (percentile, fixed_unit) are left untouched.
+inline void seed_config_for_slo(WindowController::Config& config,
+                                std::uint64_t slo_ns) {
+  config.initial_window = slo_ns;
+  config.initial_unit = slo_ns / 64 > 16 ? slo_ns / 64 : std::uint64_t{16};
+}
+
 }  // namespace asl

@@ -83,9 +83,7 @@ inline void seed_controller(SimConfig& cfg) {
   // Starting low instead is an absorbing trap: with every little core in
   // the FIFO queue the SLO is violated on every epoch, so windows can never
   // grow — even when an SLO-meeting equilibrium exists under reordering.
-  cfg.controller.initial_window = cfg.slo;
-  cfg.controller.initial_unit =
-      cfg.slo / 64 > 16 ? cfg.slo / 64 : Time{16};
+  seed_config_for_slo(cfg.controller, cfg.slo);
 }
 
 // LibASL over Bench-1 with a given SLO (slo = 0 -> impossible-SLO FIFO

@@ -1,0 +1,210 @@
+#include "server/kv_service.h"
+
+#include "platform/affinity.h"
+#include "platform/rng.h"
+#include "platform/time.h"
+
+namespace asl::server {
+
+KvService::KvService(KvServiceConfig config) : config_(std::move(config)) {
+  if (config_.num_shards < 1) config_.num_shards = 1;
+  if (config_.workers_per_shard < 1) config_.workers_per_shard = 1;
+  if (config_.classes.empty()) {
+    config_.classes.push_back(RequestClass{"kv-default", 0});
+  }
+
+  shards_.reserve(config_.num_shards);
+  for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+  }
+
+  // Register each request class as a named epoch, its controller seeded
+  // proportionally to the SLO by the same rule the simulator configs use.
+  for (const RequestClass& spec : config_.classes) {
+    auto cs = std::make_unique<ClassState>();
+    cs->spec = spec;
+    EpochOptions opts;
+    opts.default_slo_ns = spec.slo_ns;
+    if (spec.slo_ns > 0) {
+      seed_config_for_slo(opts.controller, spec.slo_ns);
+    }
+    cs->epoch_id = EpochRegistry::instance().register_epoch(spec.name, opts);
+    classes_.push_back(std::move(cs));
+  }
+
+  for (std::uint64_t k = 0; k < config_.prefill_keys; ++k) {
+    shards_[shard_of(k)]->engine.put(key_string(k), "prefill");
+  }
+
+  // Worker slots: worker w serves shard w % num_shards; the first
+  // big_workers slots are big, the rest little (m1_layout order).
+  const std::uint32_t n = config_.num_shards * config_.workers_per_shard;
+  std::uint32_t num_big = config_.big_workers;
+  if (num_big == ~0u) num_big = (n + 1) / 2;
+  for (std::uint32_t w = 0; w < n; ++w) {
+    WorkerSlot slot;
+    slot.index = w;
+    slot.shard = w % config_.num_shards;
+    slot.type = w < num_big ? CoreType::kBig : CoreType::kLittle;
+    slot.speed =
+        slot.type == CoreType::kBig ? SpeedFactors::big() : SpeedFactors::little();
+    slots_.push_back(slot);
+  }
+}
+
+KvService::~KvService() { stop(); }
+
+void KvService::start() {
+  if (running_ || stopped_) return;
+  running_ = true;
+  workers_.reserve(slots_.size());
+  for (const WorkerSlot& slot : slots_) {
+    workers_.emplace_back([this, &slot] { worker_loop(slot); });
+  }
+}
+
+void KvService::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) {
+    shard->queue.close();
+  }
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+  if (workers_.empty()) {
+    // Never started: drain inline (each shard under its first worker slot's
+    // core type) so the "after stop(), completed == accepted" invariant
+    // holds regardless of lifecycle.
+    for (const WorkerSlot& slot : slots_) {
+      if (slot.index != slot.shard) continue;  // one drainer per shard
+      ScopedCoreType scoped(slot.type);
+      Request req;
+      while (shards_[slot.shard]->queue.pop(req)) {
+        serve(slot, req);
+      }
+    }
+  }
+  workers_.clear();
+  running_ = false;
+}
+
+std::uint32_t KvService::shard_of(std::uint64_t key) const {
+  // Hash-striped: splitmix64 decorrelates shard choice from key order, so
+  // zipfian-hot ranks and sequential prefills both spread over the shards.
+  std::uint64_t h = key;
+  return static_cast<std::uint32_t>(splitmix64(h) % config_.num_shards);
+}
+
+bool KvService::try_submit(OpType op, std::uint64_t key,
+                           std::uint32_t class_index) {
+  if (class_index >= classes_.size()) return false;
+  ClassState& cs = *classes_[class_index];
+  Request req;
+  req.op = op;
+  req.key = key;
+  req.class_index = class_index;
+  req.enqueue_ns = now_ns();
+  if (shards_[shard_of(key)]->queue.try_push(req)) {
+    cs.accepted.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  cs.rejected.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+int KvService::epoch_id(std::uint32_t class_index) const {
+  return class_index < classes_.size() ? classes_[class_index]->epoch_id : -1;
+}
+
+std::size_t KvService::queue_depth(std::uint32_t shard) const {
+  return shard < shards_.size() ? shards_[shard]->queue.size() : 0;
+}
+
+std::size_t KvService::store_size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->engine.size();
+  return n;
+}
+
+std::uint32_t KvService::num_workers() const {
+  return static_cast<std::uint32_t>(slots_.size());
+}
+
+ServiceReport KvService::report() const {
+  ServiceReport report;
+  for (const auto& cs : classes_) {
+    ClassReport c;
+    c.name = cs->spec.name;
+    c.epoch_id = cs->epoch_id;
+    c.slo_ns = cs->spec.slo_ns;
+    c.accepted = cs->accepted.load(std::memory_order_relaxed);
+    c.rejected = cs->rejected.load(std::memory_order_relaxed);
+    cs->stats_lock.lock();
+    c.completed = cs->completed;
+    c.slo_met = cs->slo_met;
+    c.total = cs->total;
+    c.queue_wait = cs->queue_wait;
+    cs->stats_lock.unlock();
+    report.classes.push_back(std::move(c));
+  }
+  return report;
+}
+
+std::string KvService::key_string(std::uint64_t key) {
+  return "k:" + std::to_string(key);
+}
+
+void KvService::worker_loop(const WorkerSlot& slot) {
+  if (config_.pin_workers) {
+    pin_to_cpu_wrapped(slot.index);
+  }
+  ScopedCoreType scoped(slot.type);
+  Shard& shard = *shards_[slot.shard];
+  Request req;
+  while (shard.queue.pop(req)) {
+    serve(slot, req);
+  }
+  // No epoch-state reset here: the thread_local destructor folds this
+  // worker's completion counts into the registry, which is how post-stop
+  // snapshots still account for every served request.
+}
+
+void KvService::serve(const WorkerSlot& slot, const Request& req) {
+  ClassState& cs = *classes_[req.class_index];
+  Shard& shard = *shards_[slot.shard];
+  const Nanos service_start = now_ns();
+
+  epoch_start(cs.epoch_id);
+  shard.lock.lock();
+  spin_nops(slot.speed.scale_cs(config_.cs_nops));
+  if (req.op == OpType::kPut) {
+    shard.engine.put(key_string(req.key), "v:" + std::to_string(req.key));
+  } else {
+    (void)shard.engine.get(key_string(req.key));
+  }
+  shard.lock.unlock();
+
+  const Nanos done = now_ns();
+  const Nanos total = done > req.enqueue_ns ? done - req.enqueue_ns : 0;
+  // Feedback sees the end-to-end latency (queue wait included): overload
+  // shows up as SLO violations and shrinks the class's reorder window even
+  // when the critical section itself is fast.
+  if (cs.spec.slo_ns > 0) {
+    epoch_end_with_latency(cs.epoch_id, cs.spec.slo_ns, total);
+  } else {
+    epoch_end(cs.epoch_id);
+  }
+  spin_nops(slot.speed.scale_ncs(config_.post_nops));
+
+  const Nanos wait =
+      service_start > req.enqueue_ns ? service_start - req.enqueue_ns : 0;
+  cs.stats_lock.lock();
+  cs.completed += 1;
+  if (cs.spec.slo_ns == 0 || total <= cs.spec.slo_ns) cs.slo_met += 1;
+  cs.total.record(slot.type, total);
+  cs.queue_wait.record(wait);
+  cs.stats_lock.unlock();
+}
+
+}  // namespace asl::server

@@ -1,0 +1,195 @@
+// Sharded KV front-end — the open-loop service layer over the asl_db
+// engines (DESIGN.md §4).
+//
+// Layout: N shards, each one HashKv engine guarded by a BlockingAslMutex
+// (the oversubscription-safe LibASL lock) behind a bounded request queue.
+// Requests are routed by key hash, admitted with backpressure (a full queue
+// rejects, it never blocks the submitter), and served by worker threads
+// that declare big/little core types through the topology oracle and pin
+// themselves like the paper's evaluation harness.
+//
+// Every request carries a *request class*: a named epoch registered with
+// the EpochRegistry, so different classes (point lookups vs writes, say)
+// adapt their reorder windows against different SLOs. The worker wraps the
+// shard critical section in epoch_start / epoch_end_with_latency and feeds
+// the controller the *end-to-end* latency (queue wait + service): under
+// overload, queueing delay violates the SLO, the window collapses, and
+// little-core workers stop standing by — the service-level version of the
+// paper's feedback loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asl/libasl.h"
+#include "db/hashkv.h"
+#include "platform/raw_spinlock.h"
+#include "server/request_queue.h"
+#include "stats/histogram.h"
+#include "stats/latency_split.h"
+#include "workload/cs_workload.h"
+
+namespace asl::server {
+
+enum class OpType : std::uint8_t { kGet = 0, kPut = 1 };
+
+// One queued request. `class_index` is the dense index into the configured
+// request classes (each of which owns a registered epoch id).
+struct Request {
+  OpType op = OpType::kGet;
+  std::uint64_t key = 0;
+  std::uint32_t class_index = 0;
+  Nanos enqueue_ns = 0;
+};
+
+// A request class: its epoch name (registered with the EpochRegistry at
+// service construction) and the end-to-end latency SLO. slo_ns == 0 means
+// "no SLO": the epoch still tags the request but runs no feedback.
+struct RequestClass {
+  std::string name;
+  Nanos slo_ns = 0;
+};
+
+struct KvServiceConfig {
+  std::uint32_t num_shards = 4;
+  std::size_t queue_capacity = 256;  // per shard
+  // Workers = num_shards * workers_per_shard; worker w serves shard
+  // w % num_shards, so 2 workers/shard pairs a big with a little worker on
+  // every shard (AMP contention on the shard lock).
+  std::uint32_t workers_per_shard = 1;
+  // How many workers declare CoreType::kBig (the rest are little); ~0u =
+  // half, rounded up.
+  std::uint32_t big_workers = ~0u;
+  bool pin_workers = true;
+  // Emulated service cost: critical-section spin inside the shard lock and
+  // post-op spin outside, both scaled by the worker's core speed factors
+  // (cs_workload.h semantics).
+  std::uint64_t cs_nops = 400;
+  std::uint64_t post_nops = 200;
+  // Keys [0, prefill_keys) are inserted at construction so gets can hit.
+  std::uint64_t prefill_keys = 0;
+  std::vector<RequestClass> classes;
+};
+
+// Per-class accounting, merged across workers.
+struct ClassReport {
+  std::string name;
+  int epoch_id = -1;
+  Nanos slo_ns = 0;
+  std::uint64_t accepted = 0;   // admitted to a shard queue
+  std::uint64_t rejected = 0;   // bounced by a full queue (backpressure)
+  std::uint64_t completed = 0;  // served by a worker
+  std::uint64_t slo_met = 0;    // completed with end-to-end latency <= SLO
+  LatencySplit total;           // end-to-end latency, by worker core type
+  Histogram queue_wait;         // admission -> service start
+
+  double attainment() const {
+    return completed == 0 ? 1.0
+                          : static_cast<double>(slo_met) /
+                                static_cast<double>(completed);
+  }
+};
+
+struct ServiceReport {
+  std::vector<ClassReport> classes;
+
+  std::uint64_t total_accepted() const {
+    std::uint64_t n = 0;
+    for (const ClassReport& c : classes) n += c.accepted;
+    return n;
+  }
+  std::uint64_t total_rejected() const {
+    std::uint64_t n = 0;
+    for (const ClassReport& c : classes) n += c.rejected;
+    return n;
+  }
+  std::uint64_t total_completed() const {
+    std::uint64_t n = 0;
+    for (const ClassReport& c : classes) n += c.completed;
+    return n;
+  }
+};
+
+class KvService {
+ public:
+  explicit KvService(KvServiceConfig config);
+  ~KvService();
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  // Spawns the worker pool. Idempotent; requests submitted before start()
+  // sit in the shard queues (server_test uses this to fill a queue).
+  void start();
+
+  // Closes the queues, lets the workers drain every accepted request, and
+  // joins them. After stop(), completed == accepted per class. Idempotent.
+  void stop();
+
+  // Key -> shard routing (hash-striped so skewed key popularity still
+  // spreads over shards). Exposed for the routing tests.
+  std::uint32_t shard_of(std::uint64_t key) const;
+
+  // Open-loop admission: non-blocking; false = rejected (queue full or
+  // service stopped). The enqueue timestamp is taken here. An out-of-range
+  // class_index is a caller bug: it returns false without counting a
+  // per-class rejection (there is no class to attribute it to), so callers
+  // validate indices up front (run_open_loop does).
+  bool try_submit(OpType op, std::uint64_t key, std::uint32_t class_index);
+
+  std::uint32_t num_classes() const {
+    return static_cast<std::uint32_t>(config_.classes.size());
+  }
+  int epoch_id(std::uint32_t class_index) const;
+  std::size_t queue_depth(std::uint32_t shard) const;
+  std::size_t store_size() const;  // sum over shard engines
+  std::uint32_t num_workers() const;
+  const KvServiceConfig& config() const { return config_; }
+
+  ServiceReport report() const;
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t queue_capacity)
+        : queue(queue_capacity), engine(16) {}
+    BoundedQueue<Request> queue;
+    BlockingAslMutex lock;  // serializes workers of this shard on the engine
+    db::HashKv engine;
+  };
+
+  struct ClassState {
+    RequestClass spec;
+    int epoch_id = -1;
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    mutable RawSpinLock stats_lock;
+    std::uint64_t completed = 0;  // guarded by stats_lock
+    std::uint64_t slo_met = 0;
+    LatencySplit total;
+    Histogram queue_wait;
+  };
+
+  struct WorkerSlot {
+    std::uint32_t index = 0;
+    std::uint32_t shard = 0;
+    CoreType type = CoreType::kBig;
+    SpeedFactors speed{};
+  };
+
+  static std::string key_string(std::uint64_t key);
+  void worker_loop(const WorkerSlot& slot);
+  void serve(const WorkerSlot& slot, const Request& req);
+
+  KvServiceConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<ClassState>> classes_;
+  std::vector<WorkerSlot> slots_;
+  std::vector<std::thread> workers_;
+  bool running_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace asl::server

@@ -1,0 +1,101 @@
+// Bounded request queue — the per-shard admission buffer of the KV service.
+//
+// Open-loop traffic needs explicit backpressure: when arrivals outrun
+// service capacity the queue fills and try_push fails, turning overload into
+// a counted rejection instead of unbounded memory growth (DESIGN.md §4).
+// The default service layout is MPSC (many submitters, one worker per
+// shard), but nothing here assumes a single consumer, so scenarios may run
+// a big/little worker pair per shard.
+//
+// Producers never block; consumers block on a CondVar (the litl-style
+// shadow-mutex condvar from asl/condvar.h) until an item or close() arrives.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "asl/condvar.h"
+#include "locks/pthread_lock.h"
+
+namespace asl::server {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {
+    ring_.resize(capacity_);
+  }
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Non-blocking push; false when the queue is full or closed (the caller
+  // counts the rejection).
+  bool try_push(T item) {
+    lock_.lock();
+    if (closed_ || count_ == capacity_) {
+      lock_.unlock();
+      return false;
+    }
+    ring_[(head_ + count_) % capacity_] = std::move(item);
+    count_ += 1;
+    lock_.unlock();
+    not_empty_.signal();
+    return true;
+  }
+
+  // Blocks until an item is available (true) or the queue is closed and
+  // fully drained (false). Closed-but-nonempty queues keep delivering, so
+  // every accepted request is eventually served.
+  bool pop(T& out) {
+    lock_.lock();
+    while (count_ == 0 && !closed_) {
+      not_empty_.wait(lock_);
+    }
+    if (count_ == 0) {
+      lock_.unlock();
+      return false;
+    }
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    count_ -= 1;
+    lock_.unlock();
+    return true;
+  }
+
+  // Rejects future pushes and wakes all poppers. Idempotent.
+  void close() {
+    lock_.lock();
+    closed_ = true;
+    lock_.unlock();
+    not_empty_.broadcast();
+  }
+
+  std::size_t size() const {
+    lock_.lock();
+    const std::size_t n = count_;
+    lock_.unlock();
+    return n;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    lock_.lock();
+    const bool c = closed_;
+    lock_.unlock();
+    return c;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable PthreadLock lock_;
+  CondVar not_empty_;
+  std::vector<T> ring_;   // ring buffer: [head_, head_ + count_) mod capacity
+  std::size_t head_ = 0;  // guarded by lock_
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace asl::server

@@ -1,0 +1,93 @@
+#include "server/scenarios.h"
+
+namespace asl::server {
+namespace {
+
+constexpr std::uint64_t kKeySpace = 1 << 15;
+constexpr double kGetRate = 12'000.0;  // interactive stream, requests/sec
+constexpr double kPutRate = 4'000.0;   // write stream
+
+// Shared service shape: 4 shards, a big/little worker pair per shard (AMP
+// contention on every shard lock), bounded queues sized for burst
+// absorption but small enough that sustained overload rejects.
+KvServiceConfig base_service() {
+  KvServiceConfig cfg;
+  cfg.num_shards = 4;
+  cfg.workers_per_shard = 2;
+  cfg.big_workers = 4;
+  cfg.queue_capacity = 512;
+  cfg.prefill_keys = kKeySpace;
+  cfg.classes.push_back(RequestClass{"kv-get", 1 * kNanosPerMilli});
+  cfg.classes.push_back(RequestClass{"kv-put", 4 * kNanosPerMilli});
+  return cfg;
+}
+
+std::vector<LoadSpec> base_load(const workload::KeyDist& keys,
+                                const workload::ArrivalProcess& get_arrivals,
+                                const workload::ArrivalProcess& put_arrivals) {
+  LoadSpec gets;
+  gets.arrivals = get_arrivals;
+  gets.keys = keys;
+  gets.put_fraction = 0.0;
+  gets.class_index = 0;
+  gets.seed = 0xA11CE;
+  LoadSpec puts;
+  puts.arrivals = put_arrivals;
+  puts.keys = keys;
+  puts.put_fraction = 1.0;
+  puts.class_index = 1;
+  puts.seed = 0xB0B;
+  return {gets, puts};
+}
+
+}  // namespace
+
+std::vector<std::string> kv_scenario_names() {
+  return {"kv_uniform_bursty", "kv_uniform_steady", "kv_zipf_bursty",
+          "kv_zipf_diurnal", "kv_zipf_steady"};
+}
+
+KvScenario make_kv_scenario(std::string_view name) {
+  using workload::ArrivalProcess;
+  using workload::KeyDist;
+
+  KvScenario sc;
+  sc.name = std::string(name);
+  sc.service = base_service();
+  sc.horizon = 400 * kNanosPerMilli;
+
+  const KeyDist uniform = KeyDist::uniform(kKeySpace);
+  const KeyDist zipf = KeyDist::zipfian(kKeySpace, 0.99);
+  const ArrivalProcess get_steady = ArrivalProcess::poisson(kGetRate);
+  const ArrivalProcess put_steady = ArrivalProcess::poisson(kPutRate);
+  // Bursts multiply the interactive stream ~10x for ~10 ms spells — the
+  // flash-crowd pattern bounded queues exist for.
+  const ArrivalProcess get_bursty = ArrivalProcess::bursty(
+      kGetRate, 10.0, 40 * kNanosPerMilli, 10 * kNanosPerMilli);
+
+  if (name == "kv_uniform_steady") {
+    sc.title = "open-loop KV: uniform keys, steady Poisson arrivals";
+    sc.load = base_load(uniform, get_steady, put_steady);
+  } else if (name == "kv_uniform_bursty") {
+    sc.title = "open-loop KV: uniform keys, bursty (MMPP) arrivals";
+    sc.load = base_load(uniform, get_bursty, put_steady);
+  } else if (name == "kv_zipf_steady") {
+    sc.title = "open-loop KV: zipfian keys, steady Poisson arrivals";
+    sc.load = base_load(zipf, get_steady, put_steady);
+  } else if (name == "kv_zipf_bursty") {
+    sc.title = "open-loop KV: zipfian keys, bursty (MMPP) arrivals";
+    sc.load = base_load(zipf, get_bursty, put_steady);
+  } else if (name == "kv_zipf_diurnal") {
+    sc.title = "open-loop KV: zipfian keys, diurnal-ramp arrivals";
+    // The interactive rate sweeps trough -> peak -> trough every 200 ms —
+    // two compressed "days" over the 400 ms horizon (the ratio survives
+    // --time-scale, which compresses period and horizon together).
+    sc.load = base_load(
+        zipf,
+        ArrivalProcess::diurnal(2.0 * kGetRate, 0.2, 200 * kNanosPerMilli),
+        put_steady);
+  }
+  return sc;
+}
+
+}  // namespace asl::server

@@ -1,0 +1,39 @@
+// Canonical open-loop KV scenarios — one definition shared by the figure
+// driver (bench/kv_scenarios.cpp), the determinism tests and the server
+// tests, so "kv_zipf_bursty" means exactly one thing everywhere (the same
+// role experiment.h plays for the closed-loop benches). The kv_server
+// example deliberately does NOT use these: it hand-builds a small config to
+// demonstrate the raw service API.
+//
+// The family is the cross product {uniform, zipfian} keys x {steady
+// Poisson, bursty MMPP} arrivals, plus a diurnal-ramp variant. Every
+// scenario serves two request classes with different SLOs — interactive
+// point gets (tight) and writes (loose) — so per-epoch SLO accounting has
+// something to distinguish.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/open_loop.h"
+
+namespace asl::server {
+
+struct KvScenario {
+  std::string name;
+  std::string title;
+  KvServiceConfig service;
+  std::vector<LoadSpec> load;
+  Nanos horizon = 0;  // unscaled run length; benches scale it by --time-scale
+};
+
+// Names of the registered open-loop scenarios, sorted.
+std::vector<std::string> kv_scenario_names();
+
+// Builds the scenario configuration for `name`; aborts (assert-style via
+// the returned empty load) only on unknown names — callers use
+// kv_scenario_names() or the scenario registry, which only hold valid ones.
+KvScenario make_kv_scenario(std::string_view name);
+
+}  // namespace asl::server

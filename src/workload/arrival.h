@@ -1,0 +1,154 @@
+// Open-loop arrival processes.
+//
+// The figure benches are closed-loop: each thread issues the next epoch as
+// soon as the previous one finishes, so offered load adapts to service
+// capacity and queueing delay never appears. A production service is
+// open-loop — requests arrive on their own schedule whether or not the
+// server keeps up — which is exactly the regime where SLO attainment and
+// the reorder-window dispatch interact (DESIGN.md §4). These processes
+// generate arrival timestamps; the load generator (open_loop.h) replays
+// them against the wall clock, and the determinism tests replay them
+// against nothing at all.
+//
+// All draws come from platform/rng.h so a (process, seed) pair defines one
+// arrival schedule, byte-for-byte reproducible across runs and hosts.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "platform/rng.h"
+#include "platform/time.h"
+
+namespace asl::workload {
+
+// A stateful interarrival generator. Value type: copy one to replay the
+// same process from its initial state (generate_trace relies on this).
+class ArrivalProcess {
+ public:
+  // Homogeneous Poisson arrivals: exponential interarrivals at `rate_per_sec`.
+  static ArrivalProcess poisson(double rate_per_sec) {
+    ArrivalProcess p;
+    p.kind_ = Kind::kPoisson;
+    p.base_rate_ = rate_per_sec;
+    return p;
+  }
+
+  // Bursty arrivals: a two-state Markov-modulated Poisson process. The
+  // process dwells exponentially in a calm state (rate = base) and a burst
+  // state (rate = base * burst_multiplier), the classic MMPP(2) traffic
+  // model for flash crowds.
+  static ArrivalProcess bursty(double base_rate_per_sec,
+                               double burst_multiplier = 8.0,
+                               Nanos mean_calm_ns = 40 * kNanosPerMilli,
+                               Nanos mean_burst_ns = 10 * kNanosPerMilli) {
+    ArrivalProcess p;
+    p.kind_ = Kind::kBursty;
+    p.base_rate_ = base_rate_per_sec;
+    p.burst_multiplier_ = burst_multiplier;
+    p.mean_calm_ns_ = mean_calm_ns;
+    p.mean_burst_ns_ = mean_burst_ns;
+    return p;
+  }
+
+  // Diurnal ramp: a non-homogeneous Poisson process whose rate follows one
+  // raised-cosine cycle per `period_ns`, from `trough_fraction * peak` up to
+  // `peak_rate_per_sec` and back — a whole day compressed into one run.
+  static ArrivalProcess diurnal(double peak_rate_per_sec,
+                                double trough_fraction = 0.2,
+                                Nanos period_ns = 200 * kNanosPerMilli) {
+    ArrivalProcess p;
+    p.kind_ = Kind::kDiurnal;
+    p.base_rate_ = peak_rate_per_sec;
+    p.trough_fraction_ = trough_fraction;
+    p.period_ns_ = period_ns < 1 ? 1 : period_ns;  // phase is t % period
+    return p;
+  }
+
+  // Copy with the *modulation* time constants (MMPP dwell times, diurnal
+  // period) multiplied by `scale`, rates untouched. Scenario drivers apply
+  // their --time-scale here so a shortened horizon still covers the same
+  // number of burst cycles / the same fraction of a "day" — compressing
+  // time without inflating offered load beyond what the real service sees.
+  ArrivalProcess with_time_scale(double scale) const {
+    ArrivalProcess p = *this;
+    if (scale <= 0) return p;
+    auto scaled = [scale](Nanos ns) {
+      const double v = static_cast<double>(ns) * scale;
+      return v < 1.0 ? Nanos{1} : static_cast<Nanos>(v);
+    };
+    p.mean_calm_ns_ = scaled(p.mean_calm_ns_);
+    p.mean_burst_ns_ = scaled(p.mean_burst_ns_);
+    if (p.period_ns_ > 0) p.period_ns_ = scaled(p.period_ns_);
+    return p;
+  }
+
+  // Gap to the next arrival, advancing the process state. Gaps are >= 1 ns
+  // so schedules make progress even at absurd rates.
+  Nanos next_gap(Rng& rng) {
+    double rate = base_rate_;
+    switch (kind_) {
+      case Kind::kPoisson:
+        break;
+      case Kind::kBursty: {
+        // Advance the modulating chain before drawing: if the dwell in the
+        // current state has elapsed, flip and draw a fresh dwell.
+        while (now_ns_ >= state_until_ns_) {
+          in_burst_ = !in_burst_;
+          const Nanos mean = in_burst_ ? mean_burst_ns_ : mean_calm_ns_;
+          state_until_ns_ += exponential(rng, mean);
+        }
+        if (in_burst_) rate = base_rate_ * burst_multiplier_;
+        break;
+      }
+      case Kind::kDiurnal: {
+        const double phase =
+            2.0 * kPi *
+            static_cast<double>(now_ns_ % period_ns_) /
+            static_cast<double>(period_ns_);
+        const double level =
+            trough_fraction_ +
+            (1.0 - trough_fraction_) * 0.5 * (1.0 - std::cos(phase));
+        rate = base_rate_ * level;
+        break;
+      }
+    }
+    const Nanos mean_gap = rate > 0
+                               ? static_cast<Nanos>(
+                                     static_cast<double>(kNanosPerSec) / rate)
+                               : kNanosPerSec;
+    const Nanos gap = exponential(rng, mean_gap);
+    now_ns_ += gap;
+    return gap;
+  }
+
+  double base_rate_per_sec() const { return base_rate_; }
+
+ private:
+  enum class Kind : std::uint8_t { kPoisson, kBursty, kDiurnal };
+
+  static constexpr double kPi = 3.14159265358979323846;
+
+  // Exponential draw with the given mean, floored at 1 ns.
+  static Nanos exponential(Rng& rng, Nanos mean_ns) {
+    // 1 - uniform() is in (0, 1], so the log argument never hits zero.
+    const double u = 1.0 - rng.uniform();
+    const double gap = -static_cast<double>(mean_ns) * std::log(u);
+    return gap < 1.0 ? Nanos{1} : static_cast<Nanos>(gap);
+  }
+
+  Kind kind_ = Kind::kPoisson;
+  double base_rate_ = 1000.0;
+  double burst_multiplier_ = 8.0;
+  Nanos mean_calm_ns_ = 0;
+  Nanos mean_burst_ns_ = 0;
+  double trough_fraction_ = 0.2;
+  Nanos period_ns_ = 0;
+
+  // Process state (advanced by next_gap).
+  Nanos now_ns_ = 0;
+  Nanos state_until_ns_ = 0;
+  bool in_burst_ = true;  // flipped to calm by the first next_gap
+};
+
+}  // namespace asl::workload

@@ -1,0 +1,82 @@
+// Key distributions for the KV workloads.
+//
+// Uniform and Zipfian draws over a dense key space. The Zipfian generator is
+// the Gray et al. rejection-free construction (the one YCSB popularized):
+// O(keyspace) zeta precomputation at build time, O(1) per draw. The popular
+// ranks are scrambled through splitmix64 so the hottest keys do not cluster
+// in one shard of a striped store.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "platform/rng.h"
+
+namespace asl::workload {
+
+class KeyDist {
+ public:
+  static KeyDist uniform(std::uint64_t keyspace) {
+    KeyDist d;
+    d.keyspace_ = keyspace < 1 ? 1 : keyspace;
+    d.zipfian_ = false;
+    return d;
+  }
+
+  // theta in (0, 1); 0.99 is the YCSB default ("zipfian" skew where the
+  // hottest ~10% of keys absorb most of the traffic).
+  static KeyDist zipfian(std::uint64_t keyspace, double theta = 0.99) {
+    KeyDist d;
+    d.keyspace_ = keyspace < 2 ? 2 : keyspace;
+    d.zipfian_ = true;
+    d.theta_ = theta;
+    const double n = static_cast<double>(d.keyspace_);
+    d.zetan_ = zeta(d.keyspace_, theta);
+    d.alpha_ = 1.0 / (1.0 - theta);
+    d.eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
+             (1.0 - zeta(2, theta) / d.zetan_);
+    return d;
+  }
+
+  std::uint64_t next(Rng& rng) const {
+    if (!zipfian_) return rng.below(keyspace_);
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    std::uint64_t rank;
+    if (uz < 1.0) {
+      rank = 0;
+    } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+      rank = 1;
+    } else {
+      rank = static_cast<std::uint64_t>(
+          static_cast<double>(keyspace_) *
+          std::pow(eta_ * u - eta_ + 1.0, alpha_));
+      if (rank >= keyspace_) rank = keyspace_ - 1;
+    }
+    // Scatter ranks over the key space so popularity is not correlated with
+    // key order (and therefore not with shard striping).
+    std::uint64_t h = rank;
+    return splitmix64(h) % keyspace_;
+  }
+
+  std::uint64_t keyspace() const { return keyspace_; }
+  bool is_zipfian() const { return zipfian_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t keyspace_ = 1;
+  bool zipfian_ = false;
+  double theta_ = 0.99;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace asl::workload

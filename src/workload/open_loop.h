@@ -1,0 +1,72 @@
+// Open-loop load generator for the KV service.
+//
+// A LoadSpec is one traffic stream: an arrival process, a key distribution,
+// an op mix and a request class. The schedule a spec offers is a pure
+// function of (spec, horizon) — generate_trace() — so the same spec can be
+// (a) digested into a deterministic offered-load table (the byte-identity
+// anchor of the determinism tests), and (b) replayed against the wall clock
+// by run_open_loop(), which submits each request at its scheduled instant
+// whether or not the service keeps up. Requests the service rejects
+// (bounded-queue backpressure) are counted, never retried: offered load is
+// the generator's to decide, accepted load is the server's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/time.h"
+#include "server/kv_service.h"
+#include "stats/table.h"
+#include "workload/arrival.h"
+#include "workload/keydist.h"
+
+namespace asl::server {
+
+struct LoadSpec {
+  workload::ArrivalProcess arrivals = workload::ArrivalProcess::poisson(1000);
+  workload::KeyDist keys = workload::KeyDist::uniform(1 << 15);
+  double put_fraction = 0.5;
+  std::uint32_t class_index = 0;
+  std::uint64_t seed = 1;
+};
+
+struct TracePoint {
+  Nanos at = 0;  // offset from the run start
+  std::uint64_t key = 0;
+  bool is_put = false;
+};
+
+// The offered schedule of `spec` over [0, horizon): deterministic in
+// (spec, horizon), independent of wall-clock time.
+std::vector<TracePoint> generate_trace(const LoadSpec& spec, Nanos horizon);
+
+// Per-interval digest of every spec's offered load (arrival counts, op mix,
+// key checksum per horizon/buckets slice). All-integer cells, so two
+// generations with the same specs are byte-identical CSV.
+Table offered_trace_table(const std::vector<LoadSpec>& specs, Nanos horizon,
+                          std::uint32_t buckets = 8);
+
+struct OpenLoopResult {
+  std::uint64_t offered = 0;   // scheduled arrivals within the horizon
+  std::uint64_t accepted = 0;  // admitted by the service
+  std::uint64_t rejected = 0;  // bounced by queue backpressure
+  Nanos elapsed = 0;           // wall clock, release -> last submission
+
+  double offered_rate_per_sec() const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(offered) *
+                              static_cast<double>(kNanosPerSec) /
+                              static_cast<double>(elapsed);
+  }
+};
+
+// Replays every spec against `service` (one generator thread per spec,
+// submitting at the scheduled instants; a generator that falls behind
+// submits immediately — lag becomes burst, as in a real open loop).
+// The service must be started; the caller stops it afterwards. Specs whose
+// class_index the service does not know offer nothing (see the .cpp note).
+OpenLoopResult run_open_loop(KvService& service,
+                             const std::vector<LoadSpec>& specs,
+                             Nanos horizon);
+
+}  // namespace asl::server

@@ -155,6 +155,59 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param) / 1000) + "us";
     });
 
+// ------------------------------------- randomized AIMD controller invariants
+
+// Drive controllers through 10k randomized feedback steps (latencies from
+// one tenth of to ten times the SLO, SLOs across three decades) and check
+// the hard invariants after every single step:
+//  * the window never drops below min_window (multiplicative decrease is
+//    floored) and never exceeds max_window (the SLO-derived cap the config
+//    seeds);
+//  * under the fixed_unit ablation, every additive-increase step grows the
+//    window by exactly the constant unit (or clips at the cap), and the
+//    unit itself never changes.
+TEST(WindowControllerProperty, RandomizedAimdInvariants) {
+  Rng rng(0xA1D);
+  for (int variant = 0; variant < 8; ++variant) {
+    const bool fixed_unit = (variant % 2) == 1;
+    const std::uint64_t slo =
+        (std::uint64_t{50} << (variant / 2 * 4)) * 1000;  // 50us .. 200ms-ish
+    WindowController::Config cfg;
+    cfg.percentile = static_cast<std::uint32_t>(rng.range(50, 99));
+    cfg.min_window = rng.range(16, 256);
+    cfg.max_window = slo;  // the SLO-derived cap (seed_controller semantics)
+    cfg.initial_window = slo;
+    cfg.initial_unit = slo / 64 > 16 ? slo / 64 : 16;
+    cfg.fixed_unit = fixed_unit;
+    WindowController ctrl(cfg);
+    const std::uint64_t constant_unit = ctrl.unit();
+
+    for (int i = 0; i < 10'000; ++i) {
+      const std::uint64_t before = ctrl.window();
+      const std::uint64_t latency = rng.range(slo / 10, slo * 10);
+      ctrl.on_epoch_end(latency, slo);
+      const std::uint64_t after = ctrl.window();
+
+      ASSERT_GE(after, cfg.min_window) << "variant " << variant << " step " << i;
+      ASSERT_LE(after, cfg.max_window) << "variant " << variant << " step " << i;
+      if (fixed_unit) {
+        ASSERT_EQ(ctrl.unit(), constant_unit)
+            << "fixed_unit must pin the growth unit";
+        if (latency <= slo) {
+          const std::uint64_t expected =
+              std::min(before + constant_unit, cfg.max_window);
+          ASSERT_EQ(after, expected)
+              << "growth steps must be exactly the constant unit";
+        }
+      } else if (latency > slo) {
+        // Re-derived unit stays on the (100-PCT)% of the shrunken window,
+        // floored — never zero, so growth cannot stall.
+        ASSERT_GE(ctrl.unit(), cfg.min_unit);
+      }
+    }
+  }
+}
+
 // ------------------------------------------------- simulator conservation
 
 using SimParam = std::tuple<sim::LockKind, std::uint32_t>;  // (lock, littles)

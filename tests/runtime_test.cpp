@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -430,6 +432,95 @@ TEST(EpochRegistry, IdBoundsMatchTheEpochApi) {
   EXPECT_EQ(epoch_start(-1), -1);
   EXPECT_EQ(epoch_end(kMaxEpochId, 1), -1);
   EXPECT_EQ(kMaxEpochs, kMaxEpochId);
+}
+
+// 16 threads race register_epoch / epoch_start / epoch_end over a small,
+// overlapping name pool (a server's worker pools registering their request
+// classes concurrently). Afterwards:
+//  * ids are dense — the N distinct names got exactly the ids 0..N-1, and
+//    re-registration agreed on the id across all threads;
+//  * no completion is lost — the cross-thread snapshot (retired-completion
+//    folding, every stress thread has exited) sums to exactly the number of
+//    successful epoch_end calls;
+//  * nested-epoch unwinding is clean — each thread mixes matched nests with
+//    deliberate out-of-order ends, and only ends that return 0 count.
+TEST(EpochRegistry, ConcurrentRegistrationAndUseIsLinearizable) {
+  EpochRegistry& reg = EpochRegistry::instance();
+  reset_thread_epochs();  // main-thread state must not leak into the sums
+  reg.reset_registrations();
+
+  constexpr int kThreads = 16;
+  constexpr int kNames = 24;
+  constexpr int kIters = 400;
+  std::atomic<std::uint64_t> expected_completions{0};
+  std::array<std::array<int, kNames>, kThreads> seen_ids{};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ScopedCoreType scoped(t % 2 == 0 ? CoreType::kBig : CoreType::kLittle);
+      std::uint64_t done = 0;
+      for (int i = 0; i < kIters; ++i) {
+        const int name_index = (t + i) % kNames;
+        EpochOptions opts;
+        opts.default_slo_ns = 10'000;
+        const int id =
+            reg.register_epoch("stress-" + std::to_string(name_index), opts);
+        ASSERT_GE(id, 0);
+        seen_ids[static_cast<std::size_t>(t)]
+                [static_cast<std::size_t>(name_index)] = id;
+        const int other = reg.register_epoch(
+            "stress-" + std::to_string((name_index + 7) % kNames));
+        ASSERT_GE(other, 0);
+        ASSERT_EQ(epoch_start(id), 0);
+        switch (i % 3) {
+          case 0:  // plain matched end
+            if (epoch_end(id) == 0) done += 1;
+            break;
+          case 1:  // matched nest, inner then outer
+            ASSERT_EQ(epoch_start(other), 0);
+            if (epoch_end(other) == 0) done += 1;
+            if (epoch_end(id, 10'000) == 0) done += 1;
+            break;
+          case 2:  // mismatched: ending the outer unwinds the abandoned
+                   // inner frame, which must not count as a completion
+            ASSERT_EQ(epoch_start(other), 0);
+            if (epoch_end(id) == 0) done += 1;
+            EXPECT_EQ(current_epoch_id(), -1) << "unwind must empty the stack";
+            break;
+        }
+      }
+      expected_completions.fetch_add(done, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Dense ids: every name resolves, the id set is exactly {0..kNames-1},
+  // and every thread saw the same name -> id mapping.
+  std::set<int> ids;
+  for (int n = 0; n < kNames; ++n) {
+    const int id = reg.find("stress-" + std::to_string(n));
+    ASSERT_GE(id, 0);
+    ids.insert(id);
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(seen_ids[static_cast<std::size_t>(t)]
+                        [static_cast<std::size_t>(n)],
+                id)
+          << "thread " << t << " disagrees on name " << n;
+    }
+  }
+  EXPECT_EQ(reg.registered_count(), static_cast<std::size_t>(kNames));
+  EXPECT_EQ(static_cast<int>(ids.size()), kNames);
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), kNames - 1);
+
+  // No lost completions: all stress threads exited, so the snapshot counts
+  // come from the retired-completion fold.
+  std::uint64_t total = 0;
+  for (const EpochSnapshot& s : reg.snapshot()) {
+    total += s.completions;
+  }
+  EXPECT_EQ(total, expected_completions.load());
+  reg.reset_registrations();
 }
 
 }  // namespace

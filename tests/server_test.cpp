@@ -1,0 +1,263 @@
+// Server-layer tests: shard routing, bounded-queue backpressure, drain
+// semantics on stop(), per-epoch SLO accounting across request classes, and
+// the open-loop generator's conservation laws.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "asl/runtime.h"
+#include "server/kv_service.h"
+#include "server/request_queue.h"
+#include "server/scenarios.h"
+#include "workload/keydist.h"
+#include "workload/open_loop.h"
+
+namespace asl::server {
+namespace {
+
+std::uint64_t epoch_completions(int epoch_id) {
+  return EpochRegistry::instance().completions(epoch_id);
+}
+
+// ------------------------------------------------------------ shard routing
+
+TEST(ShardRouting, StableInRangeAndCoversAllShards) {
+  KvServiceConfig cfg;
+  cfg.num_shards = 8;
+  cfg.classes.push_back(RequestClass{"route-test", 0});
+  KvService service(cfg);
+
+  std::vector<std::uint64_t> hits(cfg.num_shards, 0);
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    const std::uint32_t shard = service.shard_of(key);
+    ASSERT_LT(shard, cfg.num_shards);
+    EXPECT_EQ(shard, service.shard_of(key)) << "routing must be stable";
+    hits[shard] += 1;
+  }
+  for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
+    // Hash striping spreads a dense key range: no empty shard, no shard
+    // with more than a quarter of the traffic at 8 shards.
+    EXPECT_GT(hits[s], 0u) << "shard " << s << " never hit";
+    EXPECT_LT(hits[s], 1024u) << "shard " << s << " absorbs too much";
+  }
+}
+
+TEST(ShardRouting, RequestsLandOnTheirShardQueue) {
+  KvServiceConfig cfg;
+  cfg.num_shards = 4;
+  cfg.queue_capacity = 64;
+  cfg.classes.push_back(RequestClass{"route-queue-test", 0});
+  KvService service(cfg);  // not started: requests sit in the queues
+
+  const std::uint64_t key = 12345;
+  const std::uint32_t shard = service.shard_of(key);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(service.try_submit(OpType::kGet, key, 0));
+  }
+  for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
+    EXPECT_EQ(service.queue_depth(s), s == shard ? 5u : 0u);
+  }
+}
+
+// ------------------------------------------------------------- backpressure
+
+TEST(BoundedQueueTest, RejectsWhenFullAndDrainsAfterClose) {
+  BoundedQueue<int> queue(3);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_TRUE(queue.try_push(3));
+  EXPECT_FALSE(queue.try_push(4)) << "capacity must bound the queue";
+  EXPECT_EQ(queue.size(), 3u);
+
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.try_push(4)) << "pop must free a slot";
+
+  queue.close();
+  EXPECT_FALSE(queue.try_push(5)) << "closed queues reject";
+  // Closed-but-nonempty queues keep delivering in FIFO order...
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 4);
+  // ...and report exhaustion only once drained.
+  EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(ServiceBackpressure, FullQueueRejectsThenStartDrainsEverything) {
+  KvServiceConfig cfg;
+  cfg.num_shards = 1;  // single queue so the capacity bound is exact
+  cfg.queue_capacity = 16;
+  cfg.workers_per_shard = 2;
+  cfg.classes.push_back(RequestClass{"bp-test", 2 * kNanosPerMilli});
+  KvService service(cfg);  // workers not started yet
+
+  std::uint64_t accepted = 0, rejected = 0;
+  for (std::uint64_t key = 0; key < 40; ++key) {
+    (service.try_submit(OpType::kPut, key, 0) ? accepted : rejected) += 1;
+  }
+  EXPECT_EQ(accepted, cfg.queue_capacity);
+  EXPECT_EQ(rejected, 40 - cfg.queue_capacity);
+  EXPECT_EQ(service.queue_depth(0), cfg.queue_capacity);
+
+  service.start();
+  service.stop();  // close + drain + join
+
+  ServiceReport report = service.report();
+  ASSERT_EQ(report.classes.size(), 1u);
+  EXPECT_EQ(report.classes[0].accepted, accepted);
+  EXPECT_EQ(report.classes[0].rejected, rejected);
+  EXPECT_EQ(report.classes[0].completed, accepted)
+      << "stop() must drain every accepted request";
+  EXPECT_EQ(service.queue_depth(0), 0u);
+  EXPECT_GT(service.store_size(), 0u) << "puts must reach the engine";
+}
+
+TEST(ServiceBackpressure, StopWithoutStartStillDrains) {
+  KvServiceConfig cfg;
+  cfg.num_shards = 2;
+  cfg.queue_capacity = 32;
+  cfg.classes.push_back(RequestClass{"drain-test", 2 * kNanosPerMilli});
+  KvService service(cfg);
+
+  std::uint64_t accepted = 0;
+  for (std::uint64_t key = 0; key < 20; ++key) {
+    accepted += service.try_submit(OpType::kPut, key, 0) ? 1 : 0;
+  }
+  ASSERT_GT(accepted, 0u);
+  service.stop();  // never started: the drain runs inline
+
+  ServiceReport report = service.report();
+  EXPECT_EQ(report.classes[0].completed, accepted)
+      << "completed == accepted must hold even without start()";
+  EXPECT_EQ(service.queue_depth(0) + service.queue_depth(1), 0u);
+}
+
+// --------------------------------------------------- per-epoch SLO accounting
+
+TEST(SloAccounting, ClassesCarryDistinctEpochsAndSlos) {
+  KvServiceConfig cfg;
+  cfg.num_shards = 2;
+  cfg.workers_per_shard = 2;
+  cfg.big_workers = 2;
+  cfg.prefill_keys = 256;
+  cfg.classes.push_back(RequestClass{"slo-test-tight", 1 * kNanosPerMilli});
+  cfg.classes.push_back(RequestClass{"slo-test-loose", 50 * kNanosPerMilli});
+  cfg.classes.push_back(RequestClass{"slo-test-none", 0});
+  KvService service(cfg);
+
+  // Registration side: distinct dense ids, registry carries each class SLO.
+  std::set<int> ids;
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    ASSERT_GE(service.epoch_id(c), 0);
+    ids.insert(service.epoch_id(c));
+    EXPECT_EQ(EpochRegistry::instance().default_slo(service.epoch_id(c)),
+              cfg.classes[c].slo_ns);
+  }
+  EXPECT_EQ(ids.size(), 3u);
+
+  std::vector<std::uint64_t> before;
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    before.push_back(epoch_completions(service.epoch_id(c)));
+  }
+
+  service.start();
+  std::vector<std::uint64_t> accepted(3, 0);
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    const std::uint32_t c = static_cast<std::uint32_t>(i % 3);
+    if (service.try_submit(i % 2 == 0 ? OpType::kGet : OpType::kPut,
+                           i % 256, c)) {
+      accepted[c] += 1;
+    }
+  }
+  service.stop();
+
+  ServiceReport report = service.report();
+  ASSERT_EQ(report.classes.size(), 3u);
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    const ClassReport& cls = report.classes[c];
+    EXPECT_EQ(cls.completed, accepted[c]);
+    EXPECT_LE(cls.slo_met, cls.completed);
+    EXPECT_GE(cls.attainment(), 0.0);
+    EXPECT_LE(cls.attainment(), 1.0);
+    // Every served request ended its class epoch exactly once: the registry
+    // delta (folded from the exited workers) matches the service count.
+    EXPECT_EQ(epoch_completions(service.epoch_id(c)) - before[c],
+              cls.completed)
+        << "class " << cls.name;
+    // Latency recording is complete (every completion recorded once).
+    EXPECT_EQ(cls.total.overall().count(), cls.completed);
+    EXPECT_EQ(cls.queue_wait.count(), cls.completed);
+  }
+  // The no-SLO class counts every completion as met (nothing to violate).
+  EXPECT_EQ(report.classes[2].slo_met, report.classes[2].completed);
+  // The 50 ms class is unmissable at this scale on any sane host; requiring
+  // a single met request keeps this robust on loaded CI runners.
+  EXPECT_GT(report.classes[1].slo_met, 0u);
+}
+
+// ------------------------------------------------------- open-loop generator
+
+TEST(OpenLoopGenerator, ConservationAcrossLayers) {
+  KvScenario sc = make_kv_scenario("kv_uniform_steady");
+  sc.service.prefill_keys = 1024;  // keep the test-start cost small
+  const Nanos horizon = 40 * kNanosPerMilli;
+
+  KvService service(sc.service);
+  service.start();
+  OpenLoopResult load = run_open_loop(service, sc.load, horizon);
+  service.stop();
+
+  EXPECT_GT(load.offered, 0u);
+  EXPECT_EQ(load.offered, load.accepted + load.rejected);
+  ServiceReport report = service.report();
+  EXPECT_EQ(report.total_accepted(), load.accepted);
+  EXPECT_EQ(report.total_rejected(), load.rejected);
+  EXPECT_EQ(report.total_completed(), load.accepted);
+}
+
+TEST(OpenLoopGenerator, TracesAreMonotoneAndBounded) {
+  for (const std::string& name : kv_scenario_names()) {
+    KvScenario sc = make_kv_scenario(name);
+    for (const LoadSpec& spec : sc.load) {
+      const auto trace = generate_trace(spec, 50 * kNanosPerMilli);
+      ASSERT_GT(trace.size(), 0u) << name;
+      Nanos prev = 0;
+      for (const TracePoint& p : trace) {
+        EXPECT_GT(p.at, prev) << name << ": arrivals must advance";
+        prev = p.at;
+        EXPECT_LT(p.at, 50 * kNanosPerMilli) << name;
+        EXPECT_LT(p.key, spec.keys.keyspace()) << name;
+      }
+    }
+  }
+}
+
+TEST(OpenLoopGenerator, ZipfianSkewsAndUniformDoesNot) {
+  const std::uint64_t keyspace = 4096;
+  const int draws = 40'000;
+  auto hottest_count = [&](const workload::KeyDist& dist) {
+    Rng rng(99);
+    std::vector<std::uint32_t> counts(keyspace, 0);
+    for (int i = 0; i < draws; ++i) counts[dist.next(rng)] += 1;
+    std::uint32_t max_count = 0;
+    for (std::uint32_t c : counts) max_count = std::max(max_count, c);
+    return max_count;
+  };
+  const std::uint32_t uniform_max =
+      hottest_count(workload::KeyDist::uniform(keyspace));
+  const std::uint32_t zipf_max =
+      hottest_count(workload::KeyDist::zipfian(keyspace, 0.99));
+  // Uniform expectation is ~10 draws/key; zipfian theta=0.99 concentrates
+  // several percent of all draws on the hottest key.
+  EXPECT_LT(uniform_max, 60u);
+  EXPECT_GT(zipf_max, uniform_max * 5);
+}
+
+}  // namespace
+}  // namespace asl::server
