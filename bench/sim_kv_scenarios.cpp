@@ -1,0 +1,107 @@
+// Simulated-twin KV scenarios (DESIGN.md §5): the same five open-loop
+// configurations as bench/kv_scenarios.cpp, replayed on the discrete-event
+// twin instead of real threads. Three tables per scenario:
+//   * offered — the identical arrival digest the real path emits (same
+//     generate_trace, byte-for-byte);
+//   * sim_kv_measured — the virtual-time measured table, byte-reproducible
+//     (the determinism + golden tests compare it);
+//   * sim_kv_shards — per-shard queue-depth stats (hot-shard skew).
+// Because the clock is virtual, shape checks here go beyond accounting:
+// rejection-free steady runs and SLO attainment are deterministic facts.
+#include <string>
+
+#include "bench_common.h"
+#include "server/sim_kv_service.h"
+
+namespace asl::bench {
+namespace {
+
+using server::ClassReport;
+using server::KvScenario;
+using server::SimServiceReport;
+using server::SimShardStats;
+
+void run_sim_kv_scenario(ScenarioContext& ctx, const std::string& name) {
+  KvScenario sc = server::make_kv_scenario(name);
+  // Same compression rule as the real path: horizon and arrival modulation
+  // shrink together, so a --time-scale run covers the same burst cycles.
+  sc.horizon = static_cast<Nanos>(
+      static_cast<double>(sc.horizon) * ctx.time_scale());
+  for (server::LoadSpec& spec : sc.load) {
+    spec.arrivals = spec.arrivals.with_time_scale(ctx.time_scale());
+  }
+
+  ctx.banner("sim_" + name, "twin of: " + sc.title);
+  ctx.note("shards=" + std::to_string(sc.service.num_shards) +
+           " workers/shard=" + std::to_string(sc.service.workers_per_shard) +
+           " queue_capacity=" + std::to_string(sc.service.queue_capacity) +
+           " horizon_ms=" + std::to_string(sc.horizon / kNanosPerMilli) +
+           " (virtual)");
+
+  ctx.emit(server::offered_trace_table(sc.load, sc.horizon), "kv_offered");
+
+  SimServiceReport report = server::run_sim_kv(sc);
+  ctx.emit(server::sim_kv_measured_table(report), "sim_kv_measured");
+  ctx.emit(server::sim_kv_shard_table(report), "sim_kv_shards");
+
+  const double achieved =
+      report.drained_at == 0
+          ? 0.0
+          : static_cast<double>(report.total_completed()) *
+                static_cast<double>(kNanosPerSec) /
+                static_cast<double>(report.drained_at);
+  ctx.note("offered " + std::to_string(report.offered) + " reqs, achieved " +
+           Table::fmt_ops(achieved) + " ops/s (virtual)");
+
+  // Conservation (as on the real path) plus virtual-time-only facts.
+  ctx.shape_check(report.offered ==
+                      report.total_accepted() + report.total_rejected(),
+                  "offered = accepted + rejected");
+  ctx.shape_check(report.total_completed() == report.total_accepted(),
+                  "drain completes every accepted request");
+  ctx.shape_check(report.total_completed() > 0, "twin made progress");
+  ctx.shape_check(report.drained_at > 0 && report.horizon > 0,
+                  "virtual clock advanced");
+  bool shards_progress = true;
+  for (const SimShardStats& s : report.shards) {
+    shards_progress = shards_progress && s.completed == s.accepted;
+  }
+  ctx.shape_check(shards_progress, "per-shard completed == accepted");
+  bool met_some = true;
+  for (const ClassReport& c : report.service.classes) {
+    met_some = met_some && (c.completed == 0 || c.slo_met > 0);
+  }
+  ctx.shape_check(met_some, "each class met its SLO at least once");
+  // The base scenarios run far below twin saturation even through bursts;
+  // in virtual time that is an exact statement, not a hope.
+  ctx.shape_check(report.total_rejected() == 0,
+                  "no rejections below saturation (deterministic)");
+}
+
+}  // namespace
+}  // namespace asl::bench
+
+ASL_SCENARIO(sim_kv_uniform_steady,
+             "twin: open-loop KV, uniform keys, steady Poisson arrivals") {
+  asl::bench::run_sim_kv_scenario(ctx, "kv_uniform_steady");
+}
+
+ASL_SCENARIO(sim_kv_uniform_bursty,
+             "twin: open-loop KV, uniform keys, bursty (MMPP) arrivals") {
+  asl::bench::run_sim_kv_scenario(ctx, "kv_uniform_bursty");
+}
+
+ASL_SCENARIO(sim_kv_zipf_steady,
+             "twin: open-loop KV, zipfian keys, steady Poisson arrivals") {
+  asl::bench::run_sim_kv_scenario(ctx, "kv_zipf_steady");
+}
+
+ASL_SCENARIO(sim_kv_zipf_bursty,
+             "twin: open-loop KV, zipfian keys, bursty (MMPP) arrivals") {
+  asl::bench::run_sim_kv_scenario(ctx, "kv_zipf_bursty");
+}
+
+ASL_SCENARIO(sim_kv_zipf_diurnal,
+             "twin: open-loop KV, zipfian keys, diurnal-ramp arrivals") {
+  asl::bench::run_sim_kv_scenario(ctx, "kv_zipf_diurnal");
+}

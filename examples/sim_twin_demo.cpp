@@ -1,0 +1,60 @@
+// Simulated-twin walkthrough: run the virtual-time twin of one open-loop KV
+// scenario, print its measured and per-shard tables, then bisect for the
+// scenario's SLO capacity with the latency-targeted probe.
+//
+// Everything here is virtual time, so the output is byte-identical on every
+// run and host — the property the determinism tests pin down. Compare with
+// examples/kv_server.cpp, which drives the *real* service the twin mirrors.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/capacity_probe.h"
+#include "server/sim_kv_service.h"
+#include "workload/open_loop.h"
+
+int main() {
+  using namespace asl;
+  using namespace asl::server;
+
+  // The twin of kv_zipf_bursty: zipfian keys, MMPP flash crowds.
+  KvScenario sc = make_kv_scenario("kv_zipf_bursty");
+  std::printf("twin of %s\n  shards=%u workers/shard=%u queue=%zu "
+              "horizon=%llu ms (virtual)\n\n",
+              sc.name.c_str(), sc.service.num_shards,
+              sc.service.workers_per_shard, sc.service.queue_capacity,
+              static_cast<unsigned long long>(sc.horizon / kNanosPerMilli));
+
+  SimServiceReport report = run_sim_kv(sc);
+  sim_kv_measured_table(report).print(std::cout);
+  sim_kv_shard_table(report).print(std::cout);
+  std::printf("\noffered=%llu completed=%llu drained at %llu ms virtual\n",
+              static_cast<unsigned long long>(report.offered),
+              static_cast<unsigned long long>(report.total_completed()),
+              static_cast<unsigned long long>(report.drained_at /
+                                              kNanosPerMilli));
+
+  // How much traffic could this configuration absorb before the SLOs break?
+  KvScenario probe_base = make_kv_scenario("kv_uniform_steady");
+  probe_base.horizon = 10 * kNanosPerMilli;
+  probe_base.service.queue_capacity = 128;
+  const double nominal = nominal_rate_per_sec(probe_base.load);
+
+  bench::CapacityProbeConfig cfg;
+  cfg.start_rate = nominal;
+  cfg.tolerance = 0.1;
+  cfg.max_trials = 24;
+  bench::CapacityResult r =
+      bench::find_capacity(cfg, [&probe_base, nominal](double rate) {
+        KvScenario trial = probe_base;
+        scale_load_rates(trial.load, rate / nominal);
+        return report_meets_slos(run_sim_kv(trial).service);
+      });
+
+  std::printf("\ncapacity probe (uniform-steady twin, p99 within SLO, "
+              "zero rejections):\n");
+  bench::capacity_table(r).print(std::cout);
+  std::printf("max SLO-feasible rate: %.3g req/s (%.1fx the scenario's "
+              "nominal %.3g req/s)\n",
+              r.max_rate, r.max_rate / nominal, nominal);
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "harness/capacity_probe.h"
+
+#include <cmath>
+
+namespace asl::bench {
+namespace {
+
+bool run_trial(const CapacityTrialFn& trial, double rate,
+               CapacityResult& result) {
+  const bool ok = trial(rate);
+  result.trials.push_back(CapacityTrial{rate, ok});
+  return ok;
+}
+
+}  // namespace
+
+CapacityResult find_capacity(const CapacityProbeConfig& config,
+                             const CapacityTrialFn& trial) {
+  CapacityProbeConfig cfg = config;
+  if (cfg.start_rate <= 0) cfg.start_rate = 1.0;
+  if (cfg.growth <= 1.0) cfg.growth = 1.5;
+  if (cfg.tolerance <= 0) cfg.tolerance = 0.01;
+  if (cfg.max_trials < 3) cfg.max_trials = 3;
+
+  CapacityResult result;
+  if (!run_trial(trial, cfg.start_rate, result)) {
+    result.min_violating = cfg.start_rate;
+    return result;
+  }
+  result.feasible = true;
+  double lo = cfg.start_rate;  // invariant: trial(lo) passed
+  double hi = 0;               // invariant when set: trial(hi) failed
+
+  // Growth phase: multiply until a failure brackets the capacity or a
+  // ceiling (rate cap / trial budget) ends the search un-bracketed.
+  while (hi == 0 && result.trials.size() < cfg.max_trials) {
+    double next = lo * cfg.growth;
+    if (cfg.max_rate > 0 && next >= cfg.max_rate) next = cfg.max_rate;
+    // A cap at or below the passing floor leaves nothing to probe; never
+    // re-trial a rate <= lo (a noisy oracle flipping its answer there would
+    // invert the max_rate < min_violating guarantee).
+    if (next <= lo) break;
+    if (run_trial(trial, next, result)) {
+      lo = next;
+      if (cfg.max_rate > 0 && next >= cfg.max_rate) break;  // capped, all-pass
+    } else {
+      hi = next;
+    }
+  }
+  if (hi == 0) {
+    result.max_rate = lo;
+    return result;
+  }
+  result.bracketed = true;
+
+  // Bisection phase: narrow [lo, hi] to the relative tolerance.
+  while (hi - lo > cfg.tolerance * lo &&
+         result.trials.size() < cfg.max_trials) {
+    const double mid = (lo + hi) / 2.0;
+    if (run_trial(trial, mid, result)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.max_rate = lo;
+  result.min_violating = hi;
+  return result;
+}
+
+Table capacity_table(const CapacityResult& result) {
+  Table table({"trial", "rate_per_sec", "slo_ok"});
+  for (std::size_t i = 0; i < result.trials.size(); ++i) {
+    const CapacityTrial& t = result.trials[i];
+    table.add_row({std::to_string(i),
+                   std::to_string(static_cast<std::uint64_t>(
+                       std::llround(t.rate))),
+                   t.ok ? "1" : "0"});
+  }
+  return table;
+}
+
+}  // namespace asl::bench

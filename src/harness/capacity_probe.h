@@ -1,0 +1,65 @@
+// Latency-targeted capacity probe (DESIGN.md §5).
+//
+// The YCSB/treadmill-style load search: given a trial oracle "does the
+// service meet its SLOs at offered rate r?", find the maximum rate that
+// still passes. Geometric growth brackets the capacity (every pass raises
+// the floor, the first failure sets the ceiling), then bisection narrows the
+// bracket to a relative tolerance. The probe is deliberately generic — it
+// knows nothing about KV services — so the same search drives the real
+// wall-clock service, its simulated twin, and the synthetic oracles the
+// property tests use. With a deterministic trial (the twin), the whole
+// search is deterministic: same config + same oracle => same trial sequence
+// and the same found rate, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/table.h"
+
+namespace asl::bench {
+
+// One offered-rate trial: run the service at `rate_per_sec` and report
+// whether every SLO held (see server::report_meets_slos for the service
+// criterion both paths share).
+using CapacityTrialFn = std::function<bool(double rate_per_sec)>;
+
+struct CapacityProbeConfig {
+  double start_rate = 1000.0;  // requests/sec; should be known-feasible
+  double max_rate = 0;         // growth ceiling; 0 = unbounded (trials cap)
+  double growth = 2.0;         // geometric bracketing factor (> 1)
+  double tolerance = 0.05;     // stop when hi - lo <= tolerance * lo
+  std::uint32_t max_trials = 32;
+};
+
+struct CapacityTrial {
+  double rate = 0;
+  bool ok = false;
+};
+
+struct CapacityResult {
+  bool feasible = false;     // the start rate itself met the SLO
+  bool bracketed = false;    // a violating rate was found (search converged)
+  double max_rate = 0;       // highest rate observed to meet the SLO
+  double min_violating = 0;  // lowest rate observed to violate it (0 = none)
+  std::vector<CapacityTrial> trials;  // every trial, in execution order
+};
+
+// Runs the search. Guarantees on return:
+//  * every entry in `trials` is an actual invocation of `trial`, in order;
+//  * if feasible && bracketed: trial(max_rate) returned true,
+//    trial(min_violating) returned false, max_rate < min_violating, and —
+//    unless the trial budget ran out first — min_violating <= max_rate *
+//    (1 + tolerance);
+//  * if !feasible: max_rate == 0 and min_violating == start_rate;
+//  * if feasible && !bracketed: the ceiling (max_rate cap or trial budget)
+//    was reached with every trial passing.
+CapacityResult find_capacity(const CapacityProbeConfig& config,
+                             const CapacityTrialFn& trial);
+
+// The trial history as a printable/CSV table (rate cells rounded to whole
+// requests/sec; integer, so deterministic trials emit deterministic bytes).
+Table capacity_table(const CapacityResult& result);
+
+}  // namespace asl::bench

@@ -90,10 +90,7 @@ void KvService::stop() {
 }
 
 std::uint32_t KvService::shard_of(std::uint64_t key) const {
-  // Hash-striped: splitmix64 decorrelates shard choice from key order, so
-  // zipfian-hot ranks and sequential prefills both spread over the shards.
-  std::uint64_t h = key;
-  return static_cast<std::uint32_t>(splitmix64(h) % config_.num_shards);
+  return shard_for_key(key, config_.num_shards);
 }
 
 bool KvService::try_submit(OpType op, std::uint64_t key,

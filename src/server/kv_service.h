@@ -28,6 +28,7 @@
 #include "asl/libasl.h"
 #include "db/hashkv.h"
 #include "platform/raw_spinlock.h"
+#include "platform/rng.h"
 #include "server/request_queue.h"
 #include "stats/histogram.h"
 #include "stats/latency_split.h"
@@ -36,6 +37,16 @@
 namespace asl::server {
 
 enum class OpType : std::uint8_t { kGet = 0, kPut = 1 };
+
+// Key -> shard mapping, shared by the real service and its simulated twin
+// (sim_kv_service.h) so both route identically: splitmix64 decorrelates
+// shard choice from key order, spreading zipfian-hot ranks and sequential
+// prefills alike over the shards.
+inline std::uint32_t shard_for_key(std::uint64_t key,
+                                   std::uint32_t num_shards) {
+  std::uint64_t h = key;
+  return static_cast<std::uint32_t>(splitmix64(h) % num_shards);
+}
 
 // One queued request. `class_index` is the dense index into the configured
 // request classes (each of which owns a registered epoch id).
@@ -113,6 +124,26 @@ struct ServiceReport {
     return n;
   }
 };
+
+// The capacity-probe pass/fail criterion, shared by the real path and the
+// simulated twin: every class with an SLO must keep its end-to-end p99
+// within the SLO *and* reject at most max_reject_fraction of its offered
+// requests (a rejected request is an infinite-latency request — with
+// bounded queues, overload surfaces as rejections long before the queue-
+// capped p99 moves, so the rejection term is what detects saturation).
+inline bool report_meets_slos(const ServiceReport& report,
+                              double max_reject_fraction = 0.0) {
+  for (const ClassReport& c : report.classes) {
+    if (c.slo_ns == 0) continue;
+    const std::uint64_t offered = c.accepted + c.rejected;
+    if (offered == 0) continue;
+    const double reject_fraction =
+        static_cast<double>(c.rejected) / static_cast<double>(offered);
+    if (reject_fraction > max_reject_fraction) return false;
+    if (c.total.overall().p99() > c.slo_ns) return false;
+  }
+  return true;
+}
 
 class KvService {
  public:

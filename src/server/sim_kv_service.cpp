@@ -1,0 +1,316 @@
+#include "server/sim_kv_service.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "asl/runtime.h"
+#include "sim/engine.h"
+
+namespace asl::server {
+namespace {
+
+// One queued request inside the twin. `at` is the virtual enqueue instant
+// (the TracePoint's scheduled arrival — admission is instantaneous, so
+// enqueue time equals arrival time, unlike the wall clock where try_submit
+// stamps slightly after the scheduled instant).
+struct SimRequest {
+  std::uint64_t key = 0;
+  std::uint32_t class_index = 0;
+  bool is_put = false;
+  Nanos at = 0;
+};
+
+}  // namespace
+
+struct SimKvService::Impl {
+  struct Shard {
+    std::deque<SimRequest> queue;
+    std::unique_ptr<sim::SimLock> lock;
+    SimShardStats stats;
+    Nanos depth_since = 0;  // last depth-change instant (integral bookkeeping)
+  };
+
+  // One worker per simulated core (the twin of pin_workers): same slot
+  // assignment rule as KvService — worker w serves shard w % num_shards,
+  // the first big_workers slots are big.
+  struct Worker {
+    std::uint32_t index = 0;
+    std::uint32_t shard = 0;
+    sim::Core core{};
+    sim::SimThread sim{};
+    // Per-(worker, class) AIMD controllers — the twin of the real service's
+    // thread-local epoch state, seeded by the same seed_config_for_slo rule.
+    std::vector<WindowController> controllers;
+    bool busy = false;
+  };
+
+  struct ClassState {
+    RequestClass spec;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t slo_met = 0;
+    LatencySplit total;
+    Histogram queue_wait;
+  };
+
+  KvServiceConfig config;
+  SimTwinConfig twin;
+  Rng rng;
+  sim::Engine eng;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<ClassState> classes;
+  bool ran = false;
+
+  Impl(KvServiceConfig cfg, SimTwinConfig tw)
+      : config(std::move(cfg)), twin(std::move(tw)), rng(twin.seed) {
+    if (config.num_shards < 1) config.num_shards = 1;
+    if (config.workers_per_shard < 1) config.workers_per_shard = 1;
+    // The real path's BoundedQueue clamps capacity to 1; the twin must
+    // admit under the same bound or a zero-capacity config would diverge
+    // (reject-everything here vs serve-everything there).
+    if (config.queue_capacity < 1) config.queue_capacity = 1;
+    if (config.classes.empty()) {
+      config.classes.push_back(RequestClass{"kv-default", 0});
+    }
+    for (const RequestClass& spec : config.classes) {
+      ClassState cs;
+      cs.spec = spec;
+      classes.push_back(std::move(cs));
+    }
+
+    shards.reserve(config.num_shards);
+    for (std::uint32_t s = 0; s < config.num_shards; ++s) {
+      auto shard = std::make_unique<Shard>();
+      shard->lock =
+          make_sim_lock(twin.lock, &eng, &twin.machine, &rng);
+      shards.push_back(std::move(shard));
+    }
+
+    const std::uint32_t n = config.num_shards * config.workers_per_shard;
+    std::uint32_t num_big = config.big_workers;
+    if (num_big == ~0u) num_big = (n + 1) / 2;
+    for (std::uint32_t w = 0; w < n; ++w) {
+      auto worker = std::make_unique<Worker>();
+      worker->index = w;
+      worker->shard = w % config.num_shards;
+      worker->core.id = w;
+      worker->core.type = w < num_big ? CoreType::kBig : CoreType::kLittle;
+      worker->core.runnable = 1;
+      worker->sim.id = w;
+      worker->sim.core = &worker->core;
+      for (const RequestClass& spec : config.classes) {
+        WindowController::Config ctl;
+        if (spec.slo_ns > 0) seed_config_for_slo(ctl, spec.slo_ns);
+        worker->controllers.emplace_back(ctl);
+      }
+      workers.push_back(std::move(worker));
+    }
+  }
+
+  // Workload NOPs -> virtual ns under the machine model's asymmetry, floored
+  // at 1 ns so zero-cost configs still advance virtual time.
+  sim::Time cs_time(CoreType type) const {
+    const double ns = static_cast<double>(config.cs_nops) * twin.nop_ns *
+                      twin.machine.cs_slowdown(type);
+    return ns < 1.0 ? sim::Time{1} : static_cast<sim::Time>(ns);
+  }
+  sim::Time post_time(CoreType type) const {
+    const double ns = static_cast<double>(config.post_nops) * twin.nop_ns *
+                      twin.machine.ncs_slowdown(type);
+    return ns < 1.0 ? sim::Time{1} : static_cast<sim::Time>(ns);
+  }
+
+  void flush_depth(Shard& shard) {
+    shard.stats.depth_integral +=
+        static_cast<std::uint64_t>(shard.queue.size()) *
+        (eng.now() - shard.depth_since);
+    shard.depth_since = eng.now();
+  }
+
+  void arrive(std::uint32_t shard_index, const SimRequest& req) {
+    Shard& shard = *shards[shard_index];
+    ClassState& cls = classes[req.class_index];
+    if (shard.queue.size() >= config.queue_capacity) {
+      cls.rejected += 1;
+      shard.stats.rejected += 1;
+      return;
+    }
+    flush_depth(shard);
+    shard.queue.push_back(req);
+    cls.accepted += 1;
+    shard.stats.accepted += 1;
+    shard.stats.max_depth =
+        std::max<std::uint64_t>(shard.stats.max_depth, shard.queue.size());
+    // Kick the lowest-index idle worker of this shard (the twin's stand-in
+    // for whichever blocked popper the OS would wake first).
+    for (auto& worker : workers) {
+      if (worker->shard == shard_index && !worker->busy) {
+        dispatch(*worker);
+        return;
+      }
+    }
+  }
+
+  void dispatch(Worker& worker) {
+    Shard& shard = *shards[worker.shard];
+    worker.busy = true;
+    flush_depth(shard);
+    const SimRequest req = shard.queue.front();
+    shard.queue.pop_front();
+    const Nanos wait = eng.now() - req.at;
+
+    // The real worker wraps the shard critical section in epoch_start /
+    // epoch_end_with_latency; the twin consumes the same DispatchPolicy and
+    // WindowController directly (sim_runner precedent — the feedback loop is
+    // production code, only the clock is virtual).
+    ClassState& cls = classes[req.class_index];
+    WindowController& ctl = worker.controllers[req.class_index];
+    const std::uint64_t window = cls.spec.slo_ns > 0
+                                     ? ctl.window()
+                                     : DispatchPolicy::no_epoch_window();
+    const LockPlan plan = DispatchPolicy::plan(worker.core.type, window);
+    shard.lock->acquire(
+        &worker.sim,
+        plan.immediate ? sim::AcquireMode::kImmediate
+                       : sim::AcquireMode::kReorder,
+        plan.window_ns, [this, &worker, &shard, &cls, &ctl, req, wait] {
+          eng.after(cs_time(worker.core.type), [this, &worker, &shard, &cls,
+                                                &ctl, req, wait] {
+            shard.lock->release(&worker.sim);
+            // End-to-end latency mirrors serve(): measured after release,
+            // before the post-op spin; queue wait included.
+            const Nanos total = eng.now() - req.at;
+            cls.completed += 1;
+            shard.stats.completed += 1;
+            if (cls.spec.slo_ns == 0 || total <= cls.spec.slo_ns) {
+              cls.slo_met += 1;
+            }
+            cls.total.record(worker.core.type, total);
+            cls.queue_wait.record(wait);
+            if (cls.spec.slo_ns > 0 &&
+                DispatchPolicy::updates_window(worker.core.type)) {
+              ctl.on_epoch_end(total, cls.spec.slo_ns);
+            }
+            eng.after(post_time(worker.core.type), [this, &worker, &shard] {
+              if (!shard.queue.empty()) {
+                dispatch(worker);
+              } else {
+                worker.busy = false;
+              }
+            });
+          });
+        });
+  }
+};
+
+SimKvService::SimKvService(KvServiceConfig config, SimTwinConfig twin)
+    : impl_(new Impl(std::move(config), std::move(twin))) {}
+
+SimKvService::~SimKvService() { delete impl_; }
+
+std::uint32_t SimKvService::shard_of(std::uint64_t key) const {
+  return shard_for_key(key, impl_->config.num_shards);
+}
+
+const KvServiceConfig& SimKvService::config() const { return impl_->config; }
+
+SimServiceReport SimKvService::run(const std::vector<LoadSpec>& load,
+                                   Nanos horizon) {
+  SimServiceReport report;
+  report.horizon = horizon;
+  if (impl_->ran) return report;  // single-shot, like one start/stop cycle
+  impl_->ran = true;
+
+  // Pre-generate every schedule with the same pure function the wall-clock
+  // generator replays, then post arrivals as engine events. Specs aimed at
+  // unknown classes offer nothing (run_open_loop's rule).
+  for (const LoadSpec& spec : load) {
+    if (spec.class_index >= impl_->classes.size()) continue;
+    for (const TracePoint& p : generate_trace(spec, horizon)) {
+      SimRequest req;
+      req.key = p.key;
+      req.class_index = spec.class_index;
+      req.is_put = p.is_put;
+      req.at = p.at;
+      report.offered += 1;
+      impl_->eng.at(p.at, [this, req] {
+        impl_->arrive(shard_of(req.key), req);
+      });
+    }
+  }
+
+  // Drain completely: arrivals stop at the horizon, workers run the queues
+  // dry — the virtual-time equivalent of stop()'s close-then-drain, so
+  // completed == accepted holds exactly on return.
+  impl_->eng.run_all();
+  report.drained_at = impl_->eng.now();
+
+  for (auto& shard : impl_->shards) impl_->flush_depth(*shard);
+  for (const Impl::ClassState& cs : impl_->classes) {
+    ClassReport c;
+    c.name = cs.spec.name;
+    c.epoch_id = -1;  // the twin does not touch the global EpochRegistry
+    c.slo_ns = cs.spec.slo_ns;
+    c.accepted = cs.accepted;
+    c.rejected = cs.rejected;
+    c.completed = cs.completed;
+    c.slo_met = cs.slo_met;
+    c.total = cs.total;
+    c.queue_wait = cs.queue_wait;
+    report.service.classes.push_back(std::move(c));
+  }
+  for (const auto& shard : impl_->shards) {
+    report.shards.push_back(shard->stats);
+  }
+  return report;
+}
+
+SimServiceReport run_sim_kv(const KvScenario& scenario,
+                            const SimTwinConfig& twin) {
+  SimKvService service(scenario.service, twin);
+  return service.run(scenario.load, scenario.horizon);
+}
+
+Table sim_kv_measured_table(const SimServiceReport& report) {
+  // All-integer cells (virtual ns): byte-identical across runs and the
+  // anchor of the twin's determinism + golden-trace tests.
+  Table table({"class", "slo_us", "offered", "accepted", "rejected",
+               "completed", "slo_met", "mean_ns", "p50_ns", "p99_ns",
+               "p99_big_ns", "p99_little_ns", "qwait_p99_ns"});
+  for (const ClassReport& c : report.service.classes) {
+    table.add_row(
+        {c.name, std::to_string(c.slo_ns / kNanosPerMicro),
+         std::to_string(c.accepted + c.rejected), std::to_string(c.accepted),
+         std::to_string(c.rejected), std::to_string(c.completed),
+         std::to_string(c.slo_met),
+         std::to_string(
+             static_cast<std::uint64_t>(c.total.overall().mean())),
+         std::to_string(c.total.overall().p50()),
+         std::to_string(c.total.overall().p99()),
+         std::to_string(c.total.p99_big()),
+         std::to_string(c.total.p99_little()),
+         std::to_string(c.queue_wait.p99())});
+  }
+  return table;
+}
+
+Table sim_kv_shard_table(const SimServiceReport& report) {
+  // mean_depth_milli = time-averaged queue depth * 1000 (integer cell).
+  const std::uint64_t span = report.drained_at > 0 ? report.drained_at : 1;
+  Table table({"shard", "accepted", "rejected", "completed", "max_depth",
+               "mean_depth_milli"});
+  for (std::size_t s = 0; s < report.shards.size(); ++s) {
+    const SimShardStats& st = report.shards[s];
+    table.add_row({std::to_string(s), std::to_string(st.accepted),
+                   std::to_string(st.rejected), std::to_string(st.completed),
+                   std::to_string(st.max_depth),
+                   std::to_string(st.depth_integral * 1000 / span)});
+  }
+  return table;
+}
+
+}  // namespace asl::server

@@ -1,0 +1,118 @@
+// SimKvService — the deterministic twin of the real KV service (DESIGN.md
+// §5).
+//
+// The real service (kv_service.h) can only be *accounted* in CI: wall-clock
+// latency on a noisy runner is not assertable. The twin runs the same
+// shard/queue/admission semantics on the discrete-event engine (src/sim/),
+// with service costs drawn from the AMP machine model (sim/core_model.h), so
+// every scenario produces one byte-reproducible measured table — queueing
+// shapes (latency vs offered load, rejection onset, hot-shard skew) become
+// regression-testable facts instead of wall-clock luck.
+//
+// Fidelity contract (what the twin models vs elides) is written out in
+// DESIGN.md §5; the short version:
+//   * modeled: shard routing (shard_for_key), bounded-queue admission with
+//     counted rejections, big/little worker slots (same assignment rule as
+//     KvService), the shard lock as the simulated Bench-6 substrate
+//     (LockKind::kBlockingReorderable by default), ASL dispatch + AIMD
+//     feedback via the production DispatchPolicy/WindowController driven by
+//     virtual end-to-end latencies, and the drain-on-stop invariant
+//     (completed == accepted).
+//   * elided: the hash engine (service cost is cs_nops/post_nops under the
+//     machine model's big/little slowdowns; the engine op is folded into the
+//     cs_nops calibration), the EpochRegistry (the twin drives the
+//     controller/dispatch classes directly, like sim_runner does), OS
+//     scheduling of generator threads (arrivals fire exactly on schedule),
+//     and worker wake ordering (the lowest-index idle worker of a shard
+//     serves next; the real pop order is OS-dependent).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "server/kv_service.h"
+#include "server/scenarios.h"
+#include "sim/core_model.h"
+#include "sim/sim_lock.h"
+#include "stats/table.h"
+#include "workload/open_loop.h"
+
+namespace asl::server {
+
+// Twin-only knobs: the machine model supplying service-cost asymmetry and
+// lock-handover costs, plus the NOP calibration tying KvServiceConfig's
+// cs_nops/post_nops to virtual time.
+struct SimTwinConfig {
+  sim::MachineParams machine{};
+  // Shard-lock model. The real service uses BlockingAslMutex (Bench-6), so
+  // the blocking reorderable simulated lock is the faithful default.
+  sim::LockKind lock = sim::LockKind::kBlockingReorderable;
+  // Virtual ns per emulated NOP on a big core (experiment.h's "1 NOP ~
+  // 0.4 ns" calibration); little cores stretch by the machine slowdowns.
+  double nop_ns = 0.4;
+  // Seeds the simulated lock's tie-breaking randomness (barge races, grant
+  // penalties) — part of the twin's deterministic identity.
+  std::uint64_t seed = 42;
+};
+
+// Per-shard queueing statistics — the observable the hot-shard-skew shape
+// tests assert on. depth_integral is the time integral of the queue depth
+// (ns · waiting requests): divided by the run length it is the mean depth,
+// and its spread across shards exposes zipfian hot shards.
+struct SimShardStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t max_depth = 0;
+  std::uint64_t depth_integral = 0;
+};
+
+struct SimServiceReport {
+  // Same per-class shape as the real path (ClassReport latencies are virtual
+  // ns here; epoch_id is -1 — the twin does not touch the global registry).
+  ServiceReport service;
+  std::vector<SimShardStats> shards;
+  std::uint64_t offered = 0;
+  Nanos horizon = 0;     // arrival window
+  Nanos drained_at = 0;  // virtual time the last queued request finished
+
+  std::uint64_t total_accepted() const { return service.total_accepted(); }
+  std::uint64_t total_rejected() const { return service.total_rejected(); }
+  std::uint64_t total_completed() const { return service.total_completed(); }
+};
+
+class SimKvService {
+ public:
+  explicit SimKvService(KvServiceConfig config, SimTwinConfig twin = {});
+  ~SimKvService();
+  SimKvService(const SimKvService&) = delete;
+  SimKvService& operator=(const SimKvService&) = delete;
+
+  // Replays every spec's offered schedule (the same generate_trace the real
+  // generator replays) over [0, horizon) virtual ns, then drains: on return
+  // completed == accepted per class, exactly. Single-shot — one run per
+  // instance, like one start()/stop() cycle of the real service.
+  SimServiceReport run(const std::vector<LoadSpec>& load, Nanos horizon);
+
+  // Identical mapping to KvService::shard_of (shared shard_for_key rule).
+  std::uint32_t shard_of(std::uint64_t key) const;
+
+  const KvServiceConfig& config() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// Convenience: the twin of a whole scenario (service config + load +
+// horizon), as registered in server/scenarios.*.
+SimServiceReport run_sim_kv(const KvScenario& scenario,
+                            const SimTwinConfig& twin = {});
+
+// Byte-reproducible tables (all-integer cells, virtual ns): the measured
+// per-class table the determinism/golden tests compare, and the per-shard
+// depth table the skew tests read.
+Table sim_kv_measured_table(const SimServiceReport& report);
+Table sim_kv_shard_table(const SimServiceReport& report);
+
+}  // namespace asl::server

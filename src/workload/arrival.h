@@ -83,6 +83,16 @@ class ArrivalProcess {
     return p;
   }
 
+  // Copy with the *rate* multiplied by `scale` (base rate for Poisson/MMPP,
+  // peak rate for diurnal), modulation time constants untouched — the
+  // offered-load knob the capacity probe bisects over, orthogonal to
+  // with_time_scale(). Non-positive scales return an unmodified copy.
+  ArrivalProcess with_rate_scale(double scale) const {
+    ArrivalProcess p = *this;
+    if (scale > 0) p.base_rate_ *= scale;
+    return p;
+  }
+
   // Gap to the next arrival, advancing the process state. Gaps are >= 1 ns
   // so schedules make progress even at absurd rates.
   Nanos next_gap(Rng& rng) {

@@ -40,6 +40,25 @@ struct TracePoint {
 // (spec, horizon), independent of wall-clock time.
 std::vector<TracePoint> generate_trace(const LoadSpec& spec, Nanos horizon);
 
+// Combined nominal rate of a load (sum of per-spec base/peak rates) — the
+// denominator the capacity probe uses to turn an absolute target rate into
+// a per-spec scale factor.
+inline double nominal_rate_per_sec(const std::vector<LoadSpec>& specs) {
+  double rate = 0.0;
+  for (const LoadSpec& spec : specs) {
+    rate += spec.arrivals.base_rate_per_sec();
+  }
+  return rate;
+}
+
+// Scale every stream's rate by `factor`, preserving the traffic mix (the
+// get:put ratio, burst shapes and key distributions are untouched).
+inline void scale_load_rates(std::vector<LoadSpec>& specs, double factor) {
+  for (LoadSpec& spec : specs) {
+    spec.arrivals = spec.arrivals.with_rate_scale(factor);
+  }
+}
+
 // Per-interval digest of every spec's offered load (arrival counts, op mix,
 // key checksum per horizon/buckets slice). All-integer cells, so two
 // generations with the same specs are byte-identical CSV.

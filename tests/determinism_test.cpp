@@ -8,11 +8,14 @@
 //    it replays may not.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "harness/experiment.h"
 #include "server/scenarios.h"
+#include "server/sim_kv_service.h"
 #include "sim/db_model.h"
 #include "sim/sim_runner.h"
 #include "stats/table.h"
@@ -97,6 +100,80 @@ TEST(Determinism, OpenLoopScenarioTracesAreByteIdentical) {
       }
     }
   }
+}
+
+// Everything a twin scenario emits, as one CSV blob (the same two tables
+// the sim_kv_* benches write).
+std::string twin_csv(const server::KvScenario& sc,
+                     const server::SimTwinConfig& twin = {}) {
+  const server::SimServiceReport report = server::run_sim_kv(sc, twin);
+  std::ostringstream out;
+  out << "# scenario=" << sc.name << " table=sim_kv_measured\n";
+  server::sim_kv_measured_table(report).print_csv(out);
+  out << "# scenario=" << sc.name << " table=sim_kv_shards\n";
+  server::sim_kv_shard_table(report).print_csv(out);
+  return out.str();
+}
+
+TEST(Determinism, SimTwinMeasuredCsvIsByteIdenticalAcrossRuns) {
+  // The acceptance bar of the twin (DESIGN.md §5): every scenario's
+  // *measured* table — not just the offered digest — is byte-identical
+  // across two consecutive runs. This is what lets queueing shapes be
+  // asserted instead of accounted.
+  for (const std::string& name : server::kv_scenario_names()) {
+    const server::KvScenario a = server::make_kv_scenario(name);
+    const server::KvScenario b = server::make_kv_scenario(name);
+    const std::string csv_a = twin_csv(a);
+    EXPECT_EQ(csv_a, twin_csv(b)) << name;
+    EXPECT_GT(csv_a.size(), 0u) << name;
+  }
+}
+
+TEST(Determinism, SimTwinSeedsAreLoadBearing) {
+  // Reseeding the *load* must change the measured bytes (otherwise the
+  // byte-identity above would be vacuous); reseeding the twin's lock model
+  // only perturbs tie-breaking, so it must still produce a valid run with
+  // identical admission accounting under an uncontended scenario.
+  server::KvScenario base = server::make_kv_scenario("kv_uniform_steady");
+  server::KvScenario reseeded = server::make_kv_scenario("kv_uniform_steady");
+  reseeded.load[0].seed += 1;
+  EXPECT_NE(twin_csv(base), twin_csv(reseeded));
+
+  server::SimTwinConfig twin;
+  twin.seed += 1;
+  const server::SimServiceReport a = server::run_sim_kv(base);
+  const server::SimServiceReport b = server::run_sim_kv(base, twin);
+  EXPECT_EQ(a.total_accepted(), b.total_accepted());
+  EXPECT_EQ(a.total_completed(), b.total_completed());
+}
+
+TEST(Determinism, SimTwinGoldenTraceMatchesCheckedInCsv) {
+  // Byte-compare one twin scenario against tests/golden/: an accidental
+  // determinism break (iteration-order change, float formatting, an RNG
+  // draw reordered) fails loudly here, not silently downstream. To
+  // regenerate after an *intentional* model change:
+  //   ASL_WRITE_GOLDEN=1 ./determinism_test
+  //     --gtest_filter='*SimTwinGoldenTrace*'
+  const std::string path =
+      std::string(ASL_GOLDEN_DIR) + "/sim_kv_uniform_steady.csv";
+  const std::string csv =
+      twin_csv(server::make_kv_scenario("kv_uniform_steady"));
+
+  if (std::getenv("ASL_WRITE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << csv;
+    GTEST_SKIP() << "golden regenerated at " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (regenerate with ASL_WRITE_GOLDEN=1)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(golden.str(), csv)
+      << "twin output drifted from the checked-in golden; if the model "
+         "change is intentional, regenerate with ASL_WRITE_GOLDEN=1";
 }
 
 TEST(Determinism, DistinctSeedsOfferDistinctSchedules) {

@@ -89,6 +89,38 @@ TEST(BoundedQueueTest, RejectsWhenFullAndDrainsAfterClose) {
   EXPECT_FALSE(queue.pop(out));
 }
 
+TEST(BoundedQueueTest, CapacityOneAlternatesAndDrainsAfterClose) {
+  // The degenerate ring: one slot. Push/pop must alternate cleanly through
+  // the wraparound (head_ cycles over a single index) and close() must keep
+  // the drain contract.
+  BoundedQueue<int> queue(1);
+  EXPECT_EQ(queue.capacity(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.try_push(i)) << "slot must be free after a pop";
+    EXPECT_FALSE(queue.try_push(100 + i)) << "capacity-1 queue must be full";
+    int out = -1;
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(queue.try_push(42));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(43));
+  int out = -1;
+  EXPECT_TRUE(queue.pop(out)) << "closed-but-nonempty must still deliver";
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.try_push(7));
+  EXPECT_FALSE(queue.try_push(8));
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 7);
+}
+
 TEST(ServiceBackpressure, FullQueueRejectsThenStartDrainsEverything) {
   KvServiceConfig cfg;
   cfg.num_shards = 1;  // single queue so the capacity bound is exact
@@ -136,6 +168,90 @@ TEST(ServiceBackpressure, StopWithoutStartStillDrains) {
   EXPECT_EQ(report.classes[0].completed, accepted)
       << "completed == accepted must hold even without start()";
   EXPECT_EQ(service.queue_depth(0) + service.queue_depth(1), 0u);
+}
+
+TEST(ServiceBackpressure, CapacityOneServiceKeepsDrainInvariant) {
+  // The tightest admission buffer: every shard holds at most one waiting
+  // request, so a submit storm rejects heavily — but whatever was accepted
+  // must still be fully served on stop().
+  KvServiceConfig cfg;
+  cfg.num_shards = 2;
+  cfg.queue_capacity = 1;
+  cfg.classes.push_back(RequestClass{"cap1-test", 2 * kNanosPerMilli});
+  KvService service(cfg);  // not started: queues can only fill
+
+  std::uint64_t accepted = 0, rejected = 0;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    (service.try_submit(OpType::kPut, key, 0) ? accepted : rejected) += 1;
+  }
+  EXPECT_LE(accepted, 2u) << "one slot per shard";
+  EXPECT_GT(accepted, 0u);
+  EXPECT_EQ(rejected, 64 - accepted);
+
+  service.start();
+  service.stop();
+  ServiceReport report = service.report();
+  EXPECT_EQ(report.classes[0].accepted, accepted);
+  EXPECT_EQ(report.classes[0].rejected, rejected);
+  EXPECT_EQ(report.classes[0].completed, accepted);
+}
+
+TEST(ServiceLifecycle, StopBeforeStartThenLateTrafficIsRejected) {
+  // stop() before start(): queued work drains inline, the service closes,
+  // and everything submitted afterwards is a counted rejection — the
+  // completed == accepted invariant must survive the whole sequence,
+  // including a (no-op) start() after stop().
+  KvServiceConfig cfg;
+  cfg.num_shards = 2;
+  cfg.queue_capacity = 8;
+  cfg.classes.push_back(RequestClass{"late-test", 0});
+  KvService service(cfg);
+
+  std::uint64_t accepted = 0;
+  for (std::uint64_t key = 0; key < 6; ++key) {
+    accepted += service.try_submit(OpType::kPut, key, 0) ? 1 : 0;
+  }
+  ASSERT_EQ(accepted, 6u);
+  service.stop();
+
+  for (std::uint64_t key = 6; key < 12; ++key) {
+    EXPECT_FALSE(service.try_submit(OpType::kGet, key, 0))
+        << "closed service must reject";
+  }
+  service.start();  // after stop(): must be a no-op, not a worker respawn
+  service.stop();   // idempotent
+
+  ServiceReport report = service.report();
+  EXPECT_EQ(report.classes[0].accepted, accepted);
+  EXPECT_EQ(report.classes[0].completed, accepted);
+  EXPECT_EQ(report.classes[0].rejected, 6u);
+  EXPECT_EQ(service.queue_depth(0) + service.queue_depth(1), 0u);
+}
+
+TEST(ServiceLifecycle, StopWithQueuedWorkDrainsEveryShard) {
+  // Workers racing stop(): fill queues across every shard while workers
+  // run, then stop immediately — close() must let the workers drain each
+  // accepted request before joining.
+  KvServiceConfig cfg;
+  cfg.num_shards = 4;
+  cfg.workers_per_shard = 1;
+  cfg.queue_capacity = 256;
+  cfg.classes.push_back(RequestClass{"drain-race-test", 2 * kNanosPerMilli});
+  KvService service(cfg);
+  service.start();
+
+  std::uint64_t accepted = 0;
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    accepted += service.try_submit(OpType::kPut, key, 0) ? 1 : 0;
+  }
+  service.stop();
+
+  ServiceReport report = service.report();
+  EXPECT_EQ(report.classes[0].completed, accepted);
+  for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
+    EXPECT_EQ(service.queue_depth(s), 0u) << "shard " << s;
+  }
+  EXPECT_GT(service.store_size(), 0u);
 }
 
 // --------------------------------------------------- per-epoch SLO accounting

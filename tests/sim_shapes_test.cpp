@@ -3,8 +3,12 @@
 // benches print; failing here means the reproduction lost the paper's story.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "harness/experiment.h"
+#include "server/sim_kv_service.h"
 #include "sim/sim_runner.h"
+#include "workload/open_loop.h"
 
 namespace asl::sim {
 namespace {
@@ -226,3 +230,118 @@ TEST(Shapes, KyotoAslKeepsSloWhileBeatingMcs) {
 
 }  // namespace
 }  // namespace asl::sim
+
+// --------------------------------------------------- twin queueing shapes
+// The simulated twin of the KV service (DESIGN.md §5) runs in virtual time,
+// so classic open-loop queueing shapes — latency growing with offered load,
+// rejections appearing only past saturation, zipfian hot shards — are exact,
+// assertable facts here, where the real service can only be accounted.
+namespace asl::server {
+namespace {
+
+// Heavier per-op cost than the CI scenarios (cs 16 us big / 64 us little)
+// pulls saturation down to a few times the nominal rate, so the shape ladder
+// stays at a few thousand virtual events per run.
+KvScenario shape_scenario(const char* name, double rate_scale) {
+  KvScenario sc = make_kv_scenario(name);
+  sc.horizon = 20 * kNanosPerMilli;
+  sc.service.queue_capacity = 128;
+  sc.service.cs_nops = 40'000;
+  sc.service.post_nops = 10'000;
+  scale_load_rates(sc.load, rate_scale);
+  return sc;
+}
+
+std::uint64_t mean_latency_ns(const SimServiceReport& report) {
+  std::uint64_t sum = 0, n = 0;
+  for (const ClassReport& c : report.service.classes) {
+    sum += static_cast<std::uint64_t>(c.total.overall().mean() *
+                                      static_cast<double>(c.completed));
+    n += c.completed;
+  }
+  return n == 0 ? 0 : sum / n;
+}
+
+TEST(TwinShapes, MeanLatencyMonotoneInOfferedLoad) {
+  // Open-loop queueing 101: with service capacity fixed, mean end-to-end
+  // latency must not decrease as offered load grows. The ladder spans idle
+  // (1x) to past saturation (16x); everything is virtual time, so this is
+  // an exact regression, not a statistical one.
+  std::uint64_t prev = 0;
+  for (const double scale : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const SimServiceReport r =
+        run_sim_kv(shape_scenario("kv_uniform_steady", scale));
+    ASSERT_GT(r.total_completed(), 0u) << "scale " << scale;
+    const std::uint64_t mean = mean_latency_ns(r);
+    EXPECT_GE(mean, prev) << "mean latency dipped at offered scale " << scale;
+    prev = mean;
+  }
+}
+
+TEST(TwinShapes, RejectionsOnlyPastSaturation) {
+  // Below saturation the bounded queues never fill: exactly zero rejections
+  // (in virtual time "~0" is 0). Past saturation the excess arrival mass
+  // must surface as rejections — backpressure, not silent queue growth —
+  // while the drain invariant (completed == accepted) keeps holding.
+  for (const double scale : {1.0, 2.0, 4.0}) {
+    const SimServiceReport r =
+        run_sim_kv(shape_scenario("kv_uniform_steady", scale));
+    EXPECT_EQ(r.total_rejected(), 0u) << "below saturation, scale " << scale;
+    EXPECT_EQ(r.total_completed(), r.total_accepted());
+  }
+  const SimServiceReport over =
+      run_sim_kv(shape_scenario("kv_uniform_steady", 32.0));
+  EXPECT_GT(over.total_rejected(), 0u) << "past saturation";
+  EXPECT_EQ(over.total_completed(), over.total_accepted());
+}
+
+TEST(TwinShapes, ZeroCapacityConfigClampsLikeTheRealQueue) {
+  // BoundedQueue clamps capacity to 1; the twin must admit under the same
+  // bound, not reject everything on a degenerate config.
+  KvScenario sc = shape_scenario("kv_uniform_steady", 1.0);
+  sc.horizon = 5 * kNanosPerMilli;
+  sc.service.queue_capacity = 0;
+  const SimServiceReport r = run_sim_kv(sc);
+  EXPECT_GT(r.total_completed(), 0u);
+  EXPECT_EQ(r.total_completed(), r.total_accepted());
+  for (const SimShardStats& s : r.shards) {
+    EXPECT_LE(s.max_depth, 1u);
+  }
+}
+
+TEST(TwinShapes, ZipfHotShardSkewVisibleInDepthStats) {
+  // Zipfian popularity concentrates the hottest keys' shards: at the same
+  // offered rate, the busiest shard's time-integrated queue depth must stand
+  // farther above the shard mean than under uniform keys, and the deepest
+  // backlog must be deeper.
+  const double scale = 4.0;  // high utilization, still below saturation
+  const SimServiceReport uni =
+      run_sim_kv(shape_scenario("kv_uniform_steady", scale));
+  const SimServiceReport zipf =
+      run_sim_kv(shape_scenario("kv_zipf_steady", scale));
+  ASSERT_EQ(uni.shards.size(), zipf.shards.size());
+
+  const auto skew = [](const SimServiceReport& r) {
+    std::uint64_t max_integral = 0, sum = 0;
+    for (const SimShardStats& s : r.shards) {
+      max_integral = std::max(max_integral, s.depth_integral);
+      sum += s.depth_integral;
+    }
+    const double mean =
+        static_cast<double>(sum) / static_cast<double>(r.shards.size());
+    return mean == 0 ? 0.0 : static_cast<double>(max_integral) / mean;
+  };
+  EXPECT_GT(skew(zipf), skew(uni))
+      << "hot-shard skew must show in depth integrals";
+
+  const auto max_depth = [](const SimServiceReport& r) {
+    std::uint64_t d = 0;
+    for (const SimShardStats& s : r.shards) d = std::max(d, s.max_depth);
+    return d;
+  };
+  EXPECT_GT(max_depth(zipf), max_depth(uni))
+      << "the hottest zipf shard must queue deeper";
+}
+
+}  // namespace
+}  // namespace asl::server
