@@ -11,9 +11,11 @@
 //     The twin's rate is printed alongside for comparison; shape checks stay
 //     on probe-accounting invariants (CI hosts are noisy).
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "harness/capacity_probe.h"
+#include "kv_probe_common.h"
 #include "server/sim_kv_service.h"
 #include "workload/open_loop.h"
 
@@ -81,6 +83,28 @@ void run_capacity_twin(ScenarioContext& ctx) {
   ctx.shape_check(!r.bracketed || r.trials.size() == 24 ||
                       r.min_violating <= r.max_rate * 1.1 * 1.0001,
                   "bracket narrowed to the 10% tolerance");
+
+  // Per-class view of the same search: each class's capacity is the max
+  // offered rate (of the whole mix) at which *that* class still meets its
+  // SLO (class_meets_slo). The whole-service capacity above is the min of
+  // these, so every per-class number must sit at or above it.
+  const double nominal = server::nominal_rate_per_sec(base.load);
+  CapacityProbeConfig cls_cfg;
+  cls_cfg.start_rate = nominal;
+  cls_cfg.growth = 2.0;
+  cls_cfg.tolerance = 0.1;
+  cls_cfg.max_trials = 24;
+  const std::vector<ClassCapacity> per_class = find_class_capacities_memoized(
+      cls_cfg, base.service,
+      [&base](double rate) { return server::run_sim_kv(at_rate(base, rate)); });
+  ctx.emit(class_capacity_table(per_class), "capacity_twin_by_class");
+  bool at_least_service = true;
+  for (const ClassCapacity& c : per_class) {
+    at_least_service = at_least_service && c.result.feasible &&
+                       c.result.max_rate >= r.max_rate * (1.0 - 1e-9);
+  }
+  ctx.shape_check(at_least_service,
+                  "every per-class capacity >= the whole-service capacity");
 }
 
 void run_capacity_real(ScenarioContext& ctx) {

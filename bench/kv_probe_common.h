@@ -1,0 +1,53 @@
+// Shared helper for the KV twin capacity benches (kv_capacity,
+// kv_batch_sweep): per-class capacity search over a deterministic twin
+// oracle, memoized per trial rate. Lives beside the benches rather than in
+// bench_common.h so the pure figure benches never pull in the server layer.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/capacity_probe.h"
+#include "server/sim_kv_service.h"
+
+namespace asl::bench {
+
+// The config's class names in class-index order — the order
+// find_capacity_per_class reports its results in.
+inline std::vector<std::string> class_names(
+    const server::KvServiceConfig& config) {
+  std::vector<std::string> names;
+  names.reserve(config.classes.size());
+  for (const server::RequestClass& c : config.classes) {
+    names.push_back(c.name);
+  }
+  return names;
+}
+
+// Runs one capacity search per class of `service`, judging class c at rate
+// r by class_meets_slo on its slice of report_at(r). The per-class searches
+// share growth/tolerance/start, so their trial-rate ladders largely
+// coincide — the (deterministic) twin report is memoized per distinct rate
+// and each full simulation runs once, not once per class. Synchronous: the
+// cache lives on this frame.
+inline std::vector<ClassCapacity> find_class_capacities_memoized(
+    const CapacityProbeConfig& config,
+    const server::KvServiceConfig& service,
+    const std::function<server::SimServiceReport(double)>& report_at) {
+  std::map<double, server::SimServiceReport> cache;
+  return find_capacity_per_class(
+      config, class_names(service),
+      [&cache, &report_at](std::size_t class_index, double rate) {
+        auto it = cache.find(rate);
+        if (it == cache.end()) {
+          it = cache.emplace(rate, report_at(rate)).first;
+        }
+        return server::class_meets_slo(
+            it->second.service.classes[class_index]);
+      });
+}
+
+}  // namespace asl::bench

@@ -129,3 +129,8 @@ ASL_SCENARIO(kv_zipf_diurnal,
              "open-loop KV: zipfian keys, diurnal-ramp arrivals") {
   asl::bench::run_kv_scenario(ctx, "kv_zipf_diurnal");
 }
+
+ASL_SCENARIO(kv_batch_shed,
+             "open-loop KV: batched shard drain + sheddable write class") {
+  asl::bench::run_kv_scenario(ctx, "kv_batch_shed");
+}

@@ -105,3 +105,8 @@ ASL_SCENARIO(sim_kv_zipf_diurnal,
              "twin: open-loop KV, zipfian keys, diurnal-ramp arrivals") {
   asl::bench::run_sim_kv_scenario(ctx, "kv_zipf_diurnal");
 }
+
+ASL_SCENARIO(sim_kv_batch_shed,
+             "twin: open-loop KV, batched shard drain + sheddable writes") {
+  asl::bench::run_sim_kv_scenario(ctx, "kv_batch_shed");
+}

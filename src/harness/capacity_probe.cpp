@@ -68,6 +68,22 @@ CapacityResult find_capacity(const CapacityProbeConfig& config,
   return result;
 }
 
+std::vector<ClassCapacity> find_capacity_per_class(
+    const CapacityProbeConfig& config,
+    const std::vector<std::string>& class_names,
+    const ClassCapacityTrialFn& trial) {
+  std::vector<ClassCapacity> capacities;
+  capacities.reserve(class_names.size());
+  for (std::size_t c = 0; c < class_names.size(); ++c) {
+    ClassCapacity capacity;
+    capacity.class_name = class_names[c];
+    capacity.result = find_capacity(
+        config, [&trial, c](double rate) { return trial(c, rate); });
+    capacities.push_back(std::move(capacity));
+  }
+  return capacities;
+}
+
 Table capacity_table(const CapacityResult& result) {
   Table table({"trial", "rate_per_sec", "slo_ok"});
   for (std::size_t i = 0; i < result.trials.size(); ++i) {
@@ -76,6 +92,21 @@ Table capacity_table(const CapacityResult& result) {
                    std::to_string(static_cast<std::uint64_t>(
                        std::llround(t.rate))),
                    t.ok ? "1" : "0"});
+  }
+  return table;
+}
+
+Table class_capacity_table(const std::vector<ClassCapacity>& capacities) {
+  Table table({"class", "feasible", "bracketed", "capacity_per_sec",
+               "min_violating_per_sec", "trials"});
+  for (const ClassCapacity& c : capacities) {
+    table.add_row({c.class_name, c.result.feasible ? "1" : "0",
+                   c.result.bracketed ? "1" : "0",
+                   std::to_string(static_cast<std::uint64_t>(
+                       std::llround(c.result.max_rate))),
+                   std::to_string(static_cast<std::uint64_t>(
+                       std::llround(c.result.min_violating))),
+                   std::to_string(c.result.trials.size())});
   }
   return table;
 }

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "stats/table.h"
@@ -33,6 +34,8 @@ struct CapacityProbeConfig {
   std::uint32_t max_trials = 32;
 };
 
+// One executed trial, recorded in execution order: the offered rate and
+// the oracle's verdict at that rate.
 struct CapacityTrial {
   double rate = 0;
   bool ok = false;
@@ -58,8 +61,41 @@ struct CapacityResult {
 CapacityResult find_capacity(const CapacityProbeConfig& config,
                              const CapacityTrialFn& trial);
 
+// Per-class capacity (DESIGN.md §6). Whole-service capacity collapses to
+// the weakest class; with class-aware shedding the interesting number is
+// per class — "how much offered load can the service absorb while *this*
+// class keeps its SLO", letting a shed loose class and a protected tight
+// class report different capacities from the same configuration. One named
+// search result per probed class.
+struct ClassCapacity {
+  std::string class_name;
+  CapacityResult result;
+};
+
+// One trial of class `class_index` at `rate_per_sec`: run the service at
+// the offered rate (the whole mix, not just that class's stream) and report
+// whether that single class met its SLO (server::class_meets_slo is the
+// service-side criterion). The probe stays service-agnostic: `class_index`
+// indexes `class_names` as passed to find_capacity_per_class.
+using ClassCapacityTrialFn =
+    std::function<bool(std::size_t class_index, double rate_per_sec)>;
+
+// Runs one find_capacity search per entry of `class_names`, in order, each
+// with the same probe configuration. Every per-class search carries the
+// find_capacity guarantees; with a deterministic trial the whole sweep is
+// deterministic.
+std::vector<ClassCapacity> find_capacity_per_class(
+    const CapacityProbeConfig& config,
+    const std::vector<std::string>& class_names,
+    const ClassCapacityTrialFn& trial);
+
 // The trial history as a printable/CSV table (rate cells rounded to whole
 // requests/sec; integer, so deterministic trials emit deterministic bytes).
 Table capacity_table(const CapacityResult& result);
+
+// Per-class capacity summary table: one row per class — found capacity,
+// first violating rate, trial count, bracketing flags. Integer rate cells,
+// deterministic bytes under a deterministic trial.
+Table class_capacity_table(const std::vector<ClassCapacity>& capacities);
 
 }  // namespace asl::bench

@@ -9,6 +9,10 @@ namespace asl::server {
 KvService::KvService(KvServiceConfig config) : config_(std::move(config)) {
   if (config_.num_shards < 1) config_.num_shards = 1;
   if (config_.workers_per_shard < 1) config_.workers_per_shard = 1;
+  if (config_.batch_k < 1) config_.batch_k = 1;
+  if (config_.batch_k > kMaxBatch) {
+    config_.batch_k = static_cast<std::uint32_t>(kMaxBatch);
+  }
   if (config_.classes.empty()) {
     config_.classes.push_back(RequestClass{"kv-default", 0});
   }
@@ -20,9 +24,14 @@ KvService::KvService(KvServiceConfig config) : config_(std::move(config)) {
 
   // Register each request class as a named epoch, its controller seeded
   // proportionally to the SLO by the same rule the simulator configs use.
+  // The shed threshold is precomputed against the queue's *clamped*
+  // capacity, so a zero-capacity config sheds at the same depths the queue
+  // actually enforces.
   for (const RequestClass& spec : config_.classes) {
     auto cs = std::make_unique<ClassState>();
     cs->spec = spec;
+    cs->depth_limit =
+        shed_threshold(spec.admission, shards_[0]->queue.capacity());
     EpochOptions opts;
     opts.default_slo_ns = spec.slo_ns;
     if (spec.slo_ns > 0) {
@@ -75,14 +84,12 @@ void KvService::stop() {
   if (workers_.empty()) {
     // Never started: drain inline (each shard under its first worker slot's
     // core type) so the "after stop(), completed == accepted" invariant
-    // holds regardless of lifecycle.
+    // holds regardless of lifecycle. The queues are already closed, so the
+    // shared drain loop runs the batched pops dry and returns.
     for (const WorkerSlot& slot : slots_) {
       if (slot.index != slot.shard) continue;  // one drainer per shard
       ScopedCoreType scoped(slot.type);
-      Request req;
-      while (shards_[slot.shard]->queue.pop(req)) {
-        serve(slot, req);
-      }
+      drain_queue(slot);
     }
   }
   workers_.clear();
@@ -102,12 +109,26 @@ bool KvService::try_submit(OpType op, std::uint64_t key,
   req.key = key;
   req.class_index = class_index;
   req.enqueue_ns = now_ns();
-  if (shards_[shard_of(key)]->queue.try_push(req)) {
-    cs.accepted.fetch_add(1, std::memory_order_relaxed);
-    return true;
+  // The class's precomputed depth limit turns the push into the shed
+  // decision: protected classes carry limit == capacity (plain bounded-
+  // queue admission), sheddable classes bounce early at their watermark.
+  switch (shards_[shard_of(key)]->queue.try_push_below(req, cs.depth_limit)) {
+    case PushResult::kOk:
+      cs.accepted.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    case PushResult::kShed:
+      // rejected first, shed second (and report() reads them in the
+      // opposite order): a concurrent snapshot between the two increments
+      // then undercounts shed rather than overcounting it, preserving the
+      // shed <= rejected contract consumers subtract on.
+      cs.rejected.fetch_add(1, std::memory_order_relaxed);
+      cs.shed.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    case PushResult::kFull:
+      cs.rejected.fetch_add(1, std::memory_order_relaxed);
+      return false;
   }
-  cs.rejected.fetch_add(1, std::memory_order_relaxed);
-  return false;
+  return false;  // unreachable: the switch above is exhaustive
 }
 
 int KvService::epoch_id(std::uint32_t class_index) const {
@@ -136,7 +157,13 @@ ServiceReport KvService::report() const {
     c.epoch_id = cs->epoch_id;
     c.slo_ns = cs->spec.slo_ns;
     c.accepted = cs->accepted.load(std::memory_order_relaxed);
+    // shed before rejected (the mirror of try_submit's increment order),
+    // then clamp: relaxed loads on a racing snapshot may still tear, and
+    // the report-level contract shed <= rejected must hold uncondition-
+    // ally — class_meets_slo computes rejected - shed on unsigned values.
+    c.shed = cs->shed.load(std::memory_order_relaxed);
     c.rejected = cs->rejected.load(std::memory_order_relaxed);
+    if (c.shed > c.rejected) c.shed = c.rejected;
     cs->stats_lock.lock();
     c.completed = cs->completed;
     c.slo_met = cs->slo_met;
@@ -157,51 +184,91 @@ void KvService::worker_loop(const WorkerSlot& slot) {
     pin_to_cpu_wrapped(slot.index);
   }
   ScopedCoreType scoped(slot.type);
-  Shard& shard = *shards_[slot.shard];
-  Request req;
-  while (shard.queue.pop(req)) {
-    serve(slot, req);
-  }
+  drain_queue(slot);
   // No epoch-state reset here: the thread_local destructor folds this
   // worker's completion counts into the registry, which is how post-stop
   // snapshots still account for every served request.
 }
 
-void KvService::serve(const WorkerSlot& slot, const Request& req) {
-  ClassState& cs = *classes_[req.class_index];
+void KvService::drain_queue(const WorkerSlot& slot) {
   Shard& shard = *shards_[slot.shard];
-  const Nanos service_start = now_ns();
+  Request head;
+  while (shard.queue.pop(head)) {
+    serve_batch(slot, head);
+  }
+}
 
-  epoch_start(cs.epoch_id);
+void KvService::serve_batch(const WorkerSlot& slot, const Request& head) {
+  Shard& shard = *shards_[slot.shard];
+  struct Served {
+    Request req;
+    Nanos wait = 0;  // enqueue -> pop (the instant a worker took charge)
+    Nanos done = 0;  // end of the request's critical-section segment
+  };
+  Served batch[kMaxBatch];
+  std::size_t count = 0;
+  const std::size_t batch_k = config_.batch_k;  // clamped to kMaxBatch
+
+  const Nanos head_start = now_ns();
+  batch[count++] = Served{
+      head, head_start > head.enqueue_ns ? head_start - head.enqueue_ns : 0,
+      0};
+
+  // The acquisition runs under the *head* request's class epoch: one
+  // reorder-dispatch decision per batch, governed by the window of the
+  // class that was at the front of the queue (DESIGN.md §6).
+  ClassState& head_cls = *classes_[head.class_index];
+  epoch_start(head_cls.epoch_id);
   shard.lock.lock();
-  spin_nops(slot.speed.scale_cs(config_.cs_nops));
-  if (req.op == OpType::kPut) {
-    shard.engine.put(key_string(req.key), "v:" + std::to_string(req.key));
-  } else {
-    (void)shard.engine.get(key_string(req.key));
+  // Batch extension after the acquisition: requests that were already
+  // waiting when the lock was won ride along in this critical section; the
+  // drain never waits for new arrivals.
+  Request more;
+  while (count < batch_k && shard.queue.try_pop(more)) {
+    const Nanos t = now_ns();
+    batch[count++] =
+        Served{more, t > more.enqueue_ns ? t - more.enqueue_ns : 0, 0};
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const Request& req = batch[i].req;
+    spin_nops(slot.speed.scale_cs(config_.cs_nops));
+    if (req.op == OpType::kPut) {
+      shard.engine.put(key_string(req.key), "v:" + std::to_string(req.key));
+    } else {
+      (void)shard.engine.get(key_string(req.key));
+    }
+    // A request is done at the end of its own segment, not the batch's:
+    // later batch members pay for the work ahead of them in their measured
+    // latency, exactly like requests served by separate acquisitions.
+    batch[i].done = now_ns();
   }
   shard.lock.unlock();
 
-  const Nanos done = now_ns();
-  const Nanos total = done > req.enqueue_ns ? done - req.enqueue_ns : 0;
-  // Feedback sees the end-to-end latency (queue wait included): overload
-  // shows up as SLO violations and shrinks the class's reorder window even
-  // when the critical section itself is fast.
-  if (cs.spec.slo_ns > 0) {
-    epoch_end_with_latency(cs.epoch_id, cs.spec.slo_ns, total);
-  } else {
-    epoch_end(cs.epoch_id);
+  // Per-request feedback even though the acquisition was shared: the head
+  // ends the epoch opened before the lock; every later member brackets its
+  // own class epoch with an immediate start/end pair. Each served request
+  // therefore counts exactly one completion in its class's epoch, and each
+  // class controller sees that request's end-to-end latency (queue wait
+  // included) — batching amortizes the lock, never the feedback.
+  for (std::size_t i = 0; i < count; ++i) {
+    const Request& req = batch[i].req;
+    ClassState& cs = *classes_[req.class_index];
+    const Nanos total =
+        batch[i].done > req.enqueue_ns ? batch[i].done - req.enqueue_ns : 0;
+    if (i > 0) epoch_start(cs.epoch_id);
+    if (cs.spec.slo_ns > 0) {
+      epoch_end_with_latency(cs.epoch_id, cs.spec.slo_ns, total);
+    } else {
+      epoch_end(cs.epoch_id);
+    }
+    cs.stats_lock.lock();
+    cs.completed += 1;
+    if (cs.spec.slo_ns == 0 || total <= cs.spec.slo_ns) cs.slo_met += 1;
+    cs.total.record(slot.type, total);
+    cs.queue_wait.record(batch[i].wait);
+    cs.stats_lock.unlock();
+    spin_nops(slot.speed.scale_ncs(config_.post_nops));
   }
-  spin_nops(slot.speed.scale_ncs(config_.post_nops));
-
-  const Nanos wait =
-      service_start > req.enqueue_ns ? service_start - req.enqueue_ns : 0;
-  cs.stats_lock.lock();
-  cs.completed += 1;
-  if (cs.spec.slo_ns == 0 || total <= cs.spec.slo_ns) cs.slo_met += 1;
-  cs.total.record(slot.type, total);
-  cs.queue_wait.record(wait);
-  cs.stats_lock.unlock();
 }
 
 }  // namespace asl::server

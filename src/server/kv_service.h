@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -36,6 +37,9 @@
 
 namespace asl::server {
 
+// The two engine operations a request can carry: kGet reads the key (a
+// miss is not an error — unprefilled keys simply return nothing), kPut
+// upserts a value derived from the key. Both run inside the shard lock.
 enum class OpType : std::uint8_t { kGet = 0, kPut = 1 };
 
 // Key -> shard mapping, shared by the real service and its simulated twin
@@ -48,6 +52,12 @@ inline std::uint32_t shard_for_key(std::uint64_t key,
   return static_cast<std::uint32_t>(splitmix64(h) % num_shards);
 }
 
+// Upper bound on batch_k both paths enforce: a worker never carries more
+// than this many requests through one lock acquisition (the real path's
+// batch scratch space is a fixed stack array, and unbounded batches would
+// starve the other worker of a shard anyway).
+inline constexpr std::size_t kMaxBatch = 64;
+
 // One queued request. `class_index` is the dense index into the configured
 // request classes (each of which owns a registered epoch id).
 struct Request {
@@ -57,12 +67,63 @@ struct Request {
   Nanos enqueue_ns = 0;
 };
 
+// Class-aware admission control (DESIGN.md §6). Under backpressure the
+// bounded shard queues should not degrade every class together: deliberately
+// rejecting ("shedding") the loose-SLO class early keeps queue headroom —
+// and therefore queueing delay — for the tight-SLO class. The policy is two
+// knobs that combine into one depth threshold:
+//
+//   * shed_priority — 0 marks the class protected: it is rejected only by a
+//     genuinely full queue (exactly the class-blind FIFO behaviour shedding
+//     replaces). Values >= 1 mark it sheddable; larger values shed earlier.
+//   * watermark — the queue-depth fraction of capacity where priority-1
+//     shedding begins. Each further priority level halves geometrically:
+//     priority p sheds once depth >= capacity * watermark^p. Priority 0
+//     yields watermark^0 = 1.0, i.e. the full-capacity limit, which is how
+//     "protected" and "plain FIFO rejection" are the same code path.
+//
+// shed_threshold() is that formula, shared by the real service and the twin
+// so both shed at exactly the same depths. Shed rejections are counted per
+// class (ClassReport::shed, a subset of rejected): deliberate sheds are
+// admission policy at work, not overload, which is why class_meets_slo()
+// exempts them from the rejection bound.
+struct AdmissionPolicy {
+  std::uint32_t shed_priority = 0;  // 0 = protected (full-queue rejects only)
+  double watermark = 0.5;           // depth fraction where priority 1 sheds
+};
+
+// The depth limit `policy` imposes on a queue of `capacity` slots: requests
+// of the class are admitted only while depth < the returned limit. Clamped
+// to [1, capacity] so a sheddable class always has at least one slot when
+// the queue is otherwise empty (a zero limit would starve a class even at
+// idle, which is a misconfiguration, not a policy).
+inline std::size_t shed_threshold(const AdmissionPolicy& policy,
+                                  std::size_t capacity) {
+  if (policy.shed_priority == 0) return capacity;
+  double fraction = 1.0;
+  for (std::uint32_t p = 0; p < policy.shed_priority; ++p) {
+    fraction *= policy.watermark;
+  }
+  // Nudge before flooring: watermarks like 0.29 are not exactly
+  // representable, so capacity * fraction can land a hair under the
+  // intended integer (100 * 0.29 == 28.999...) and a bare truncation
+  // would shed one slot early.
+  const double slots =
+      std::floor(static_cast<double>(capacity) * fraction + 1e-9);
+  if (slots <= 1.0) return 1;
+  if (slots >= static_cast<double>(capacity)) return capacity;
+  return static_cast<std::size_t>(slots);
+}
+
 // A request class: its epoch name (registered with the EpochRegistry at
-// service construction) and the end-to-end latency SLO. slo_ns == 0 means
-// "no SLO": the epoch still tags the request but runs no feedback.
+// service construction), the end-to-end latency SLO, and its admission
+// policy. slo_ns == 0 means "no SLO": the epoch still tags the request but
+// runs no feedback. The default admission policy is protected, so configs
+// that never mention shedding behave exactly as before.
 struct RequestClass {
   std::string name;
   Nanos slo_ns = 0;
+  AdmissionPolicy admission{};
 };
 
 struct KvServiceConfig {
@@ -83,21 +144,36 @@ struct KvServiceConfig {
   std::uint64_t post_nops = 200;
   // Keys [0, prefill_keys) are inserted at construction so gets can hit.
   std::uint64_t prefill_keys = 0;
+  // Batch drain (DESIGN.md §6): a worker serves up to batch_k same-shard
+  // requests per BlockingAslMutex acquisition — the blocking pop delivers
+  // the batch head, up to batch_k-1 more waiting requests join after the
+  // lock is acquired, and all of them execute back-to-back in one critical
+  // section. One lock acquisition (and one reorder-dispatch decision, made
+  // under the head request's class epoch) is amortized over the batch,
+  // while latency accounting and controller feedback stay per-request.
+  // batch_k = 1 is exactly the unbatched service. Clamped to [1, kMaxBatch].
+  std::uint32_t batch_k = 1;
   std::vector<RequestClass> classes;
 };
 
-// Per-class accounting, merged across workers.
+// Per-class accounting, merged across workers. Conservation contract:
+// offered = accepted + rejected; shed <= rejected (a shed is one kind of
+// rejection, so totals that sum accepted + rejected never double-count);
+// after stop() / a twin drain, completed == accepted.
 struct ClassReport {
   std::string name;
   int epoch_id = -1;
   Nanos slo_ns = 0;
   std::uint64_t accepted = 0;   // admitted to a shard queue
-  std::uint64_t rejected = 0;   // bounced by a full queue (backpressure)
+  std::uint64_t rejected = 0;   // all bounces: full-queue + shed
+  std::uint64_t shed = 0;       // deliberate watermark rejections (subset)
   std::uint64_t completed = 0;  // served by a worker
   std::uint64_t slo_met = 0;    // completed with end-to-end latency <= SLO
   LatencySplit total;           // end-to-end latency, by worker core type
   Histogram queue_wait;         // admission -> service start
 
+  // Fraction of completed requests that met the class SLO; vacuously 1.0
+  // when nothing completed (an idle class has violated nothing).
   double attainment() const {
     return completed == 0 ? 1.0
                           : static_cast<double>(slo_met) /
@@ -105,6 +181,9 @@ struct ClassReport {
   }
 };
 
+// Snapshot of every class's accounting, in config order. Totals below sum
+// over classes; `shed` totals are part of total_rejected(), never added on
+// top of it.
 struct ServiceReport {
   std::vector<ClassReport> classes;
 
@@ -123,24 +202,46 @@ struct ServiceReport {
     for (const ClassReport& c : classes) n += c.completed;
     return n;
   }
+  std::uint64_t total_shed() const {
+    std::uint64_t n = 0;
+    for (const ClassReport& c : classes) n += c.shed;
+    return n;
+  }
 };
 
-// The capacity-probe pass/fail criterion, shared by the real path and the
-// simulated twin: every class with an SLO must keep its end-to-end p99
-// within the SLO *and* reject at most max_reject_fraction of its offered
-// requests (a rejected request is an infinite-latency request — with
-// bounded queues, overload surfaces as rejections long before the queue-
-// capped p99 moves, so the rejection term is what detects saturation).
+// Per-class capacity-probe pass/fail criterion, shared by the real path and
+// the simulated twin: a class with an SLO passes iff its end-to-end p99 is
+// within the SLO *and* its **hard** rejections (full-queue bounces, i.e.
+// rejected - shed) are at most max_reject_fraction of its offered requests.
+// A hard-rejected request is an infinite-latency request — with bounded
+// queues, overload surfaces as rejections long before the queue-capped p99
+// moves, so the rejection term is what detects saturation. Deliberate sheds
+// are excluded from the bound: they are the admission policy working as
+// configured, not the service failing, so shedding the loose class must not
+// fail the tight class's capacity check (and the shed class itself is
+// judged on the latency of what it actually served). Classes without an SLO
+// (slo_ns == 0) pass vacuously.
+inline bool class_meets_slo(const ClassReport& c,
+                            double max_reject_fraction = 0.0) {
+  if (c.slo_ns == 0) return true;
+  const std::uint64_t offered = c.accepted + c.rejected;
+  if (offered == 0) return true;
+  // Defensive clamp: report() enforces shed <= rejected, but hand-built
+  // reports may not, and an unsigned underflow here would read as an
+  // astronomical rejection fraction.
+  const std::uint64_t hard = c.rejected >= c.shed ? c.rejected - c.shed : 0;
+  const double reject_fraction =
+      static_cast<double>(hard) / static_cast<double>(offered);
+  if (reject_fraction > max_reject_fraction) return false;
+  return c.total.overall().p99() <= c.slo_ns;
+}
+
+// Whole-service criterion: every class passes class_meets_slo. This is the
+// oracle the capacity probes bisect against on both paths.
 inline bool report_meets_slos(const ServiceReport& report,
                               double max_reject_fraction = 0.0) {
   for (const ClassReport& c : report.classes) {
-    if (c.slo_ns == 0) continue;
-    const std::uint64_t offered = c.accepted + c.rejected;
-    if (offered == 0) continue;
-    const double reject_fraction =
-        static_cast<double>(c.rejected) / static_cast<double>(offered);
-    if (reject_fraction > max_reject_fraction) return false;
-    if (c.total.overall().p99() > c.slo_ns) return false;
+    if (!class_meets_slo(c, max_reject_fraction)) return false;
   }
   return true;
 }
@@ -164,22 +265,38 @@ class KvService {
   // spreads over shards). Exposed for the routing tests.
   std::uint32_t shard_of(std::uint64_t key) const;
 
-  // Open-loop admission: non-blocking; false = rejected (queue full or
-  // service stopped). The enqueue timestamp is taken here. An out-of-range
-  // class_index is a caller bug: it returns false without counting a
-  // per-class rejection (there is no class to attribute it to), so callers
-  // validate indices up front (run_open_loop does).
+  // Open-loop admission: non-blocking; false = rejected (queue full,
+  // class watermark hit, or service stopped). The enqueue timestamp is
+  // taken here. Sheddable classes are rejected once their shard queue's
+  // depth reaches shed_threshold(class.admission, queue_capacity); such
+  // rejections count in both `rejected` and `shed` for the class. An
+  // out-of-range class_index is a caller bug: it returns false without
+  // counting a per-class rejection (there is no class to attribute it to),
+  // so callers validate indices up front (run_open_loop does).
   bool try_submit(OpType op, std::uint64_t key, std::uint32_t class_index);
 
+  // Number of configured request classes (>= 1: an empty config gets a
+  // default no-SLO class at construction).
   std::uint32_t num_classes() const {
     return static_cast<std::uint32_t>(config_.classes.size());
   }
+  // The EpochRegistry id backing class_index's epoch, or -1 when the index
+  // is out of range. Valid ids are stable for the service's lifetime.
   int epoch_id(std::uint32_t class_index) const;
+  // Instantaneous depth of one shard's queue (0 for an out-of-range shard).
+  // A point-in-time read: concurrent submits/drains may move it immediately.
   std::size_t queue_depth(std::uint32_t shard) const;
-  std::size_t store_size() const;  // sum over shard engines
+  // Total keys stored across all shard engines (prefill + completed puts).
+  std::size_t store_size() const;
+  // Worker-slot count: num_shards * workers_per_shard, fixed at
+  // construction whether or not start() ever ran.
   std::uint32_t num_workers() const;
+  // The effective configuration after construction-time clamping (shard/
+  // worker minimums, batch_k in [1, kMaxBatch], default class injection).
   const KvServiceConfig& config() const { return config_; }
 
+  // Merged per-class accounting snapshot. Safe to call at any time; after
+  // stop() it is quiescent and satisfies completed == accepted per class.
   ServiceReport report() const;
 
  private:
@@ -194,8 +311,10 @@ class KvService {
   struct ClassState {
     RequestClass spec;
     int epoch_id = -1;
+    std::size_t depth_limit = 0;  // shed_threshold(spec.admission, capacity)
     std::atomic<std::uint64_t> accepted{0};
-    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> rejected{0};  // all bounces (shed included)
+    std::atomic<std::uint64_t> shed{0};      // watermark bounces only
     mutable RawSpinLock stats_lock;
     std::uint64_t completed = 0;  // guarded by stats_lock
     std::uint64_t slo_met = 0;
@@ -212,7 +331,14 @@ class KvService {
 
   static std::string key_string(std::uint64_t key);
   void worker_loop(const WorkerSlot& slot);
-  void serve(const WorkerSlot& slot, const Request& req);
+  // Blocking-pop/batch/serve loop shared by worker threads and the inline
+  // drain in stop(); returns when the shard queue is closed and empty.
+  void drain_queue(const WorkerSlot& slot);
+  // One lock acquisition for `head` plus up to batch_k-1 already-waiting
+  // requests drained after the acquisition, executed back-to-back in the
+  // critical section, then per-request latency recording + controller
+  // feedback (DESIGN.md §6).
+  void serve_batch(const WorkerSlot& slot, const Request& head);
 
   KvServiceConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;

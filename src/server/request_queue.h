@@ -7,11 +7,21 @@
 // shard), but nothing here assumes a single consumer, so scenarios may run
 // a big/little worker pair per shard.
 //
+// Class-aware admission (DESIGN.md §6) is expressed as a per-push depth
+// limit: try_push_below(item, limit) admits only while the current depth is
+// under `limit`, so a sheddable request class can be rejected at a watermark
+// below the physical capacity while protected classes keep using the full
+// queue. The queue itself stays class-blind — the caller (KvService /
+// SimKvService) derives the limit from its AdmissionPolicy, and the
+// tri-state PushResult tells it whether a rejection was a deliberate shed
+// (watermark hit, queue not full) or genuine exhaustion.
+//
 // Producers never block; consumers block on a CondVar (the litl-style
 // shadow-mutex condvar from asl/condvar.h) until an item or close() arrives.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -19,6 +29,15 @@
 #include "locks/pthread_lock.h"
 
 namespace asl::server {
+
+// Outcome of a depth-limited push. kShed is only possible when the caller's
+// limit is below the physical capacity: the queue had room, but the class's
+// watermark said to bounce the request anyway.
+enum class PushResult : std::uint8_t {
+  kOk = 0,    // admitted
+  kShed = 1,  // rejected by the caller's depth limit (queue not full)
+  kFull = 2,  // rejected by capacity exhaustion or close()
+};
 
 template <typename T>
 class BoundedQueue {
@@ -31,18 +50,33 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   // Non-blocking push; false when the queue is full or closed (the caller
-  // counts the rejection).
+  // counts the rejection). Equivalent to try_push_below(item, capacity()).
   bool try_push(T item) {
+    return try_push_below(std::move(item), capacity_) == PushResult::kOk;
+  }
+
+  // Non-blocking push with a caller-supplied depth limit: admits only while
+  // the current depth is strictly below min(limit, capacity). The limit is
+  // evaluated under the queue lock, so the shed decision and the push are
+  // one atomic step — a concurrent pop cannot turn a shed into a spurious
+  // full-queue rejection or vice versa. A limit >= capacity degenerates to
+  // plain try_push (kShed is never returned); a limit of 0 sheds everything
+  // for that class while the queue stays open to others.
+  PushResult try_push_below(T item, std::size_t limit) {
     lock_.lock();
-    if (closed_ || count_ == capacity_) {
+    if (closed_ || count_ >= capacity_) {
       lock_.unlock();
-      return false;
+      return PushResult::kFull;
+    }
+    if (count_ >= limit) {
+      lock_.unlock();
+      return PushResult::kShed;
     }
     ring_[(head_ + count_) % capacity_] = std::move(item);
     count_ += 1;
     lock_.unlock();
     not_empty_.signal();
-    return true;
+    return PushResult::kOk;
   }
 
   // Blocks until an item is available (true) or the queue is closed and
@@ -64,6 +98,24 @@ class BoundedQueue {
     return true;
   }
 
+  // Non-blocking pop: true and an item when one is immediately available,
+  // false otherwise (empty or closed-and-drained). Workers use this to
+  // extend a batch after the blocking pop delivered its head — the batch
+  // grows only with requests that are already waiting, it never stalls the
+  // critical section waiting for arrivals.
+  bool try_pop(T& out) {
+    lock_.lock();
+    if (count_ == 0) {
+      lock_.unlock();
+      return false;
+    }
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    count_ -= 1;
+    lock_.unlock();
+    return true;
+  }
+
   // Rejects future pushes and wakes all poppers. Idempotent.
   void close() {
     lock_.lock();
@@ -72,6 +124,8 @@ class BoundedQueue {
     not_empty_.broadcast();
   }
 
+  // Instantaneous depth; a point-in-time read that concurrent pushes and
+  // pops may move immediately.
   std::size_t size() const {
     lock_.lock();
     const std::size_t n = count_;
@@ -79,8 +133,12 @@ class BoundedQueue {
     return n;
   }
 
+  // The clamped capacity (construction clamps 0 to 1); constant, so
+  // callers may derive admission thresholds from it once.
   std::size_t capacity() const { return capacity_; }
 
+  // Whether close() has been called. Closed is terminal: pushes fail
+  // forever, pops drain what remains.
   bool closed() const {
     lock_.lock();
     const bool c = closed_;

@@ -43,8 +43,8 @@ std::vector<LoadSpec> base_load(const workload::KeyDist& keys,
 }  // namespace
 
 std::vector<std::string> kv_scenario_names() {
-  return {"kv_uniform_bursty", "kv_uniform_steady", "kv_zipf_bursty",
-          "kv_zipf_diurnal", "kv_zipf_steady"};
+  return {"kv_batch_shed",    "kv_uniform_bursty", "kv_uniform_steady",
+          "kv_zipf_bursty",   "kv_zipf_diurnal",   "kv_zipf_steady"};
 }
 
 KvScenario make_kv_scenario(std::string_view name) {
@@ -77,6 +77,19 @@ KvScenario make_kv_scenario(std::string_view name) {
   } else if (name == "kv_zipf_bursty") {
     sc.title = "open-loop KV: zipfian keys, bursty (MMPP) arrivals";
     sc.load = base_load(zipf, get_bursty, put_steady);
+  } else if (name == "kv_batch_shed") {
+    sc.title =
+        "open-loop KV: batched shard drain + class-aware shedding "
+        "(uniform keys, steady Poisson)";
+    // Same traffic as kv_uniform_steady, but the service drains up to 4
+    // requests per shard-lock acquisition and marks the write class
+    // sheddable: past half queue depth, puts are rejected so gets keep the
+    // queue headroom (DESIGN.md §6). At the nominal rate the watermark is
+    // never reached — shedding and rejections only appear under the scaled
+    // overloads the TwinShapes tests and the kv_batch_sweep family apply.
+    sc.service.batch_k = 4;
+    sc.service.classes[1].admission = AdmissionPolicy{1, 0.5};
+    sc.load = base_load(uniform, get_steady, put_steady);
   } else if (name == "kv_zipf_diurnal") {
     sc.title = "open-loop KV: zipfian keys, diurnal-ramp arrivals";
     // The interactive rate sweeps trough -> peak -> trough every 200 ms —
@@ -87,6 +100,17 @@ KvScenario make_kv_scenario(std::string_view name) {
         ArrivalProcess::diurnal(2.0 * kGetRate, 0.2, 200 * kNanosPerMilli),
         put_steady);
   }
+  return sc;
+}
+
+KvScenario make_overloaded_kv_scenario(std::string_view name,
+                                       double rate_scale, Nanos horizon) {
+  KvScenario sc = make_kv_scenario(name);
+  sc.horizon = horizon;
+  sc.service.queue_capacity = 128;
+  sc.service.cs_nops = 40'000;
+  sc.service.post_nops = 10'000;
+  scale_load_rates(sc.load, rate_scale);
   return sc;
 }
 

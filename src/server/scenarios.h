@@ -6,10 +6,11 @@
 // demonstrate the raw service API.
 //
 // The family is the cross product {uniform, zipfian} keys x {steady
-// Poisson, bursty MMPP} arrivals, plus a diurnal-ramp variant. Every
-// scenario serves two request classes with different SLOs — interactive
-// point gets (tight) and writes (loose) — so per-epoch SLO accounting has
-// something to distinguish.
+// Poisson, bursty MMPP} arrivals, plus a diurnal-ramp variant and
+// kv_batch_shed (batched shard drain + a sheddable write class, DESIGN.md
+// §6). Every scenario serves two request classes with different SLOs —
+// interactive point gets (tight) and writes (loose) — so per-epoch SLO
+// accounting has something to distinguish.
 #pragma once
 
 #include <string>
@@ -20,9 +21,13 @@
 
 namespace asl::server {
 
+// One runnable open-loop configuration: a service shape plus the traffic
+// offered to it. The same value drives the real path (KvService +
+// run_open_loop), the twin (run_sim_kv) and the tests, which is what makes
+// real-vs-twin comparisons apples-to-apples.
 struct KvScenario {
-  std::string name;
-  std::string title;
+  std::string name;   // registry key, e.g. "kv_zipf_bursty"
+  std::string title;  // one-line human description for banners
   KvServiceConfig service;
   std::vector<LoadSpec> load;
   Nanos horizon = 0;  // unscaled run length; benches scale it by --time-scale
@@ -35,5 +40,18 @@ std::vector<std::string> kv_scenario_names();
 // the returned empty load) only on unknown names — callers use
 // kv_scenario_names() or the scenario registry, which only hold valid ones.
 KvScenario make_kv_scenario(std::string_view name);
+
+// The heavy-critical-section overload profile shared by the TwinShapes
+// queueing-shape tests, the kv_batch_sweep bench and the batch+shed golden
+// CSV: `name`'s scenario with a 128-deep queue and a 40k/10k NOP cost
+// profile (cs ~16 us big / ~64 us little under the twin's calibration),
+// every stream's rate scaled by `rate_scale`. The heavy critical section
+// pulls twin saturation down to a few times the nominal rate, so overload
+// runs stay at a few thousand virtual events. One definition on purpose:
+// retuning it retunes the shape tests, the sweep and the golden together
+// instead of letting three copies drift apart.
+KvScenario make_overloaded_kv_scenario(std::string_view name,
+                                       double rate_scale,
+                                       Nanos horizon = 20 * kNanosPerMilli);
 
 }  // namespace asl::server

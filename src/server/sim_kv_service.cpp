@@ -48,8 +48,10 @@ struct SimKvService::Impl {
 
   struct ClassState {
     RequestClass spec;
+    std::size_t depth_limit = 0;  // shed_threshold(spec.admission, capacity)
     std::uint64_t accepted = 0;
-    std::uint64_t rejected = 0;
+    std::uint64_t rejected = 0;  // all bounces (shed included)
+    std::uint64_t shed = 0;      // watermark bounces only
     std::uint64_t completed = 0;
     std::uint64_t slo_met = 0;
     LatencySplit total;
@@ -71,14 +73,22 @@ struct SimKvService::Impl {
     if (config.workers_per_shard < 1) config.workers_per_shard = 1;
     // The real path's BoundedQueue clamps capacity to 1; the twin must
     // admit under the same bound or a zero-capacity config would diverge
-    // (reject-everything here vs serve-everything there).
+    // (reject-everything here vs serve-everything there). Same story for
+    // batch_k: both paths clamp to [1, kMaxBatch].
     if (config.queue_capacity < 1) config.queue_capacity = 1;
+    if (config.batch_k < 1) config.batch_k = 1;
+    if (config.batch_k > kMaxBatch) {
+      config.batch_k = static_cast<std::uint32_t>(kMaxBatch);
+    }
     if (config.classes.empty()) {
       config.classes.push_back(RequestClass{"kv-default", 0});
     }
     for (const RequestClass& spec : config.classes) {
       ClassState cs;
       cs.spec = spec;
+      // Same precomputed shed depths as KvService: the twin and the real
+      // service reject a sheddable class at identical queue depths.
+      cs.depth_limit = shed_threshold(spec.admission, config.queue_capacity);
       classes.push_back(std::move(cs));
     }
 
@@ -134,9 +144,19 @@ struct SimKvService::Impl {
   void arrive(std::uint32_t shard_index, const SimRequest& req) {
     Shard& shard = *shards[shard_index];
     ClassState& cls = classes[req.class_index];
+    // Mirror of BoundedQueue::try_push_below: capacity exhaustion first,
+    // then the class watermark — a shed is counted only when the queue
+    // still had room.
     if (shard.queue.size() >= config.queue_capacity) {
       cls.rejected += 1;
       shard.stats.rejected += 1;
+      return;
+    }
+    if (shard.queue.size() >= cls.depth_limit) {
+      cls.shed += 1;
+      cls.rejected += 1;
+      shard.stats.rejected += 1;
+      shard.stats.shed += 1;
       return;
     }
     flush_depth(shard);
@@ -155,20 +175,30 @@ struct SimKvService::Impl {
     }
   }
 
+  // One claimed batch member: the request plus its queue wait, frozen at
+  // the instant a worker took charge of it (pop time), mirroring the real
+  // path's per-request wait measurement.
+  struct Pending {
+    SimRequest req;
+    Nanos wait = 0;
+  };
+
   void dispatch(Worker& worker) {
     Shard& shard = *shards[worker.shard];
     worker.busy = true;
     flush_depth(shard);
-    const SimRequest req = shard.queue.front();
+    const SimRequest head = shard.queue.front();
     shard.queue.pop_front();
-    const Nanos wait = eng.now() - req.at;
+    const Nanos head_wait = eng.now() - head.at;
 
     // The real worker wraps the shard critical section in epoch_start /
     // epoch_end_with_latency; the twin consumes the same DispatchPolicy and
     // WindowController directly (sim_runner precedent — the feedback loop is
-    // production code, only the clock is virtual).
-    ClassState& cls = classes[req.class_index];
-    WindowController& ctl = worker.controllers[req.class_index];
+    // production code, only the clock is virtual). As on the real path, the
+    // *head* request's class window governs the one dispatch decision the
+    // whole batch shares (DESIGN.md §6).
+    ClassState& cls = classes[head.class_index];
+    WindowController& ctl = worker.controllers[head.class_index];
     const std::uint64_t window = cls.spec.slo_ns > 0
                                      ? ctl.window()
                                      : DispatchPolicy::no_epoch_window();
@@ -177,33 +207,65 @@ struct SimKvService::Impl {
         &worker.sim,
         plan.immediate ? sim::AcquireMode::kImmediate
                        : sim::AcquireMode::kReorder,
-        plan.window_ns, [this, &worker, &shard, &cls, &ctl, req, wait] {
-          eng.after(cs_time(worker.core.type), [this, &worker, &shard, &cls,
-                                                &ctl, req, wait] {
-            shard.lock->release(&worker.sim);
-            // End-to-end latency mirrors serve(): measured after release,
-            // before the post-op spin; queue wait included.
-            const Nanos total = eng.now() - req.at;
-            cls.completed += 1;
-            shard.stats.completed += 1;
-            if (cls.spec.slo_ns == 0 || total <= cls.spec.slo_ns) {
-              cls.slo_met += 1;
-            }
-            cls.total.record(worker.core.type, total);
-            cls.queue_wait.record(wait);
-            if (cls.spec.slo_ns > 0 &&
-                DispatchPolicy::updates_window(worker.core.type)) {
-              ctl.on_epoch_end(total, cls.spec.slo_ns);
-            }
-            eng.after(post_time(worker.core.type), [this, &worker, &shard] {
-              if (!shard.queue.empty()) {
-                dispatch(worker);
-              } else {
-                worker.busy = false;
-              }
-            });
-          });
+        plan.window_ns, [this, &worker, &shard, head, head_wait] {
+          // Batch extension at acquisition time — the twin of the real
+          // worker's try_pop loop after lock.lock(): requests already
+          // waiting when the lock was won ride along, one simulated lock
+          // handoff amortized over all of them. Per-op engine cost is still
+          // paid per request (serve_segment), so batching saves handoffs,
+          // never work.
+          auto batch = std::make_shared<std::vector<Pending>>();
+          batch->push_back(Pending{head, head_wait});
+          while (batch->size() < config.batch_k && !shard.queue.empty()) {
+            flush_depth(shard);
+            const SimRequest req = shard.queue.front();
+            shard.queue.pop_front();
+            batch->push_back(Pending{req, eng.now() - req.at});
+          }
+          serve_segment(worker, shard, batch, 0);
         });
+  }
+
+  // Serves batch member i: one cs_time segment, then that request's
+  // accounting and controller feedback at the segment's end — later batch
+  // members see the work ahead of them in their measured latency, exactly
+  // like the real path. The lock is released after the last segment, then
+  // one post-op interval per served request elapses before the worker
+  // re-dispatches or idles.
+  void serve_segment(Worker& worker, Shard& shard,
+                     const std::shared_ptr<std::vector<Pending>>& batch,
+                     std::size_t i) {
+    eng.after(cs_time(worker.core.type), [this, &worker, &shard, batch, i] {
+      const Pending& served = (*batch)[i];
+      ClassState& cls = classes[served.req.class_index];
+      const Nanos total = eng.now() - served.req.at;
+      cls.completed += 1;
+      shard.stats.completed += 1;
+      if (cls.spec.slo_ns == 0 || total <= cls.spec.slo_ns) {
+        cls.slo_met += 1;
+      }
+      cls.total.record(worker.core.type, total);
+      cls.queue_wait.record(served.wait);
+      if (cls.spec.slo_ns > 0 &&
+          DispatchPolicy::updates_window(worker.core.type)) {
+        worker.controllers[served.req.class_index].on_epoch_end(
+            total, cls.spec.slo_ns);
+      }
+      if (i + 1 < batch->size()) {
+        serve_segment(worker, shard, batch, i + 1);
+        return;
+      }
+      shard.lock->release(&worker.sim);
+      eng.after(post_time(worker.core.type) *
+                    static_cast<sim::Time>(batch->size()),
+                [this, &worker, &shard] {
+                  if (!shard.queue.empty()) {
+                    dispatch(worker);
+                  } else {
+                    worker.busy = false;
+                  }
+                });
+    });
   }
 };
 
@@ -257,6 +319,7 @@ SimServiceReport SimKvService::run(const std::vector<LoadSpec>& load,
     c.slo_ns = cs.spec.slo_ns;
     c.accepted = cs.accepted;
     c.rejected = cs.rejected;
+    c.shed = cs.shed;
     c.completed = cs.completed;
     c.slo_met = cs.slo_met;
     c.total = cs.total;
@@ -278,15 +341,15 @@ SimServiceReport run_sim_kv(const KvScenario& scenario,
 Table sim_kv_measured_table(const SimServiceReport& report) {
   // All-integer cells (virtual ns): byte-identical across runs and the
   // anchor of the twin's determinism + golden-trace tests.
-  Table table({"class", "slo_us", "offered", "accepted", "rejected",
+  Table table({"class", "slo_us", "offered", "accepted", "rejected", "shed",
                "completed", "slo_met", "mean_ns", "p50_ns", "p99_ns",
                "p99_big_ns", "p99_little_ns", "qwait_p99_ns"});
   for (const ClassReport& c : report.service.classes) {
     table.add_row(
         {c.name, std::to_string(c.slo_ns / kNanosPerMicro),
          std::to_string(c.accepted + c.rejected), std::to_string(c.accepted),
-         std::to_string(c.rejected), std::to_string(c.completed),
-         std::to_string(c.slo_met),
+         std::to_string(c.rejected), std::to_string(c.shed),
+         std::to_string(c.completed), std::to_string(c.slo_met),
          std::to_string(
              static_cast<std::uint64_t>(c.total.overall().mean())),
          std::to_string(c.total.overall().p50()),
@@ -301,13 +364,13 @@ Table sim_kv_measured_table(const SimServiceReport& report) {
 Table sim_kv_shard_table(const SimServiceReport& report) {
   // mean_depth_milli = time-averaged queue depth * 1000 (integer cell).
   const std::uint64_t span = report.drained_at > 0 ? report.drained_at : 1;
-  Table table({"shard", "accepted", "rejected", "completed", "max_depth",
-               "mean_depth_milli"});
+  Table table({"shard", "accepted", "rejected", "shed", "completed",
+               "max_depth", "mean_depth_milli"});
   for (std::size_t s = 0; s < report.shards.size(); ++s) {
     const SimShardStats& st = report.shards[s];
     table.add_row({std::to_string(s), std::to_string(st.accepted),
-                   std::to_string(st.rejected), std::to_string(st.completed),
-                   std::to_string(st.max_depth),
+                   std::to_string(st.rejected), std::to_string(st.shed),
+                   std::to_string(st.completed), std::to_string(st.max_depth),
                    std::to_string(st.depth_integral * 1000 / span)});
   }
   return table;

@@ -12,11 +12,16 @@
 // Fidelity contract (what the twin models vs elides) is written out in
 // DESIGN.md §5; the short version:
 //   * modeled: shard routing (shard_for_key), bounded-queue admission with
-//     counted rejections, big/little worker slots (same assignment rule as
-//     KvService), the shard lock as the simulated Bench-6 substrate
+//     counted rejections, class-aware shedding at the same shed_threshold
+//     depths as the real queue (sheds counted per class and per shard),
+//     batch_k drain — one simulated lock handoff per batch, per-op engine
+//     cost per request, acquisition window from the head request's class —
+//     big/little worker slots (same assignment rule as KvService), the
+//     shard lock as the simulated Bench-6 substrate
 //     (LockKind::kBlockingReorderable by default), ASL dispatch + AIMD
 //     feedback via the production DispatchPolicy/WindowController driven by
-//     virtual end-to-end latencies, and the drain-on-stop invariant
+//     virtual end-to-end latencies (per batch member, at the end of its own
+//     critical-section segment), and the drain-on-stop invariant
 //     (completed == accepted).
 //   * elided: the hash engine (service cost is cs_nops/post_nops under the
 //     machine model's big/little slowdowns; the engine op is folded into the
@@ -58,21 +63,28 @@ struct SimTwinConfig {
 // Per-shard queueing statistics — the observable the hot-shard-skew shape
 // tests assert on. depth_integral is the time integral of the queue depth
 // (ns · waiting requests): divided by the run length it is the mean depth,
-// and its spread across shards exposes zipfian hot shards.
+// and its spread across shards exposes zipfian hot shards. `shed` is the
+// subset of `rejected` bounced by a class watermark rather than a full
+// queue (kv_service.h AdmissionPolicy), localizing which shards ran hot
+// enough to trigger shedding.
 struct SimShardStats {
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
   std::uint64_t completed = 0;
   std::uint64_t max_depth = 0;
   std::uint64_t depth_integral = 0;
 };
 
+// Everything one twin run measures. Conservation on return from run():
+// offered == total_accepted() + total_rejected() and total_completed() ==
+// total_accepted(), exactly — the twin's drain is unconditional.
 struct SimServiceReport {
   // Same per-class shape as the real path (ClassReport latencies are virtual
   // ns here; epoch_id is -1 — the twin does not touch the global registry).
   ServiceReport service;
   std::vector<SimShardStats> shards;
-  std::uint64_t offered = 0;
+  std::uint64_t offered = 0;  // scheduled arrivals across every LoadSpec
   Nanos horizon = 0;     // arrival window
   Nanos drained_at = 0;  // virtual time the last queued request finished
 
@@ -97,6 +109,8 @@ class SimKvService {
   // Identical mapping to KvService::shard_of (shared shard_for_key rule).
   std::uint32_t shard_of(std::uint64_t key) const;
 
+  // The effective configuration after the same clamping KvService applies
+  // (queue capacity >= 1, batch_k in [1, kMaxBatch], default class).
   const KvServiceConfig& config() const;
 
  private:

@@ -101,6 +101,101 @@ TEST(CapacityProbe, TrialBudgetBoundsTheSearch) {
   EXPECT_LT(r.max_rate, r.min_violating);
 }
 
+// -------------------------------------------- per-class SLO criterion
+
+server::ClassReport synthetic_class(const std::string& name, Nanos slo_ns,
+                                    std::uint64_t accepted,
+                                    std::uint64_t rejected,
+                                    std::uint64_t shed, Nanos latency_ns) {
+  server::ClassReport c;
+  c.name = name;
+  c.slo_ns = slo_ns;
+  c.accepted = accepted;
+  c.rejected = rejected;
+  c.shed = shed;
+  c.completed = accepted;
+  for (std::uint64_t i = 0; i < accepted; ++i) {
+    c.total.record(CoreType::kBig, latency_ns);
+  }
+  return c;
+}
+
+TEST(SloCriterion, ShedRejectionsDoNotFailTheCapacityCheck) {
+  // Regression for the shedding interaction: a loose class whose
+  // rejections are all deliberate sheds must not fail the report-level
+  // check — otherwise probing the tight class's capacity with shedding on
+  // is impossible (every trial would "fail" because the policy worked).
+  server::ServiceReport report;
+  report.classes.push_back(synthetic_class(
+      "tight", 1 * kNanosPerMilli, 1000, 0, 0, 400 * kNanosPerMicro));
+  report.classes.push_back(synthetic_class(
+      "loose", 4 * kNanosPerMilli, 500, 500, 500, 900 * kNanosPerMicro));
+  EXPECT_TRUE(server::class_meets_slo(report.classes[0]));
+  EXPECT_TRUE(server::class_meets_slo(report.classes[1]))
+      << "an all-shed rejection column is policy, not overload";
+  EXPECT_TRUE(server::report_meets_slos(report));
+
+  // The same rejection volume as *hard* (full-queue) rejections is
+  // overload and must fail — sheds are the only exempt kind.
+  report.classes[1].shed = 0;
+  EXPECT_FALSE(server::class_meets_slo(report.classes[1]));
+  EXPECT_FALSE(server::report_meets_slos(report));
+
+  // Partially shed: only the hard remainder counts against the bound.
+  report.classes[1].shed = 499;
+  EXPECT_FALSE(server::class_meets_slo(report.classes[1]))
+      << "1 hard rejection in 1000 offered exceeds a zero bound";
+  EXPECT_TRUE(server::class_meets_slo(report.classes[1], 0.01));
+
+  // And an SLO-violating p99 still fails regardless of shed bookkeeping.
+  report.classes[1].shed = 500;
+  server::ClassReport slow = synthetic_class(
+      "loose-slow", 4 * kNanosPerMilli, 500, 500, 500, 9 * kNanosPerMilli);
+  EXPECT_FALSE(server::class_meets_slo(slow));
+}
+
+TEST(SloCriterion, NoSloClassesPassVacuously) {
+  server::ServiceReport report;
+  report.classes.push_back(
+      synthetic_class("untracked", 0, 10, 1000, 0, 9 * kNanosPerMilli));
+  EXPECT_TRUE(server::report_meets_slos(report));
+}
+
+// ------------------------------------------------- per-class capacity
+
+TEST(CapacityProbe, PerClassSearchFindsEachThreshold) {
+  // Two synthetic classes with different saturation points: the per-class
+  // sweep must bracket each independently, with the class index routed
+  // through to the trial.
+  const double thresholds[2] = {1500.0, 6000.0};
+  CapacityProbeConfig cfg;
+  cfg.start_rate = 500.0;
+  cfg.growth = 2.0;
+  cfg.tolerance = 0.05;
+  const ClassCapacityTrialFn trial = [&thresholds](std::size_t c,
+                                                   double rate) {
+    return rate <= thresholds[c];
+  };
+  const std::vector<ClassCapacity> found =
+      find_capacity_per_class(cfg, {"tight", "loose"}, trial);
+  ASSERT_EQ(found.size(), 2u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(found[c].class_name, c == 0 ? "tight" : "loose");
+    EXPECT_TRUE(found[c].result.feasible);
+    EXPECT_TRUE(found[c].result.bracketed);
+    EXPECT_LE(found[c].result.max_rate, thresholds[c]);
+    EXPECT_GT(found[c].result.min_violating, thresholds[c]);
+  }
+  // Deterministic: same searches, same trials.
+  const std::vector<ClassCapacity> again =
+      find_capacity_per_class(cfg, {"tight", "loose"}, trial);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_TRUE(same_trials(found[c].result, again[c].result));
+  }
+  // And the summary table carries one row per class.
+  EXPECT_EQ(class_capacity_table(found).rows(), 2u);
+}
+
 // ------------------------------------------------------- probe on the twin
 
 // A scaled-up per-op cost keeps saturation within a few growth steps so the

@@ -148,32 +148,57 @@ TEST(Determinism, SimTwinSeedsAreLoadBearing) {
 }
 
 TEST(Determinism, SimTwinGoldenTraceMatchesCheckedInCsv) {
-  // Byte-compare one twin scenario against tests/golden/: an accidental
+  // Byte-compare twin scenarios against tests/golden/: an accidental
   // determinism break (iteration-order change, float formatting, an RNG
-  // draw reordered) fails loudly here, not silently downstream. To
-  // regenerate after an *intentional* model change:
+  // draw reordered) fails loudly here, not silently downstream. Two
+  // goldens: the plain steady scenario and the batch+shed scenario, so the
+  // batch-drain and admission-policy paths are both pinned byte-for-byte.
+  // To regenerate after an *intentional* model change:
   //   ASL_WRITE_GOLDEN=1 ./determinism_test
   //     --gtest_filter='*SimTwinGoldenTrace*'
-  const std::string path =
-      std::string(ASL_GOLDEN_DIR) + "/sim_kv_uniform_steady.csv";
-  const std::string csv =
-      twin_csv(server::make_kv_scenario("kv_uniform_steady"));
+  // The batch+shed golden runs the scenario at the shared overload profile
+  // (scenarios.h make_overloaded_kv_scenario — the one the TwinShapes
+  // tests assert on) at 8x nominal: at the nominal rate queues never
+  // exceed depth 1, so batches never form and the watermark is never
+  // reached — the overloaded variant is what actually pins the batch drain
+  // and the shed accounting byte-for-byte.
+  const server::KvScenario batch_shed =
+      server::make_overloaded_kv_scenario("kv_batch_shed", 8.0);
 
-  if (std::getenv("ASL_WRITE_GOLDEN") != nullptr) {
-    std::ofstream out(path, std::ios::binary);
-    ASSERT_TRUE(out) << "cannot write " << path;
-    out << csv;
-    GTEST_SKIP() << "golden regenerated at " << path;
+  struct GoldenCase {
+    std::string file;
+    server::KvScenario scenario;
+  };
+  const GoldenCase cases[] = {
+      {"sim_kv_uniform_steady.csv",
+       server::make_kv_scenario("kv_uniform_steady")},
+      {"sim_kv_batch_shed_overload.csv", batch_shed},
+  };
+
+  bool regenerated = false;
+  for (const GoldenCase& gc : cases) {
+    const std::string path = std::string(ASL_GOLDEN_DIR) + "/" + gc.file;
+    const std::string csv = twin_csv(gc.scenario);
+
+    if (std::getenv("ASL_WRITE_GOLDEN") != nullptr) {
+      std::ofstream out(path, std::ios::binary);
+      ASSERT_TRUE(out) << "cannot write " << path;
+      out << csv;
+      regenerated = true;
+      continue;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (regenerate with ASL_WRITE_GOLDEN=1)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(golden.str(), csv)
+        << gc.file
+        << ": twin output drifted from the checked-in golden; if the model "
+           "change is intentional, regenerate with ASL_WRITE_GOLDEN=1";
   }
-
-  std::ifstream in(path, std::ios::binary);
-  ASSERT_TRUE(in) << "missing golden file " << path
-                  << " (regenerate with ASL_WRITE_GOLDEN=1)";
-  std::ostringstream golden;
-  golden << in.rdbuf();
-  EXPECT_EQ(golden.str(), csv)
-      << "twin output drifted from the checked-in golden; if the model "
-         "change is intentional, regenerate with ASL_WRITE_GOLDEN=1";
+  if (regenerated) GTEST_SKIP() << "goldens regenerated";
 }
 
 TEST(Determinism, DistinctSeedsOfferDistinctSchedules) {

@@ -121,6 +121,168 @@ TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
   EXPECT_EQ(out, 7);
 }
 
+TEST(BoundedQueueTest, TryPushBelowShedsBeforeFullAndDistinguishesBoth) {
+  // The tri-state admission: below the limit kOk, at the limit (queue not
+  // full) kShed, at capacity or after close() kFull — and a shed leaves the
+  // queue untouched, so protected pushes still get the remaining slots.
+  BoundedQueue<int> queue(4);
+  EXPECT_EQ(queue.try_push_below(1, 2), PushResult::kOk);
+  EXPECT_EQ(queue.try_push_below(2, 2), PushResult::kOk);
+  EXPECT_EQ(queue.try_push_below(3, 2), PushResult::kShed)
+      << "depth 2 reached the limit";
+  EXPECT_EQ(queue.size(), 2u) << "a shed must not enqueue";
+  EXPECT_TRUE(queue.try_push(3)) << "protected classes keep the full queue";
+  EXPECT_TRUE(queue.try_push(4));
+  EXPECT_EQ(queue.try_push_below(5, 2), PushResult::kFull)
+      << "capacity exhaustion wins over the watermark";
+  queue.close();
+  EXPECT_EQ(queue.try_push_below(6, 2), PushResult::kFull)
+      << "closed queues report kFull, not kShed";
+}
+
+TEST(BoundedQueueTest, LimitAtCapacityNeverSheds) {
+  // A watermark exactly at capacity is plain FIFO admission: every
+  // rejection is a full-queue rejection, kShed is unreachable.
+  BoundedQueue<int> queue(3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(queue.try_push_below(i, queue.capacity()), PushResult::kOk);
+  }
+  EXPECT_EQ(queue.try_push_below(9, queue.capacity()), PushResult::kFull);
+  // And a limit beyond capacity behaves identically.
+  EXPECT_EQ(queue.try_push_below(9, queue.capacity() + 10),
+            PushResult::kFull);
+}
+
+TEST(BoundedQueueTest, TryPopIsNonBlockingAndFifo) {
+  BoundedQueue<int> queue(4);
+  int out = -1;
+  EXPECT_FALSE(queue.try_pop(out)) << "empty queue must not block";
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.try_pop(out));
+  // Mixed with the blocking pop after close(): same FIFO drain contract.
+  EXPECT_TRUE(queue.try_push(3));
+  queue.close();
+  EXPECT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(queue.pop(out));
+}
+
+// ------------------------------------------------- class-aware admission
+
+TEST(AdmissionPolicyTest, ShedThresholdFormulaAndClamps) {
+  // Protected: the full capacity, whatever the watermark says.
+  EXPECT_EQ(shed_threshold(AdmissionPolicy{0, 0.5}, 128), 128u);
+  // Priority p sheds at capacity * watermark^p.
+  EXPECT_EQ(shed_threshold(AdmissionPolicy{1, 0.5}, 128), 64u);
+  EXPECT_EQ(shed_threshold(AdmissionPolicy{2, 0.5}, 128), 32u);
+  // Watermark exactly 1.0: sheddable in name, FIFO in behaviour.
+  EXPECT_EQ(shed_threshold(AdmissionPolicy{1, 1.0}, 128), 128u);
+  // Non-representable watermark: 100 * 0.29 is 28.999... in binary; the
+  // threshold must still be the intended floor(29), not 28.
+  EXPECT_EQ(shed_threshold(AdmissionPolicy{1, 0.29}, 100), 29u);
+  // Clamped to at least one slot so an aggressive policy cannot starve a
+  // class at idle...
+  EXPECT_EQ(shed_threshold(AdmissionPolicy{8, 0.1}, 128), 1u);
+  // ...and to at most the capacity on out-of-range watermarks.
+  EXPECT_EQ(shed_threshold(AdmissionPolicy{1, 2.0}, 128), 128u);
+}
+
+TEST(ServiceAdmission, LooseClassShedsAtWatermarkTightKeepsTheQueue) {
+  // Single shard, capacity 16, loose class shedding at half depth: a put
+  // storm stops being admitted at depth 8 (all bounces counted as sheds —
+  // the queue never actually filled), then gets still take the remaining 8
+  // slots, and the drain invariant survives the whole episode.
+  KvServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.queue_capacity = 16;
+  cfg.classes.push_back(RequestClass{"shed-tight", 1 * kNanosPerMilli, {}});
+  cfg.classes.push_back(
+      RequestClass{"shed-loose", 4 * kNanosPerMilli, AdmissionPolicy{1, 0.5}});
+  KvService service(cfg);  // not started: queues can only fill
+
+  for (std::uint64_t key = 0; key < 20; ++key) {
+    service.try_submit(OpType::kPut, key, 1);
+  }
+  ServiceReport mid = service.report();
+  EXPECT_EQ(mid.classes[1].accepted, 8u) << "watermark = capacity/2";
+  EXPECT_EQ(mid.classes[1].rejected, 12u);
+  EXPECT_EQ(mid.classes[1].shed, 12u)
+      << "every loose bounce was a shed: the queue never filled";
+
+  std::uint64_t tight_accepted = 0;
+  for (std::uint64_t key = 20; key < 40; ++key) {
+    tight_accepted += service.try_submit(OpType::kGet, key, 0) ? 1 : 0;
+  }
+  EXPECT_EQ(tight_accepted, 8u) << "the protected class takes the rest";
+  ServiceReport after = service.report();
+  EXPECT_EQ(after.classes[0].shed, 0u) << "protected classes never shed";
+  EXPECT_EQ(after.classes[0].rejected, 12u)
+      << "tight bounces are full-queue rejections";
+
+  service.start();
+  service.stop();
+  ServiceReport final_report = service.report();
+  EXPECT_EQ(final_report.classes[0].completed, tight_accepted);
+  EXPECT_EQ(final_report.classes[1].completed, 8u);
+  EXPECT_EQ(service.queue_depth(0), 0u);
+}
+
+TEST(ServiceAdmission, AllClassesSheddableStillDrainsAndCounts) {
+  // Every class sheddable: nothing is ever admitted past the watermark, so
+  // max depth stays at the threshold, every bounce is a shed, and the
+  // accepted prefix still drains completely.
+  KvServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.queue_capacity = 8;
+  cfg.classes.push_back(
+      RequestClass{"shed-all-a", 1 * kNanosPerMilli, AdmissionPolicy{1, 0.5}});
+  cfg.classes.push_back(
+      RequestClass{"shed-all-b", 4 * kNanosPerMilli, AdmissionPolicy{1, 0.5}});
+  KvService service(cfg);
+
+  std::uint64_t accepted = 0;
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    accepted +=
+        service.try_submit(OpType::kPut, key, key % 2 ? 1 : 0) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, 4u) << "both classes cap at the shared watermark";
+  ServiceReport report = service.report();
+  EXPECT_EQ(report.total_shed(), 32u - accepted);
+  EXPECT_EQ(report.total_rejected(), report.total_shed())
+      << "the queue never filled, so every rejection was a shed";
+
+  service.stop();  // inline drain
+  report = service.report();
+  EXPECT_EQ(report.total_completed(), accepted);
+}
+
+TEST(ServiceAdmission, ShedDisabledParityWithFifoRejectionCounts) {
+  // With every class protected (the default), admission must match the
+  // class-blind bounded queue exactly: same accepted/rejected counts as
+  // the pre-shedding service, and zero sheds anywhere.
+  KvServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.queue_capacity = 16;
+  cfg.classes.push_back(RequestClass{"fifo-parity", 2 * kNanosPerMilli, {}});
+  KvService service(cfg);
+
+  std::uint64_t accepted = 0, rejected = 0;
+  for (std::uint64_t key = 0; key < 40; ++key) {
+    (service.try_submit(OpType::kPut, key, 0) ? accepted : rejected) += 1;
+  }
+  EXPECT_EQ(accepted, cfg.queue_capacity);
+  EXPECT_EQ(rejected, 40 - cfg.queue_capacity);
+  ServiceReport report = service.report();
+  EXPECT_EQ(report.classes[0].shed, 0u);
+  EXPECT_EQ(report.classes[0].rejected, rejected);
+  service.stop();
+}
+
 TEST(ServiceBackpressure, FullQueueRejectsThenStartDrainsEverything) {
   KvServiceConfig cfg;
   cfg.num_shards = 1;  // single queue so the capacity bound is exact
@@ -252,6 +414,81 @@ TEST(ServiceLifecycle, StopWithQueuedWorkDrainsEveryShard) {
     EXPECT_EQ(service.queue_depth(s), 0u) << "shard " << s;
   }
   EXPECT_GT(service.store_size(), 0u);
+}
+
+// ------------------------------------------------------------ batch drain
+
+TEST(ServiceBatching, BatchedDrainKeepsPerRequestAccounting) {
+  // batch_k = 8: workers amortize one lock acquisition over up to eight
+  // queued requests, but every request must still be counted, latency-
+  // recorded and epoch-tagged individually — batching amortizes the lock,
+  // never the accounting (DESIGN.md §6).
+  KvServiceConfig cfg;
+  cfg.num_shards = 2;
+  cfg.workers_per_shard = 2;
+  cfg.big_workers = 2;
+  cfg.queue_capacity = 128;
+  cfg.batch_k = 8;
+  cfg.prefill_keys = 256;
+  cfg.classes.push_back(RequestClass{"batch-tight", 1 * kNanosPerMilli, {}});
+  cfg.classes.push_back(RequestClass{"batch-loose", 8 * kNanosPerMilli, {}});
+  KvService service(cfg);
+
+  std::vector<std::uint64_t> before;
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    before.push_back(epoch_completions(service.epoch_id(c)));
+  }
+
+  // Fill the queues before start() so the first drains actually form
+  // multi-request batches instead of racing the submitter.
+  std::vector<std::uint64_t> accepted(2, 0);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const std::uint32_t c = static_cast<std::uint32_t>(i % 2);
+    if (service.try_submit(i % 3 == 0 ? OpType::kPut : OpType::kGet,
+                           i % 256, c)) {
+      accepted[c] += 1;
+    }
+  }
+  service.start();
+  service.stop();
+
+  ServiceReport report = service.report();
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    const ClassReport& cls = report.classes[c];
+    EXPECT_EQ(cls.completed, accepted[c]);
+    EXPECT_EQ(cls.shed, 0u);
+    // One epoch completion per served request, batched or not.
+    EXPECT_EQ(epoch_completions(service.epoch_id(c)) - before[c],
+              cls.completed)
+        << "class " << cls.name;
+    // Latency recording is complete and per-request.
+    EXPECT_EQ(cls.total.overall().count(), cls.completed);
+    EXPECT_EQ(cls.queue_wait.count(), cls.completed);
+  }
+  EXPECT_GT(service.store_size(), 0u);
+}
+
+TEST(ServiceBatching, BatchKClampsAndDegenerateValuesServeEverything) {
+  // batch_k = 0 clamps to 1 (unbatched) and a huge batch_k clamps to
+  // kMaxBatch; both must keep the drain invariant.
+  for (const std::uint32_t k : {0u, 1u, 1000u}) {
+    KvServiceConfig cfg;
+    cfg.num_shards = 1;
+    cfg.queue_capacity = 64;
+    cfg.batch_k = k;
+    cfg.classes.push_back(RequestClass{"batch-clamp", 0, {}});
+    KvService service(cfg);
+    EXPECT_GE(service.config().batch_k, 1u);
+    EXPECT_LE(service.config().batch_k, kMaxBatch);
+    std::uint64_t accepted = 0;
+    for (std::uint64_t key = 0; key < 50; ++key) {
+      accepted += service.try_submit(OpType::kPut, key, 0) ? 1 : 0;
+    }
+    service.start();
+    service.stop();
+    EXPECT_EQ(service.report().classes[0].completed, accepted)
+        << "batch_k " << k;
+  }
 }
 
 // --------------------------------------------------- per-epoch SLO accounting
