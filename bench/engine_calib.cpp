@@ -1,0 +1,61 @@
+// Engine cost-model calibration scenario (DESIGN.md §7): measures, on this
+// host, the wall-clock cost of one emulated NOP and of one get/put against
+// each registered engine, and prints the derived per-op NOP classes next to
+// the checked-in reference profile. This is the procedure that produced the
+// defaults in src/db/engine.cpp; rerun it on a quiet host after an engine
+// change and copy the classes over.
+//
+// Wall-clock numbers on a shared runner are noise, so shape checks stay on
+// validity (every engine measured, classes positive, reference profiles
+// present); the measured-vs-reference comparison is a table to eyeball, not
+// an assertion.
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/engine_calib.h"
+
+namespace asl::bench {
+namespace {
+
+void run_engine_calib(ScenarioContext& ctx) {
+  ctx.banner("kv_engine_calib",
+             "per-op engine cost calibration (wall clock, this host)");
+  ctx.note("procedure: nop_ns = min-of-5 spin passes; op_ns = mean over "
+           "20k uniform-key ops on a 4k-key prefilled engine; "
+           "cs class = op_ns / nop_ns (post split kept from the reference)");
+
+  const std::vector<EngineCalibResult> results = calibrate_all_engines();
+  ctx.emit(engine_calib_table(results), "engine_calib");
+
+  bool all_valid = !results.empty();
+  bool classes_positive = true;
+  bool references_pinned = true;
+  for (const EngineCalibResult& r : results) {
+    all_valid = all_valid && r.valid();
+    classes_positive = classes_positive && r.measured.get.cs_nops > 0 &&
+                       r.measured.put.cs_nops > 0 && r.nop_ns > 0;
+    references_pinned = references_pinned && !r.reference.empty();
+    ctx.note(r.engine + ": measured put/get cs ratio " +
+             Table::fmt(static_cast<double>(r.measured.put.cs_nops) /
+                            static_cast<double>(r.measured.get.cs_nops),
+                        2) +
+             " (reference " +
+             Table::fmt(static_cast<double>(r.reference.put.cs_nops) /
+                            static_cast<double>(r.reference.get.cs_nops),
+                        2) +
+             ")");
+  }
+  ctx.shape_check(all_valid, "every registered engine calibrates");
+  ctx.shape_check(classes_positive, "derived cost classes are positive");
+  ctx.shape_check(references_pinned,
+                  "every engine has a checked-in reference profile");
+}
+
+}  // namespace
+}  // namespace asl::bench
+
+ASL_SCENARIO(kv_engine_calib,
+             "per-op engine cost calibration (wall clock, this host)") {
+  asl::bench::run_engine_calib(ctx);
+}

@@ -132,21 +132,12 @@ void run_batch_sweep_twin(ScenarioContext& ctx) {
   // *it* keeps its SLO (hard rejections only — deliberate sheds are policy,
   // not overload). Reported at batch_k 1 vs 8, shedding on.
   for (const std::uint32_t k : {1u, 8u}) {
-    CapacityProbeConfig cfg;
     const KvScenario base =
         sweep_scenario(k, /*shed=*/true, 1.0, 10 * kNanosPerMilli);
-    cfg.start_rate = server::nominal_rate_per_sec(base.load);
-    cfg.growth = 2.0;
-    cfg.tolerance = 0.1;
-    cfg.max_trials = 20;
-    const double nominal = cfg.start_rate;
     const std::vector<ClassCapacity> per_class =
         find_class_capacities_memoized(
-            cfg, base.service, [&base, nominal](double rate) {
-              KvScenario sc = base;
-              server::scale_load_rates(sc.load, rate / nominal);
-              return run_sim_kv(sc);
-            });
+            twin_probe_config(base, /*max_trials=*/20), base.service,
+            [&base](double rate) { return run_sim_kv(at_rate(base, rate)); });
     ctx.emit(class_capacity_table(per_class),
              "capacity_by_class_batch" + std::to_string(k));
     bool sane = true;
@@ -181,7 +172,7 @@ void run_batch_sweep_real(ScenarioContext& ctx) {
       // wall-clock cells stay accounting-only regardless, so a quiet runner
       // that absorbs everything still passes.
       sc.service.queue_capacity = 32;
-      sc.service.cs_nops = 20'000;
+      sc.service.cost_scale = 50.0;  // hash default cs class -> 20k NOPs
       if (!shed) sc.service.classes[1].admission = AdmissionPolicy{};
       server::scale_load_rates(sc.load, 20.0);
 

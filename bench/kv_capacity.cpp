@@ -36,19 +36,8 @@ KvScenario probe_scenario(Nanos horizon) {
   return sc;
 }
 
-KvScenario at_rate(const KvScenario& base, double rate) {
-  KvScenario sc = base;
-  server::scale_load_rates(sc.load,
-                           rate / server::nominal_rate_per_sec(base.load));
-  return sc;
-}
-
 CapacityResult probe_twin(const KvScenario& base) {
-  CapacityProbeConfig cfg;
-  cfg.start_rate = server::nominal_rate_per_sec(base.load);
-  cfg.growth = 2.0;
-  cfg.tolerance = 0.1;
-  cfg.max_trials = 24;
+  const CapacityProbeConfig cfg = twin_probe_config(base);
   return find_capacity(cfg, [&base](double rate) {
     return server::report_meets_slos(
         server::run_sim_kv(at_rate(base, rate)).service);
@@ -88,14 +77,8 @@ void run_capacity_twin(ScenarioContext& ctx) {
   // offered rate (of the whole mix) at which *that* class still meets its
   // SLO (class_meets_slo). The whole-service capacity above is the min of
   // these, so every per-class number must sit at or above it.
-  const double nominal = server::nominal_rate_per_sec(base.load);
-  CapacityProbeConfig cls_cfg;
-  cls_cfg.start_rate = nominal;
-  cls_cfg.growth = 2.0;
-  cls_cfg.tolerance = 0.1;
-  cls_cfg.max_trials = 24;
   const std::vector<ClassCapacity> per_class = find_class_capacities_memoized(
-      cls_cfg, base.service,
+      twin_probe_config(base), base.service,
       [&base](double rate) { return server::run_sim_kv(at_rate(base, rate)); });
   ctx.emit(class_capacity_table(per_class), "capacity_twin_by_class");
   bool at_least_service = true;
@@ -139,6 +122,25 @@ void run_capacity_real(ScenarioContext& ctx) {
                ? "max SLO-feasible rate (this host): " +
                      Table::fmt_ops(r.max_rate) + " req/s"
                : "nominal rate infeasible on this host (loaded runner)");
+
+  // Automated twin-vs-real cross-check (ROADMAP follow-up): the ratio table
+  // plus a *non-fatal* tolerance verdict. A shared runner legitimately lands
+  // far from the virtual-time model, so a band miss is a warning note, never
+  // a failed shape check — the gate stays on probe accounting.
+  const CapacityComparison cmp = compare_capacity(r, twin, /*tolerance=*/2.0);
+  ctx.emit(capacity_comparison_table(cmp), "capacity_real_vs_twin");
+  if (cmp.within_band) {
+    ctx.note("twin-vs-real: real capacity is " +
+             Table::fmt(cmp.ratio, 2) + "x the twin's (within the 2x band)");
+  } else if (cmp.both_feasible) {
+    ctx.note("WARNING (non-fatal): real capacity is " +
+             Table::fmt(cmp.ratio, 2) +
+             "x the twin's — outside the 2x band; noisy host or a "
+             "twin-fidelity drift worth a look (DESIGN.md §5)");
+  } else {
+    ctx.note("WARNING (non-fatal): twin-vs-real comparison skipped — a "
+             "probe found no feasible capacity on this host");
+  }
 
   // Wall-clock results vary across hosts; assert only probe accounting.
   check_probe_invariants(ctx, r, 6);

@@ -1,6 +1,8 @@
-// Shared helper for the KV twin capacity benches (kv_capacity,
-// kv_batch_sweep): per-class capacity search over a deterministic twin
-// oracle, memoized per trial rate. Lives beside the benches rather than in
+// Shared helpers for the KV service benches (kv_capacity, kv_batch_sweep,
+// kv_engine_sweep, kv_scenarios): rate-scaled scenario construction, the
+// per-class capacity search over a deterministic twin oracle (memoized per
+// trial rate), and the per-class measured-report tables both the real and
+// engine-sweep benches print. Lives beside the benches rather than in
 // bench_common.h so the pure figure benches never pull in the server layer.
 #pragma once
 
@@ -11,9 +13,56 @@
 #include <vector>
 
 #include "harness/capacity_probe.h"
+#include "server/scenarios.h"
 #include "server/sim_kv_service.h"
+#include "workload/open_loop.h"
 
 namespace asl::bench {
+
+// `base` with every stream scaled so the combined nominal offered rate is
+// `rate` req/s — the one trial-construction rule every capacity probe and
+// sweep shares, so "offered rate r" means the same thing in each of them.
+inline server::KvScenario at_rate(const server::KvScenario& base,
+                                  double rate) {
+  server::KvScenario sc = base;
+  server::scale_load_rates(
+      sc.load, rate / server::nominal_rate_per_sec(base.load));
+  return sc;
+}
+
+// The probe configuration the twin searches share: start at the scenario's
+// nominal rate, double to bracket, narrow to 10%.
+inline CapacityProbeConfig twin_probe_config(const server::KvScenario& base,
+                                             std::uint32_t max_trials = 24) {
+  CapacityProbeConfig cfg;
+  cfg.start_rate = server::nominal_rate_per_sec(base.load);
+  cfg.growth = 2.0;
+  cfg.tolerance = 0.1;
+  cfg.max_trials = max_trials;
+  return cfg;
+}
+
+// The real path's per-class measured table (offered/accepted/rejected/
+// completed, SLO attainment, wall-clock latency split) — shared by the
+// kv_* scenario family and the engine sweep's real smoke so the column
+// convention cannot drift between them.
+inline Table kv_measured_table(const server::ServiceReport& report) {
+  Table measured({"class", "slo_us", "offered_ops", "accepted", "rejected",
+                  "completed", "attain_pct", "p50_us", "p99_big_us",
+                  "p99_little_us", "qwait_p99_us"});
+  for (const server::ClassReport& c : report.classes) {
+    measured.add_row(
+        {c.name, std::to_string(c.slo_ns / kNanosPerMicro),
+         std::to_string(c.accepted + c.rejected), std::to_string(c.accepted),
+         std::to_string(c.rejected), std::to_string(c.completed),
+         Table::fmt(100.0 * c.attainment(), 1),
+         Table::fmt_ns_as_us(c.total.overall().p50()),
+         Table::fmt_ns_as_us(c.total.p99_big()),
+         Table::fmt_ns_as_us(c.total.p99_little()),
+         Table::fmt_ns_as_us(c.queue_wait.p99())});
+  }
+  return measured;
+}
 
 // The config's class names in class-index order — the order
 // find_capacity_per_class reports its results in.

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "kv_probe_common.h"
 #include "server/scenarios.h"
 #include "workload/open_loop.h"
 
@@ -53,21 +54,7 @@ void run_kv_scenario(ScenarioContext& ctx, const std::string& name) {
   service.stop();
   ServiceReport report = service.report();
 
-  Table measured({"class", "slo_us", "offered_ops", "accepted", "rejected",
-                  "completed", "attain_pct", "p50_us", "p99_big_us",
-                  "p99_little_us", "qwait_p99_us"});
-  for (const ClassReport& c : report.classes) {
-    measured.add_row(
-        {c.name, std::to_string(c.slo_ns / kNanosPerMicro),
-         std::to_string(c.accepted + c.rejected), std::to_string(c.accepted),
-         std::to_string(c.rejected), std::to_string(c.completed),
-         Table::fmt(100.0 * c.attainment(), 1),
-         Table::fmt_ns_as_us(c.total.overall().p50()),
-         Table::fmt_ns_as_us(c.total.p99_big()),
-         Table::fmt_ns_as_us(c.total.p99_little()),
-         Table::fmt_ns_as_us(c.queue_wait.p99())});
-  }
-  ctx.emit(measured, "kv_measured");
+  ctx.emit(kv_measured_table(report), "kv_measured");
 
   const double achieved =
       load.elapsed == 0 ? 0.0

@@ -1,0 +1,117 @@
+// KvEngine — the pluggable storage-engine contract behind the KV service
+// (DESIGN.md §7).
+//
+// The paper's real-application results (Fig. 9/10) show that ASL's benefit
+// depends on the *engine's* critical-section profile: Kyoto's slot locks,
+// upscaledb's global lock and LevelDB's snapshot-then-read-off-lock pattern
+// saturate at very different offered loads and with very different get/put
+// asymmetry. This header is the seam that lets one service front-end run on
+// any of them:
+//
+//   * KvEngine — uint64-key/string-value get/put/erase, implemented by thin
+//     adapters over the src/db engines (HashKv, BtreeKv, LsmKv). Every
+//     adapter is internally locked, but under the KV service all calls are
+//     additionally serialized by the shard lock — the adapters exist for
+//     the *data*, the CostProfile below models the *time*.
+//   * CostProfile — per-op service-cost classes in emulated NOPs, the twin-
+//     fidelity currency (experiment.h's ~0.4 ns/NOP calibration). cs_nops
+//     is spent inside the shard lock, post_nops after release. The real
+//     service spins these counts (scaled by the worker's core speed) to
+//     emulate a paper-scale engine on our small in-memory stand-ins; the
+//     simulated twin charges exactly the same classes in virtual time —
+//     one number set, two clocks, which is what keeps twin-predicted
+//     capacity comparable to the real probe (DESIGN.md §5/§7).
+//   * the registry — string-keyed construction (make_kv_engine) plus the
+//     checked-in default CostProfile per engine (default_cost_profile),
+//     calibrated once with the engine_calib harness and pinned so twin
+//     runs stay deterministic across hosts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asl::db {
+
+// One operation's service-cost class: emulated NOPs inside the shard lock
+// (cs_nops) and after release (post_nops). Big-core counts; little cores
+// stretch by the SpeedFactors / machine-model slowdowns at the call site.
+struct OpCost {
+  std::uint64_t cs_nops = 0;
+  std::uint64_t post_nops = 0;
+};
+
+// Per-op cost classes for one engine. This is what replaces the service's
+// old flat cs_nops fold: a get and a put may cost arbitrarily different
+// amounts, which is exactly the LSM asymmetry (cheap snapshot under the
+// lock + off-lock read for gets; memtable append with amortized rotation/
+// compaction under the lock for puts) a single number cannot express.
+struct CostProfile {
+  OpCost get;
+  OpCost put;
+
+  const OpCost& op(bool is_put) const { return is_put ? put : get; }
+
+  // All-zero means "unset": KvServiceConfig uses it as the sentinel for
+  // "resolve from the engine registry default".
+  bool empty() const {
+    return get.cs_nops == 0 && get.post_nops == 0 && put.cs_nops == 0 &&
+           put.post_nops == 0;
+  }
+
+  // Uniformly scaled copy — the overload scenarios' knob. Scaling every
+  // class by one factor preserves the get/put asymmetry (it is not a fold
+  // back into a single number).
+  CostProfile scaled(double factor) const {
+    auto mul = [factor](std::uint64_t n) {
+      return static_cast<std::uint64_t>(static_cast<double>(n) * factor);
+    };
+    return CostProfile{{mul(get.cs_nops), mul(get.post_nops)},
+                       {mul(put.cs_nops), mul(put.post_nops)}};
+  }
+};
+
+// The engine contract the KV service shards program against. Adapters
+// normalize the underlying engines' key/value conventions (HashKv's string
+// keys, LsmKv's void put) to one shape; get of a missing key is nullopt,
+// never an error, and erase reports whether the key was (still) visible.
+class KvEngine {
+ public:
+  virtual ~KvEngine() = default;
+
+  // The registry name this engine was constructed under ("hash", ...).
+  virtual std::string_view name() const = 0;
+
+  virtual void put(std::uint64_t key, const std::string& value) = 0;
+  virtual std::optional<std::string> get(std::uint64_t key) const = 0;
+  virtual bool erase(std::uint64_t key) = 0;
+
+  // Live (non-deleted) keys. May cost a full scan on engines without a
+  // cheap counter (the LSM adapter counts a snapshot): an observability
+  // call, not a hot-path one.
+  virtual std::size_t size() const = 0;
+};
+
+// Registered engine names, sorted ("btree", "hash", "lsm").
+std::vector<std::string> kv_engine_names();
+
+// Constructs the engine registered under `name`; nullptr when the name is
+// unknown — pair with kv_engine_error() for the diagnosis. The service
+// front-ends treat an unknown name as a configuration bug and abort with
+// that message rather than silently substituting a default.
+std::unique_ptr<KvEngine> make_kv_engine(std::string_view name);
+
+// Human-readable diagnosis for an unknown engine name, listing the
+// registered ones.
+std::string kv_engine_error(std::string_view name);
+
+// The checked-in calibrated default CostProfile for `name` (DESIGN.md §7:
+// measured once with the engine_calib harness on the reference host, then
+// pinned so the twin's virtual time never depends on the build machine).
+// Returns an empty profile for unknown names.
+CostProfile default_cost_profile(std::string_view name);
+
+}  // namespace asl::db

@@ -111,4 +111,34 @@ Table class_capacity_table(const std::vector<ClassCapacity>& capacities) {
   return table;
 }
 
+CapacityComparison compare_capacity(const CapacityResult& real,
+                                    const CapacityResult& twin,
+                                    double tolerance_factor) {
+  if (tolerance_factor < 1.0) tolerance_factor = 1.0;
+  CapacityComparison c;
+  c.real_rate = real.feasible ? real.max_rate : 0.0;
+  c.twin_rate = twin.feasible ? twin.max_rate : 0.0;
+  c.both_feasible = c.real_rate > 0 && c.twin_rate > 0;
+  if (c.both_feasible) {
+    c.ratio = c.real_rate / c.twin_rate;
+    c.within_band =
+        c.ratio >= 1.0 / tolerance_factor && c.ratio <= tolerance_factor;
+  }
+  return c;
+}
+
+Table capacity_comparison_table(const CapacityComparison& comparison) {
+  Table table({"real_per_sec", "twin_per_sec", "ratio_milli", "both_feasible",
+               "within_band"});
+  table.add_row({std::to_string(static_cast<std::uint64_t>(
+                     std::llround(comparison.real_rate))),
+                 std::to_string(static_cast<std::uint64_t>(
+                     std::llround(comparison.twin_rate))),
+                 std::to_string(static_cast<std::uint64_t>(
+                     std::llround(comparison.ratio * 1000.0))),
+                 comparison.both_feasible ? "1" : "0",
+                 comparison.within_band ? "1" : "0"});
+  return table;
+}
+
 }  // namespace asl::bench

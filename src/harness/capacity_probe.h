@@ -98,4 +98,28 @@ Table capacity_table(const CapacityResult& result);
 // deterministic bytes under a deterministic trial.
 Table class_capacity_table(const std::vector<ClassCapacity>& capacities);
 
+// Twin-vs-real capacity cross-check (DESIGN.md §5/§7). The twin predicts a
+// capacity in virtual time; the real probe measures one on this host. The
+// comparison is *advisory* — a shared CI runner legitimately lands far from
+// the model — so the verdict is a ratio band to warn on, never a pass/fail
+// gate: `within_band` is false when either probe found no capacity or the
+// real/twin ratio falls outside [1/tolerance_factor, tolerance_factor].
+struct CapacityComparison {
+  double real_rate = 0;       // real probe's max feasible rate
+  double twin_rate = 0;       // twin probe's max feasible rate
+  double ratio = 0;           // real / twin; 0 when either rate is 0
+  bool both_feasible = false; // both probes bracketed a positive capacity
+  bool within_band = false;   // both feasible and ratio inside the band
+};
+
+// Builds the comparison from the two probe results. tolerance_factor must
+// be >= 1 (clamped): 2.0 flags anything beyond a 2x disagreement.
+CapacityComparison compare_capacity(const CapacityResult& real,
+                                    const CapacityResult& twin,
+                                    double tolerance_factor = 2.0);
+
+// One-row summary table (rates rounded to whole req/s; ratio in thousandths
+// so the cells stay integer and deterministic under deterministic trials).
+Table capacity_comparison_table(const CapacityComparison& comparison);
+
 }  // namespace asl::bench

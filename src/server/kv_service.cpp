@@ -1,10 +1,30 @@
 #include "server/kv_service.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "platform/affinity.h"
 #include "platform/rng.h"
 #include "platform/time.h"
 
 namespace asl::server {
+
+db::CostProfile resolved_cost_profile(const KvServiceConfig& config) {
+  // The engine name is validated even when an explicit profile overrides
+  // the registry default: the twin resolves costs without ever
+  // constructing an engine, and a typo'd name must abort there too, not
+  // silently label every table with a nonexistent engine.
+  const db::CostProfile registry_default =
+      db::default_cost_profile(config.engine);
+  if (registry_default.empty()) {
+    std::fprintf(stderr, "KvService: %s\n",
+                 db::kv_engine_error(config.engine).c_str());
+    std::abort();
+  }
+  const db::CostProfile profile =
+      config.cost.empty() ? registry_default : config.cost;
+  return profile.scaled(config.cost_scale);
+}
 
 KvService::KvService(KvServiceConfig config) : config_(std::move(config)) {
   if (config_.num_shards < 1) config_.num_shards = 1;
@@ -16,10 +36,18 @@ KvService::KvService(KvServiceConfig config) : config_(std::move(config)) {
   if (config_.classes.empty()) {
     config_.classes.push_back(RequestClass{"kv-default", 0});
   }
+  cost_ = resolved_cost_profile(config_);
 
   shards_.reserve(config_.num_shards);
   for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+    std::unique_ptr<db::KvEngine> engine = db::make_kv_engine(config_.engine);
+    if (engine == nullptr) {
+      std::fprintf(stderr, "KvService: %s\n",
+                   db::kv_engine_error(config_.engine).c_str());
+      std::abort();
+    }
+    shards_.push_back(
+        std::make_unique<Shard>(config_.queue_capacity, std::move(engine)));
   }
 
   // Register each request class as a named epoch, its controller seeded
@@ -42,7 +70,7 @@ KvService::KvService(KvServiceConfig config) : config_(std::move(config)) {
   }
 
   for (std::uint64_t k = 0; k < config_.prefill_keys; ++k) {
-    shards_[shard_of(k)]->engine.put(key_string(k), "prefill");
+    shards_[shard_of(k)]->engine->put(k, "prefill");
   }
 
   // Worker slots: worker w serves shard w % num_shards; the first
@@ -141,7 +169,7 @@ std::size_t KvService::queue_depth(std::uint32_t shard) const {
 
 std::size_t KvService::store_size() const {
   std::size_t n = 0;
-  for (const auto& shard : shards_) n += shard->engine.size();
+  for (const auto& shard : shards_) n += shard->engine->size();
   return n;
 }
 
@@ -173,10 +201,6 @@ ServiceReport KvService::report() const {
     report.classes.push_back(std::move(c));
   }
   return report;
-}
-
-std::string KvService::key_string(std::uint64_t key) {
-  return "k:" + std::to_string(key);
 }
 
 void KvService::worker_loop(const WorkerSlot& slot) {
@@ -231,11 +255,14 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head) {
   }
   for (std::size_t i = 0; i < count; ++i) {
     const Request& req = batch[i].req;
-    spin_nops(slot.speed.scale_cs(config_.cs_nops));
-    if (req.op == OpType::kPut) {
-      shard.engine.put(key_string(req.key), "v:" + std::to_string(req.key));
+    const bool is_put = req.op == OpType::kPut;
+    // Per-op cost class (DESIGN.md §7): the emulated critical-section cost
+    // of *this* op's kind, on top of the actual engine call below.
+    spin_nops(slot.speed.scale_cs(cost_.op(is_put).cs_nops));
+    if (is_put) {
+      shard.engine->put(req.key, "v:" + std::to_string(req.key));
     } else {
-      (void)shard.engine.get(key_string(req.key));
+      (void)shard.engine->get(req.key);
     }
     // A request is done at the end of its own segment, not the batch's:
     // later batch members pay for the work ahead of them in their measured
@@ -267,7 +294,8 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head) {
     cs.total.record(slot.type, total);
     cs.queue_wait.record(batch[i].wait);
     cs.stats_lock.unlock();
-    spin_nops(slot.speed.scale_ncs(config_.post_nops));
+    spin_nops(slot.speed.scale_ncs(
+        cost_.op(req.op == OpType::kPut).post_nops));
   }
 }
 

@@ -1,7 +1,8 @@
 // Sharded KV front-end — the open-loop service layer over the asl_db
 // engines (DESIGN.md §4).
 //
-// Layout: N shards, each one HashKv engine guarded by a BlockingAslMutex
+// Layout: N shards, each one KvEngine (hash/btree/lsm, selected by
+// KvServiceConfig::engine — DESIGN.md §7) guarded by a BlockingAslMutex
 // (the oversubscription-safe LibASL lock) behind a bounded request queue.
 // Requests are routed by key hash, admitted with backpressure (a full queue
 // rejects, it never blocks the submitter), and served by worker threads
@@ -27,7 +28,7 @@
 #include <vector>
 
 #include "asl/libasl.h"
-#include "db/hashkv.h"
+#include "db/engine.h"
 #include "platform/raw_spinlock.h"
 #include "platform/rng.h"
 #include "server/request_queue.h"
@@ -137,11 +138,21 @@ struct KvServiceConfig {
   // half, rounded up.
   std::uint32_t big_workers = ~0u;
   bool pin_workers = true;
-  // Emulated service cost: critical-section spin inside the shard lock and
-  // post-op spin outside, both scaled by the worker's core speed factors
-  // (cs_workload.h semantics).
-  std::uint64_t cs_nops = 400;
-  std::uint64_t post_nops = 200;
+  // Storage engine per shard, by registry name (db/engine.h: "hash",
+  // "btree", "lsm"). An unknown name is a configuration bug: the service
+  // aborts at construction with kv_engine_error's diagnosis.
+  std::string engine = "hash";
+  // Per-op service-cost classes (DESIGN.md §7). All-zero (the default)
+  // resolves to the engine's checked-in calibrated profile
+  // (db::default_cost_profile); a non-empty profile — e.g. one measured by
+  // the engine_calib harness on this host — overrides it. Either way every
+  // class is scaled by cost_scale (the overload scenarios' knob: scaling
+  // preserves the get/put asymmetry instead of folding it away). The real
+  // worker spins cs_nops inside the shard lock and post_nops after release
+  // (core-speed scaled, cs_workload.h semantics) on top of the actual
+  // engine op; the twin charges the identical classes in virtual time.
+  db::CostProfile cost{};
+  double cost_scale = 1.0;
   // Keys [0, prefill_keys) are inserted at construction so gets can hit.
   std::uint64_t prefill_keys = 0;
   // Batch drain (DESIGN.md §6): a worker serves up to batch_k same-shard
@@ -155,6 +166,14 @@ struct KvServiceConfig {
   std::uint32_t batch_k = 1;
   std::vector<RequestClass> classes;
 };
+
+// The per-op cost classes `config` actually runs with: the explicit profile
+// when set, otherwise the engine's checked-in default, either one scaled by
+// cost_scale. Aborts (with kv_engine_error's message) when the profile must
+// come from the registry but the engine name is unknown — the same rule
+// KvService applies at construction, shared here so the simulated twin
+// resolves identical numbers.
+db::CostProfile resolved_cost_profile(const KvServiceConfig& config);
 
 // Per-class accounting, merged across workers. Conservation contract:
 // offered = accepted + rejected; shed <= rejected (a shed is one kind of
@@ -301,11 +320,11 @@ class KvService {
 
  private:
   struct Shard {
-    explicit Shard(std::size_t queue_capacity)
-        : queue(queue_capacity), engine(16) {}
+    Shard(std::size_t queue_capacity, std::unique_ptr<db::KvEngine> eng)
+        : queue(queue_capacity), engine(std::move(eng)) {}
     BoundedQueue<Request> queue;
     BlockingAslMutex lock;  // serializes workers of this shard on the engine
-    db::HashKv engine;
+    std::unique_ptr<db::KvEngine> engine;
   };
 
   struct ClassState {
@@ -329,7 +348,6 @@ class KvService {
     SpeedFactors speed{};
   };
 
-  static std::string key_string(std::uint64_t key);
   void worker_loop(const WorkerSlot& slot);
   // Blocking-pop/batch/serve loop shared by worker threads and the inline
   // drain in stop(); returns when the shard queue is closed and empty.
@@ -341,6 +359,7 @@ class KvService {
   void serve_batch(const WorkerSlot& slot, const Request& head);
 
   KvServiceConfig config_;
+  db::CostProfile cost_;  // resolved_cost_profile(config_), fixed at build
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<ClassState>> classes_;
   std::vector<WorkerSlot> slots_;

@@ -103,13 +103,21 @@ KvScenario make_kv_scenario(std::string_view name) {
   return sc;
 }
 
+KvScenario make_kv_scenario(std::string_view name, std::string_view engine) {
+  KvScenario sc = make_kv_scenario(name);
+  sc.service.engine = std::string(engine);
+  return sc;
+}
+
 KvScenario make_overloaded_kv_scenario(std::string_view name,
                                        double rate_scale, Nanos horizon) {
   KvScenario sc = make_kv_scenario(name);
   sc.horizon = horizon;
   sc.service.queue_capacity = 128;
-  sc.service.cs_nops = 40'000;
-  sc.service.post_nops = 10'000;
+  // 100x the engine's per-op cost classes (hash default: 40k/10k NOPs, the
+  // pre-engine-subsystem overload numbers) — scaling, not overriding, so a
+  // non-hash engine's get/put asymmetry survives into the overload runs.
+  sc.service.cost_scale = 100.0;
   scale_load_rates(sc.load, rate_scale);
   return sc;
 }

@@ -41,11 +41,20 @@ std::vector<std::string> kv_scenario_names();
 // kv_scenario_names() or the scenario registry, which only hold valid ones.
 KvScenario make_kv_scenario(std::string_view name);
 
+// The same scenario on a different storage engine (db/engine.h registry
+// name): every registered scenario runs unmodified on any engine — only
+// KvServiceConfig::engine changes, so traffic, SLOs and admission policy
+// stay identical and engine comparisons are apples-to-apples. The engine
+// name is validated at service construction, not here.
+KvScenario make_kv_scenario(std::string_view name, std::string_view engine);
+
 // The heavy-critical-section overload profile shared by the TwinShapes
-// queueing-shape tests, the kv_batch_sweep bench and the batch+shed golden
-// CSV: `name`'s scenario with a 128-deep queue and a 40k/10k NOP cost
-// profile (cs ~16 us big / ~64 us little under the twin's calibration),
-// every stream's rate scaled by `rate_scale`. The heavy critical section
+// queueing-shape tests, the kv_batch_sweep / kv_engine_sweep benches and
+// the overload goldens: `name`'s scenario with a 128-deep queue and every
+// per-op cost class scaled 100x (on the hash default that is a 40k/10k NOP
+// profile — cs ~16 us big / ~64 us little under the twin's calibration;
+// other engines keep their get/put asymmetry, just heavier), every
+// stream's rate scaled by `rate_scale`. The heavy critical section
 // pulls twin saturation down to a few times the nominal rate, so overload
 // runs stay at a few thousand virtual events. One definition on purpose:
 // retuning it retunes the shape tests, the sweep and the golden together

@@ -60,6 +60,7 @@ struct SimKvService::Impl {
 
   KvServiceConfig config;
   SimTwinConfig twin;
+  db::CostProfile cost;  // resolved_cost_profile(config): per-op classes
   Rng rng;
   sim::Engine eng;
   std::vector<std::unique_ptr<Shard>> shards;
@@ -83,6 +84,10 @@ struct SimKvService::Impl {
     if (config.classes.empty()) {
       config.classes.push_back(RequestClass{"kv-default", 0});
     }
+    // Same per-op cost resolution as the real service (engine registry
+    // default unless the config carries an explicit profile, then
+    // cost_scale): the twin charges the classes the real path spins.
+    cost = resolved_cost_profile(config);
     for (const RequestClass& spec : config.classes) {
       ClassState cs;
       cs.spec = spec;
@@ -121,16 +126,18 @@ struct SimKvService::Impl {
     }
   }
 
-  // Workload NOPs -> virtual ns under the machine model's asymmetry, floored
-  // at 1 ns so zero-cost configs still advance virtual time.
-  sim::Time cs_time(CoreType type) const {
-    const double ns = static_cast<double>(config.cs_nops) * twin.nop_ns *
-                      twin.machine.cs_slowdown(type);
+  // Per-op cost-class NOPs -> virtual ns under the machine model's
+  // asymmetry, floored at 1 ns so zero-cost classes still advance virtual
+  // time. The op kind selects the class (DESIGN.md §7) — this is where the
+  // old flat cs_nops fold used to live.
+  sim::Time cs_time(CoreType type, bool is_put) const {
+    const double ns = static_cast<double>(cost.op(is_put).cs_nops) *
+                      twin.nop_ns * twin.machine.cs_slowdown(type);
     return ns < 1.0 ? sim::Time{1} : static_cast<sim::Time>(ns);
   }
-  sim::Time post_time(CoreType type) const {
-    const double ns = static_cast<double>(config.post_nops) * twin.nop_ns *
-                      twin.machine.ncs_slowdown(type);
+  sim::Time post_time(CoreType type, bool is_put) const {
+    const double ns = static_cast<double>(cost.op(is_put).post_nops) *
+                      twin.nop_ns * twin.machine.ncs_slowdown(type);
     return ns < 1.0 ? sim::Time{1} : static_cast<sim::Time>(ns);
   }
 
@@ -226,16 +233,17 @@ struct SimKvService::Impl {
         });
   }
 
-  // Serves batch member i: one cs_time segment, then that request's
-  // accounting and controller feedback at the segment's end — later batch
-  // members see the work ahead of them in their measured latency, exactly
-  // like the real path. The lock is released after the last segment, then
-  // one post-op interval per served request elapses before the worker
-  // re-dispatches or idles.
+  // Serves batch member i: one cs_time segment for *its* op kind, then that
+  // request's accounting and controller feedback at the segment's end —
+  // later batch members see the work ahead of them in their measured
+  // latency, exactly like the real path. The lock is released after the
+  // last segment, then each served request's own post-op interval elapses
+  // before the worker re-dispatches or idles.
   void serve_segment(Worker& worker, Shard& shard,
                      const std::shared_ptr<std::vector<Pending>>& batch,
                      std::size_t i) {
-    eng.after(cs_time(worker.core.type), [this, &worker, &shard, batch, i] {
+    eng.after(cs_time(worker.core.type, (*batch)[i].req.is_put),
+              [this, &worker, &shard, batch, i] {
       const Pending& served = (*batch)[i];
       ClassState& cls = classes[served.req.class_index];
       const Nanos total = eng.now() - served.req.at;
@@ -256,15 +264,19 @@ struct SimKvService::Impl {
         return;
       }
       shard.lock->release(&worker.sim);
-      eng.after(post_time(worker.core.type) *
-                    static_cast<sim::Time>(batch->size()),
-                [this, &worker, &shard] {
-                  if (!shard.queue.empty()) {
-                    dispatch(worker);
-                  } else {
-                    worker.busy = false;
-                  }
-                });
+      // One post-op interval per served request, each priced by its own op
+      // class — the twin of the real path's per-request post spin.
+      sim::Time post = 0;
+      for (const Pending& p : *batch) {
+        post += post_time(worker.core.type, p.req.is_put);
+      }
+      eng.after(post, [this, &worker, &shard] {
+        if (!shard.queue.empty()) {
+          dispatch(worker);
+        } else {
+          worker.busy = false;
+        }
+      });
     });
   }
 };

@@ -23,9 +23,11 @@
 //     virtual end-to-end latencies (per batch member, at the end of its own
 //     critical-section segment), and the drain-on-stop invariant
 //     (completed == accepted).
-//   * elided: the hash engine (service cost is cs_nops/post_nops under the
-//     machine model's big/little slowdowns; the engine op is folded into the
-//     cs_nops calibration), the EpochRegistry (the twin drives the
+//   * elided: the engine's data structures (no keys are stored; service
+//     cost is the engine's per-op CostProfile — resolved_cost_profile, the
+//     same classes the real worker spins — under the machine model's
+//     big/little slowdowns, DESIGN.md §7), the EpochRegistry (the twin
+//     drives the
 //     controller/dispatch classes directly, like sim_runner does), OS
 //     scheduling of generator threads (arrivals fire exactly on schedule),
 //     and worker wake ordering (the lowest-index idle worker of a shard
@@ -45,8 +47,8 @@
 namespace asl::server {
 
 // Twin-only knobs: the machine model supplying service-cost asymmetry and
-// lock-handover costs, plus the NOP calibration tying KvServiceConfig's
-// cs_nops/post_nops to virtual time.
+// lock-handover costs, plus the NOP calibration tying the resolved per-op
+// CostProfile's classes to virtual time.
 struct SimTwinConfig {
   sim::MachineParams machine{};
   // Shard-lock model. The real service uses BlockingAslMutex (Bench-6), so

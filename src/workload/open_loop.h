@@ -59,6 +59,20 @@ inline void scale_load_rates(std::vector<LoadSpec>& specs, double factor) {
   }
 }
 
+// The read/write mix knob: scale only the streams aimed at `class_index`
+// (the scenario convention routes gets and puts through separate classes),
+// leaving every other stream's rate, all burst shapes and all key
+// distributions untouched. Composes with scale_load_rates — scale the mix
+// first, then the whole offered load.
+inline void scale_class_rates(std::vector<LoadSpec>& specs,
+                              std::uint32_t class_index, double factor) {
+  for (LoadSpec& spec : specs) {
+    if (spec.class_index == class_index) {
+      spec.arrivals = spec.arrivals.with_rate_scale(factor);
+    }
+  }
+}
+
 // Per-interval digest of every spec's offered load (arrival counts, op mix,
 // key checksum per horizon/buckets slice). All-integer cells, so two
 // generations with the same specs are byte-identical CSV.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "harness/capacity_probe.h"
 #include "server/sim_kv_service.h"
@@ -196,6 +197,55 @@ TEST(CapacityProbe, PerClassSearchFindsEachThreshold) {
   EXPECT_EQ(class_capacity_table(found).rows(), 2u);
 }
 
+// -------------------------------------------- twin-vs-real cross-check
+
+CapacityResult synthetic_capacity(double max_rate) {
+  CapacityResult r;
+  r.feasible = max_rate > 0;
+  r.bracketed = r.feasible;
+  r.max_rate = max_rate;
+  r.min_violating = max_rate * 1.1;
+  return r;
+}
+
+TEST(CapacityComparisonCheck, RatioBandAndTableCoverTheBenchPath) {
+  // CTest smoke for the kv_capacity_real comparison path (ROADMAP
+  // follow-up): the ratio math, the advisory band verdict and the summary
+  // table — the same calls the bench makes after its two probes.
+  const CapacityComparison close =
+      compare_capacity(synthetic_capacity(9000), synthetic_capacity(10000));
+  EXPECT_TRUE(close.both_feasible);
+  EXPECT_TRUE(close.within_band);
+  EXPECT_NEAR(close.ratio, 0.9, 1e-9);
+
+  const CapacityComparison far =
+      compare_capacity(synthetic_capacity(2000), synthetic_capacity(10000));
+  EXPECT_TRUE(far.both_feasible);
+  EXPECT_FALSE(far.within_band) << "a 5x gap must fall outside the 2x band";
+
+  // Band edges are inclusive; a wider tolerance admits the same gap.
+  EXPECT_TRUE(compare_capacity(synthetic_capacity(5000),
+                               synthetic_capacity(10000))
+                  .within_band);
+  EXPECT_TRUE(compare_capacity(synthetic_capacity(2000),
+                               synthetic_capacity(10000), 5.0)
+                  .within_band);
+
+  // An infeasible probe never claims a verdict.
+  const CapacityComparison none =
+      compare_capacity(synthetic_capacity(0), synthetic_capacity(10000));
+  EXPECT_FALSE(none.both_feasible);
+  EXPECT_FALSE(none.within_band);
+  EXPECT_EQ(none.ratio, 0.0);
+
+  // The table renders one row with integer cells (1000 = ratio 1.0).
+  Table table = capacity_comparison_table(close);
+  EXPECT_EQ(table.rows(), 1u);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_NE(csv.str().find("900"), std::string::npos);
+}
+
 // ------------------------------------------------------- probe on the twin
 
 // A scaled-up per-op cost keeps saturation within a few growth steps so the
@@ -205,8 +255,7 @@ server::KvScenario twin_probe_scenario() {
   server::KvScenario sc = server::make_kv_scenario("kv_uniform_steady");
   sc.horizon = 5 * kNanosPerMilli;
   sc.service.queue_capacity = 64;
-  sc.service.cs_nops = 40'000;
-  sc.service.post_nops = 10'000;
+  sc.service.cost_scale = 100.0;  // hash default classes -> 40k/10k NOPs
   return sc;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "db/btreekv.h"
+#include "db/engine.h"
 #include "db/hashkv.h"
 #include "db/lsmkv.h"
 #include "db/minisql.h"
@@ -354,6 +355,182 @@ TEST(LsmKv, ConcurrentPutsAndGets) {
     });
   }
   for (auto& t : threads) t.join();
+}
+
+// ---------------------------------------------------- LsmKv under churn
+
+// Built via append rather than operator+ chains: GCC 12's -O2 -Wrestrict
+// false-positives on "literal" + std::to_string(...) temporaries.
+std::string round_val(int round, std::uint64_t key) {
+  std::string s = "r";
+  s += std::to_string(round);
+  s += ':';
+  s += std::to_string(key);
+  return s;
+}
+
+TEST(LsmKv, SnapshotConsistentAcrossRotationAndCompaction) {
+  // The satellite edge case: a snapshot taken before heavy write churn must
+  // keep seeing one consistent version while the engine rotates memtables
+  // and compacts runs underneath it — interleaved gets against the live
+  // store see the new world the whole time.
+  LsmKv::Options opt;
+  opt.memtable_limit = 8;  // rotate constantly
+  opt.max_runs = 2;        // compact constantly
+  LsmKv kv(opt);
+  constexpr std::uint64_t kKeys = 64;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    kv.put(k, round_val(0, k));
+  }
+  const LsmKv::Snapshot snap = kv.snapshot();
+
+  for (int round = 1; round <= 5; ++round) {
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      kv.put(k, round_val(round, k));
+      // Interleaved live get: always the newest version, mid-rotation or
+      // mid-compaction alike.
+      ASSERT_EQ(kv.get(k).value_or(""), round_val(round, k))
+          << "round " << round << " key " << k;
+      // Interleaved snapshot get: still round 0, every time.
+      ASSERT_EQ(snap.get(k).value_or(""), round_val(0, k))
+          << "round " << round << " key " << k;
+    }
+  }
+  EXPECT_LE(kv.num_runs(), opt.max_runs) << "compaction must bound the runs";
+
+  // A key erased after the snapshot stays visible in it.
+  kv.erase(7);
+  EXPECT_FALSE(kv.get(7).has_value());
+  EXPECT_EQ(snap.get(7).value_or(""), round_val(0, 7));
+}
+
+TEST(LsmKv, ConcurrentSnapshotReadersSeeOneVersionPerKeyRead) {
+  LsmKv::Options opt;
+  opt.memtable_limit = 16;
+  opt.max_runs = 3;
+  LsmKv kv(opt);
+  constexpr std::uint64_t kKeys = 128;
+  for (std::uint64_t k = 0; k < kKeys; ++k) kv.put(k, "seed");
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> inconsistencies{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      Rng rng(17);
+      while (!stop.load()) {
+        const LsmKv::Snapshot snap = kv.snapshot();
+        const std::uint64_t k = rng.below(kKeys);
+        // Within one snapshot, a key read twice must agree even while the
+        // writer below forces rotation + compaction.
+        if (snap.get(k) != snap.get(k)) inconsistencies.fetch_add(1);
+      }
+    });
+  }
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    std::string v = "w";
+    v += std::to_string(i);
+    kv.put(i % kKeys, v);
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(inconsistencies.load(), 0u);
+  EXPECT_LE(kv.num_runs(), opt.max_runs);
+}
+
+TEST(BtreeKv, OverwriteAfterSplitsKeepsOneVersion) {
+  BtreeKv kv;
+  constexpr std::uint64_t kN = 2000;  // deep enough to have split
+  for (std::uint64_t i = 0; i < kN; ++i) kv.put(i, val_of(i));
+  ASSERT_GT(kv.height(), 1u);
+  for (std::uint64_t i = 0; i < kN; i += 3) kv.put(i, "new" + val_of(i));
+  EXPECT_EQ(kv.size(), kN) << "overwrites must not grow the tree";
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(kv.get(i).value_or(""),
+              i % 3 == 0 ? "new" + val_of(i) : val_of(i))
+        << i;
+  }
+}
+
+TEST(BtreeKv, EraseThenReinsertRoundTrips) {
+  BtreeKv kv;
+  for (std::uint64_t i = 0; i < 300; ++i) kv.put(i, val_of(i));
+  for (std::uint64_t i = 0; i < 300; i += 2) EXPECT_TRUE(kv.erase(i));
+  EXPECT_EQ(kv.size(), 150u);
+  for (std::uint64_t i = 0; i < 300; i += 2) {
+    EXPECT_FALSE(kv.get(i).has_value()) << i;
+    EXPECT_FALSE(kv.erase(i)) << "double erase must report absence";
+  }
+  for (std::uint64_t i = 0; i < 300; i += 2) kv.put(i, "back" + val_of(i));
+  EXPECT_EQ(kv.size(), 300u);
+  EXPECT_EQ(kv.get(42).value_or(""), "back" + val_of(42));
+  EXPECT_EQ(kv.get(43).value_or(""), val_of(43));
+}
+
+// ------------------------------------------------------ engine registry
+TEST(KvEngineRegistry, RoundTripsEveryRegisteredName) {
+  const std::vector<std::string> names = kv_engine_names();
+  ASSERT_GE(names.size(), 3u);
+  for (const std::string& name : names) {
+    const std::unique_ptr<KvEngine> engine = make_kv_engine(name);
+    ASSERT_NE(engine, nullptr) << name;
+    EXPECT_EQ(engine->name(), name);
+    EXPECT_FALSE(default_cost_profile(name).empty())
+        << name << " must ship a calibrated default CostProfile";
+  }
+  // Sorted, as documented (the benches rely on the order being stable).
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1], names[i]);
+  }
+}
+
+TEST(KvEngineRegistry, UnknownNameYieldsClearError) {
+  EXPECT_EQ(make_kv_engine("rocksdb"), nullptr);
+  EXPECT_TRUE(default_cost_profile("rocksdb").empty());
+  const std::string msg = kv_engine_error("rocksdb");
+  EXPECT_NE(msg.find("rocksdb"), std::string::npos)
+      << "the error must name the offending engine";
+  for (const std::string& name : kv_engine_names()) {
+    EXPECT_NE(msg.find(name), std::string::npos)
+        << "the error must list the registered engines: " << msg;
+  }
+}
+
+TEST(KvEngineContract, PutGetEraseSizeAcrossEngines) {
+  for (const std::string& name : kv_engine_names()) {
+    const std::unique_ptr<KvEngine> engine = make_kv_engine(name);
+    ASSERT_NE(engine, nullptr) << name;
+    EXPECT_FALSE(engine->get(1).has_value()) << name;
+    engine->put(1, "a");
+    engine->put(2, "b");
+    engine->put(1, "a2");  // overwrite: newest wins, size unchanged
+    EXPECT_EQ(engine->get(1).value_or(""), "a2") << name;
+    EXPECT_EQ(engine->get(2).value_or(""), "b") << name;
+    EXPECT_EQ(engine->size(), 2u) << name;
+    EXPECT_TRUE(engine->erase(1)) << name;
+    EXPECT_FALSE(engine->erase(1)) << name << ": double erase";
+    EXPECT_FALSE(engine->get(1).has_value()) << name;
+    EXPECT_EQ(engine->size(), 1u) << name;
+  }
+}
+
+TEST(KvEngineContract, CostProfilesEncodeTheDocumentedShapes) {
+  // The checked-in classes carry the engine stories the sweep relies on:
+  // hash symmetric, btree moderately put-heavier, LSM strongly put-heavy
+  // under the lock with its get work pushed off-lock.
+  const CostProfile hash = default_cost_profile("hash");
+  const CostProfile btree = default_cost_profile("btree");
+  const CostProfile lsm = default_cost_profile("lsm");
+  EXPECT_EQ(hash.get.cs_nops, hash.put.cs_nops);
+  EXPECT_GT(btree.put.cs_nops, btree.get.cs_nops);
+  EXPECT_GT(lsm.put.cs_nops, lsm.get.cs_nops * 4);
+  EXPECT_GT(lsm.get.post_nops, lsm.get.cs_nops)
+      << "LSM gets read off-lock against the snapshot";
+  // scaled() preserves asymmetry (it is not a fold back to one number).
+  const CostProfile heavy = lsm.scaled(100.0);
+  EXPECT_EQ(heavy.put.cs_nops, lsm.put.cs_nops * 100);
+  EXPECT_EQ(heavy.get.cs_nops, lsm.get.cs_nops * 100);
+  EXPECT_TRUE(CostProfile{}.empty());
+  EXPECT_FALSE(lsm.empty());
 }
 
 // --------------------------------------------------------------- MiniSql

@@ -12,7 +12,9 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "db/engine.h"
 #include "harness/experiment.h"
 #include "server/scenarios.h"
 #include "server/sim_kv_service.h"
@@ -108,9 +110,11 @@ std::string twin_csv(const server::KvScenario& sc,
                      const server::SimTwinConfig& twin = {}) {
   const server::SimServiceReport report = server::run_sim_kv(sc, twin);
   std::ostringstream out;
-  out << "# scenario=" << sc.name << " table=sim_kv_measured\n";
+  out << "# scenario=" << sc.name << " engine=" << sc.service.engine
+      << " table=sim_kv_measured\n";
   server::sim_kv_measured_table(report).print_csv(out);
-  out << "# scenario=" << sc.name << " table=sim_kv_shards\n";
+  out << "# scenario=" << sc.name << " engine=" << sc.service.engine
+      << " table=sim_kv_shards\n";
   server::sim_kv_shard_table(report).print_csv(out);
   return out.str();
 }
@@ -127,6 +131,28 @@ TEST(Determinism, SimTwinMeasuredCsvIsByteIdenticalAcrossRuns) {
     EXPECT_EQ(csv_a, twin_csv(b)) << name;
     EXPECT_GT(csv_a.size(), 0u) << name;
   }
+}
+
+TEST(Determinism, EngineCostClassesAreLoadBearing) {
+  // Same traffic, different engine => different virtual-time bytes (the
+  // measured table itself, not the labeled header): if the per-op
+  // CostProfile resolution ever silently fell back to one flat cost, the
+  // per-engine goldens above would all pin the same table and the engine
+  // sweep's contrasts would be vacuous.
+  const auto measured = [](const char* engine) {
+    std::ostringstream out;
+    server::sim_kv_measured_table(
+        server::run_sim_kv(
+            server::make_kv_scenario("kv_uniform_steady", engine)))
+        .print_csv(out);
+    return out.str();
+  };
+  const std::string hash = measured("hash");
+  const std::string lsm = measured("lsm");
+  const std::string btree = measured("btree");
+  EXPECT_NE(hash, lsm);
+  EXPECT_NE(hash, btree);
+  EXPECT_NE(lsm, btree);
 }
 
 TEST(Determinism, SimTwinSeedsAreLoadBearing) {
@@ -150,10 +176,13 @@ TEST(Determinism, SimTwinSeedsAreLoadBearing) {
 TEST(Determinism, SimTwinGoldenTraceMatchesCheckedInCsv) {
   // Byte-compare twin scenarios against tests/golden/: an accidental
   // determinism break (iteration-order change, float formatting, an RNG
-  // draw reordered) fails loudly here, not silently downstream. Two
-  // goldens: the plain steady scenario and the batch+shed scenario, so the
-  // batch-drain and admission-policy paths are both pinned byte-for-byte.
-  // To regenerate after an *intentional* model change:
+  // draw reordered) fails loudly here, not silently downstream. Goldens:
+  // the steady scenario once per registered engine — each engine's per-op
+  // CostProfile produces distinct virtual-time tables, so all three cost
+  // models are pinned byte-for-byte (sim_kv_<engine>_steady.csv) — and the
+  // overloaded batch+shed scenario, pinning the batch-drain and
+  // admission-policy paths. To regenerate after an *intentional* model
+  // change:
   //   ASL_WRITE_GOLDEN=1 ./determinism_test
   //     --gtest_filter='*SimTwinGoldenTrace*'
   // The batch+shed golden runs the scenario at the shared overload profile
@@ -162,18 +191,18 @@ TEST(Determinism, SimTwinGoldenTraceMatchesCheckedInCsv) {
   // exceed depth 1, so batches never form and the watermark is never
   // reached — the overloaded variant is what actually pins the batch drain
   // and the shed accounting byte-for-byte.
-  const server::KvScenario batch_shed =
-      server::make_overloaded_kv_scenario("kv_batch_shed", 8.0);
-
   struct GoldenCase {
     std::string file;
     server::KvScenario scenario;
   };
-  const GoldenCase cases[] = {
-      {"sim_kv_uniform_steady.csv",
-       server::make_kv_scenario("kv_uniform_steady")},
-      {"sim_kv_batch_shed_overload.csv", batch_shed},
-  };
+  std::vector<GoldenCase> cases;
+  for (const std::string& engine : db::kv_engine_names()) {
+    cases.push_back(
+        {"sim_kv_" + engine + "_steady.csv",
+         server::make_kv_scenario("kv_uniform_steady", engine)});
+  }
+  cases.push_back({"sim_kv_batch_shed_overload.csv",
+                   server::make_overloaded_kv_scenario("kv_batch_shed", 8.0)});
 
   bool regenerated = false;
   for (const GoldenCase& gc : cases) {

@@ -358,6 +358,36 @@ TEST(ServiceBackpressure, CapacityOneServiceKeepsDrainInvariant) {
   EXPECT_EQ(report.classes[0].completed, accepted);
 }
 
+TEST(ServiceEngines, EveryRegisteredEngineServesAndDrains) {
+  // The engine seam on the real path (DESIGN.md §7): the same service,
+  // traffic and accounting on each registered engine — only
+  // KvServiceConfig::engine differs. Puts must land in the engine's store
+  // (distinct keys => store growth) and the drain invariant must hold.
+  for (const std::string& engine : db::kv_engine_names()) {
+    KvServiceConfig cfg;
+    cfg.num_shards = 2;
+    cfg.workers_per_shard = 2;
+    cfg.queue_capacity = 128;
+    cfg.engine = engine;
+    cfg.prefill_keys = 32;
+    cfg.classes.push_back(RequestClass{"eng-" + engine, 2 * kNanosPerMilli});
+    KvService service(cfg);
+    EXPECT_EQ(service.store_size(), 32u) << engine;
+    service.start();
+    std::uint64_t accepted = 0;
+    for (std::uint64_t key = 0; key < 200; ++key) {
+      accepted += service.try_submit(
+          key % 2 == 0 ? OpType::kPut : OpType::kGet, 1000 + key, 0);
+    }
+    service.stop();
+    const ServiceReport report = service.report();
+    EXPECT_EQ(report.classes[0].accepted, accepted) << engine;
+    EXPECT_EQ(report.classes[0].completed, accepted) << engine;
+    EXPECT_GT(service.store_size(), 32u)
+        << engine << ": puts must reach the engine";
+  }
+}
+
 TEST(ServiceLifecycle, StopBeforeStartThenLateTrafficIsRejected) {
   // stop() before start(): queued work drains inline, the service closes,
   // and everything submitted afterwards is a counted rejection — the

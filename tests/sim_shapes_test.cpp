@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
+#include "db/engine.h"
+#include "harness/capacity_probe.h"
 #include "harness/experiment.h"
 #include "server/sim_kv_service.h"
 #include "sim/sim_runner.h"
@@ -383,6 +386,87 @@ TEST(TwinShapes, NoShedsBelowSaturation) {
   EXPECT_EQ(r.service.total_shed(), 0u);
   EXPECT_EQ(r.total_rejected(), 0u);
   EXPECT_EQ(r.total_completed(), r.total_accepted());
+}
+
+// ---------------------------------------------------- engine cost classes
+// DESIGN.md §7: the twin prices each op by the engine's per-op CostProfile,
+// so engine identity — not just offered load — shapes capacity.
+
+TEST(TwinShapes, AllScenariosRunOnEveryEngineWithInvariantsIntact) {
+  // The acceptance bar of the engine subsystem: every registered scenario
+  // runs unmodified on every registered engine, only
+  // KvServiceConfig::engine differing, with the conservation laws exact.
+  for (const std::string& engine : db::kv_engine_names()) {
+    for (const std::string& name : kv_scenario_names()) {
+      KvScenario sc = make_kv_scenario(name, engine);
+      sc.horizon = 50 * kNanosPerMilli;  // a slice is enough for invariants
+      const SimServiceReport r = run_sim_kv(sc);
+      ASSERT_GT(r.total_completed(), 0u) << engine << "/" << name;
+      EXPECT_EQ(r.offered, r.total_accepted() + r.total_rejected())
+          << engine << "/" << name;
+      EXPECT_EQ(r.total_completed(), r.total_accepted())
+          << engine << "/" << name;
+      for (const SimShardStats& s : r.shards) {
+        EXPECT_EQ(s.completed, s.accepted) << engine << "/" << name;
+      }
+    }
+  }
+}
+
+// Offered load with the standard key mix but the put share scaled: class 0
+// is the get stream, class 1 the put stream (scenarios.cpp convention).
+KvScenario lsm_mix_scenario(double get_scale, double put_scale) {
+  KvScenario sc = shape_scenario("kv_uniform_steady", 1.0);
+  sc.service.engine = "lsm";
+  sc.horizon = 10 * kNanosPerMilli;
+  scale_class_rates(sc.load, 0, get_scale);
+  scale_class_rates(sc.load, 1, put_scale);
+  return sc;
+}
+
+TEST(TwinShapes, LsmPutHeavyCapacityBelowGetHeavyCapacity) {
+  // The LSM put-amplification satellite: at equal offered rates, the
+  // put-heavy mix must saturate earlier than the get-heavy mix on an LSM
+  // shard — puts carry the memtable append + amortized compaction bill
+  // under the meta lock, gets only a snapshot. Both a direct equal-load
+  // comparison and the probe's capacity must agree, deterministically.
+  const KvScenario get_heavy = lsm_mix_scenario(1.0, 0.25);
+  const KvScenario put_heavy = lsm_mix_scenario(1.0 / 6, 3.0);
+
+  // Equal offered load, well past the put-heavy mix's saturation: the
+  // put-heavy mix completes less of it within the same horizon.
+  const double kOverload = 8.0;
+  auto completed_at = [&](const KvScenario& base) {
+    KvScenario sc = base;
+    scale_load_rates(sc.load,
+                     kOverload * 14'000.0 / nominal_rate_per_sec(sc.load));
+    const SimServiceReport r = run_sim_kv(sc);
+    EXPECT_EQ(r.total_completed(), r.total_accepted());
+    return r.total_completed();
+  };
+  EXPECT_LT(completed_at(put_heavy), completed_at(get_heavy));
+
+  // And as found capacity: max offered rate of each whole mix that still
+  // meets every class SLO.
+  auto capacity_of = [](const KvScenario& base) {
+    bench::CapacityProbeConfig cfg;
+    cfg.start_rate = nominal_rate_per_sec(base.load);
+    cfg.growth = 2.0;
+    cfg.tolerance = 0.1;
+    cfg.max_trials = 20;
+    const double nominal = cfg.start_rate;
+    return bench::find_capacity(cfg, [&base, nominal](double rate) {
+      KvScenario sc = base;
+      scale_load_rates(sc.load, rate / nominal);
+      return report_meets_slos(run_sim_kv(sc).service);
+    });
+  };
+  const bench::CapacityResult get_cap = capacity_of(get_heavy);
+  const bench::CapacityResult put_cap = capacity_of(put_heavy);
+  ASSERT_TRUE(get_cap.feasible && get_cap.bracketed);
+  ASSERT_TRUE(put_cap.feasible && put_cap.bracketed);
+  EXPECT_LT(put_cap.max_rate, get_cap.max_rate)
+      << "put amplification must cost LSM capacity";
 }
 
 TEST(TwinShapes, ZipfHotShardSkewVisibleInDepthStats) {
