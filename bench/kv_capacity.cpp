@@ -15,6 +15,7 @@
 
 #include "bench_common.h"
 #include "harness/capacity_probe.h"
+#include "harness/engine_calib.h"
 #include "kv_probe_common.h"
 #include "server/sim_kv_service.h"
 #include "workload/open_loop.h"
@@ -36,11 +37,12 @@ KvScenario probe_scenario(Nanos horizon) {
   return sc;
 }
 
-CapacityResult probe_twin(const KvScenario& base) {
+CapacityResult probe_twin(const KvScenario& base,
+                          const server::SimTwinConfig& twin = {}) {
   const CapacityProbeConfig cfg = twin_probe_config(base);
-  return find_capacity(cfg, [&base](double rate) {
+  return find_capacity(cfg, [&base, &twin](double rate) {
     return server::report_meets_slos(
-        server::run_sim_kv(at_rate(base, rate)).service);
+        server::run_sim_kv(at_rate(base, rate), twin).service);
   });
 }
 
@@ -97,10 +99,32 @@ void run_capacity_real(ScenarioContext& ctx) {
   ctx.banner("kv_capacity_real",
              "latency-targeted load search, wall clock (smoke)");
 
-  // The twin's answer for the same configuration, as the reference point.
-  const CapacityResult twin = probe_twin(probe_scenario(10 * kNanosPerMilli));
+  // The twin's answer for the same configuration, as the reference point —
+  // calibrated on *this* host (the carried ROADMAP fidelity item): the
+  // engine's measured per-op profile is fed through KvServiceConfig::cost
+  // and the measured NOP cost through SimTwinConfig::nop_ns, so the 2x-band
+  // verdict below compares the real probe against a twin modeling this
+  // machine's engines, not the checked-in reference host's.
+  KvScenario twin_base = probe_scenario(10 * kNanosPerMilli);
+  server::SimTwinConfig twin_cfg;
+  const EngineCalibResult calib = calibrate_engine(twin_base.service.engine);
+  if (calib.valid() && calib.nop_ns > 0) {
+    twin_base.service.cost = calib.measured;
+    twin_cfg.nop_ns = calib.nop_ns;
+    ctx.note("twin reference calibrated on this host: engine=" +
+             calib.engine + " get " +
+             std::to_string(calib.measured.get.cs_nops) + " / put " +
+             std::to_string(calib.measured.put.cs_nops) + " cs NOPs @ " +
+             Table::fmt(calib.nop_ns, 3) + " ns/NOP (reference: " +
+             std::to_string(calib.reference.get.cs_nops) + " / " +
+             std::to_string(calib.reference.put.cs_nops) + ")");
+  } else {
+    ctx.note("engine calibration unavailable on this host; twin reference "
+             "uses the checked-in profile");
+  }
+  const CapacityResult twin = probe_twin(twin_base, twin_cfg);
   ctx.note("twin reference capacity: " + Table::fmt_ops(twin.max_rate) +
-           " req/s (virtual-time model)");
+           " req/s (virtual-time model, host-calibrated)");
 
   CapacityProbeConfig cfg;
   cfg.start_rate = server::nominal_rate_per_sec(base.load);

@@ -18,8 +18,11 @@
 //   * kv_engine_sweep_real — the same engines under the wall-clock service
 //     in smoke mode: accounting invariants and store growth per engine
 //     (real latency on a shared runner is not assertable).
+#include <cstdlib>
+#include <iterator>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -48,6 +51,63 @@ constexpr Mix kMixes[] = {
     {"standard", 1.0, 1.0},    // 12k gets : 4k puts (the scenario default)
     {"put_heavy", 1.0 / 6, 3.0},  // 2k gets : 12k puts
 };
+
+// --mix= accepts a kMixes name or a "R:W" get:put rate ratio. A ratio keeps
+// the standard mix's total nominal rate (16k/s) and splits it R:W, so
+// "3:1" reproduces the standard mix and "12:1" the get_heavy one.
+bool parse_mix(const std::string& text, Mix& out) {
+  for (const Mix& mix : kMixes) {
+    if (text == mix.name) {
+      out = mix;
+      return true;
+    }
+  }
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) return false;
+  const double r = std::atof(text.substr(0, colon).c_str());
+  const double w = std::atof(text.substr(colon + 1).c_str());
+  if (r < 0 || w < 0 || r + w <= 0) return false;
+  constexpr double kNominalGets = 12'000.0, kNominalPuts = 4'000.0;
+  const double total = kNominalGets + kNominalPuts;
+  out.name = "ratio";
+  out.get_scale = total * r / (r + w) / kNominalGets;
+  out.put_scale = total * w / (r + w) / kNominalPuts;
+  return true;
+}
+
+// The engine / mix subsets a run covers, honouring the --engine= / --mix=
+// CLI filters (scenario.h). Returns false (after a failing shape check, so
+// CI exits nonzero) when a filter names something unknown.
+bool filtered_engines(ScenarioContext& ctx, std::vector<std::string>& out) {
+  out = db::kv_engine_names();
+  const std::string filter = ctx.option("engine");
+  if (filter.empty()) return true;
+  for (const std::string& name : out) {
+    if (name == filter) {
+      out = {filter};
+      ctx.note("--engine=" + filter + ": running that engine only");
+      return true;
+    }
+  }
+  ctx.shape_check(false, "--engine=" + filter + " names a registered engine");
+  return false;
+}
+
+bool filtered_mixes(ScenarioContext& ctx, std::vector<Mix>& out) {
+  out.assign(std::begin(kMixes), std::end(kMixes));
+  const std::string filter = ctx.option("mix");
+  if (filter.empty()) return true;
+  Mix mix{};
+  if (!parse_mix(filter, mix)) {
+    ctx.shape_check(false, "--mix=" + filter +
+                               " is a known mix name or R:W ratio");
+    return false;
+  }
+  out = {mix};
+  ctx.note("--mix=" + filter + ": gets x" + Table::fmt(mix.get_scale, 3) +
+           ", puts x" + Table::fmt(mix.put_scale, 3) + " of nominal");
+  return true;
+}
 
 // The sweep cell: the shared overload profile (scenarios.h — 128-deep
 // queue, every per-op class scaled 100x) on `engine`, with the mix applied
@@ -82,7 +142,6 @@ CapacityResult engine_capacity(const std::string& engine, const Mix& mix) {
 
 void run_engine_sweep_twin(ScenarioContext& ctx) {
   const Nanos horizon = 20 * kNanosPerMilli;
-  const std::vector<std::string> engines = db::kv_engine_names();
 
   ctx.banner("kv_engine_sweep_twin",
              "engine x mix x offered-load sweep on the simulated twin "
@@ -90,13 +149,20 @@ void run_engine_sweep_twin(ScenarioContext& ctx) {
   ctx.note("per-op cost classes from the engine registry defaults "
            "(db/engine.cpp), scaled 100x; same traffic, SLOs and admission "
            "policy in every cell");
+  std::vector<std::string> engines;
+  std::vector<Mix> mixes;
+  if (!filtered_engines(ctx, engines) || !filtered_mixes(ctx, mixes)) return;
+  // The headline cross-engine/cross-mix checks compare cells a filtered run
+  // may not produce — they only run on the full matrix.
+  const bool full_matrix =
+      ctx.option("engine").empty() && ctx.option("mix").empty();
 
   Table sweep({"engine", "mix", "offered_x", "offered", "accepted",
                "rejected", "completed", "tput_per_sec", "get_p99_ns",
                "put_p99_ns"});
   bool conserved = true;
   for (const std::string& engine : engines) {
-    for (const Mix& mix : kMixes) {
+    for (const Mix& mix : mixes) {
       for (const double scale : {1.0, 4.0, 8.0}) {
         const SimServiceReport r =
             server::run_sim_kv(sweep_scenario(engine, mix, scale, horizon));
@@ -122,6 +188,13 @@ void run_engine_sweep_twin(ScenarioContext& ctx) {
 
   // Per-class capacity per engine at the standard mix: how much offered
   // load can each class absorb on each engine while keeping its SLO.
+  // Skipped under a --mix filter (it is a standard-mix table by
+  // definition); an --engine filter just narrows the rows.
+  if (!ctx.option("mix").empty()) {
+    ctx.note("mix filter active: standard-mix capacity tables and headline "
+             "checks skipped");
+    return;
+  }
   std::map<std::string, double> service_capacity;
   for (const std::string& engine : engines) {
     const KvScenario base = sweep_scenario(engine, kMixes[1], 1.0,
@@ -138,6 +211,10 @@ void run_engine_sweep_twin(ScenarioContext& ctx) {
     service_capacity[engine] = whole.feasible ? whole.max_rate : 0.0;
     ctx.note(engine + ": standard-mix service capacity " +
              Table::fmt_ops(whole.max_rate) + " req/s");
+  }
+  if (!full_matrix) {
+    ctx.note("engine filter active: cross-engine headline checks skipped");
+    return;
   }
   // At the standard (get-dominant) mix the *lock-held* share of the op
   // orders capacity: LSM gets spend ~250 scaled NOPs under the meta lock
@@ -193,9 +270,12 @@ void run_engine_sweep_real(ScenarioContext& ctx) {
   ctx.banner("kv_engine_sweep_real",
              "engines under the wall-clock service (smoke mode)");
 
+  std::vector<std::string> engines;
+  if (!filtered_engines(ctx, engines)) return;
+
   bool conserved = true;
   bool stores_grow = true;
-  for (const std::string& engine : db::kv_engine_names()) {
+  for (const std::string& engine : engines) {
     KvScenario sc = server::make_kv_scenario("kv_uniform_steady", engine);
     sc.service.prefill_keys = 4096;
 
@@ -221,6 +301,160 @@ void run_engine_sweep_real(ScenarioContext& ctx) {
                                "prefilled store");
 }
 
+// ---------------------------------------------------------------------------
+// Read-scaling (DESIGN.md §8): the measured case for the lock-free get
+// route. One shard, the get-heavy mix, worker count 1 vs 8 — on a locked
+// engine every extra worker still queues on the same shard mutex for its
+// gets, so get capacity plateaus near the single-worker figure; on mvcc the
+// gets never touch the mutex and capacity grows with the worker pool.
+
+// The read-scaling cell: the overload profile pinned to a single shard so
+// the shard lock is the only possible bottleneck, with `workers` serving it
+// (first half big, the service's default split) and the get-heavy mix.
+KvScenario read_scaling_scenario(const std::string& engine,
+                                 std::uint32_t workers, Nanos horizon) {
+  KvScenario sc = server::make_overloaded_kv_scenario("kv_uniform_steady",
+                                                      1.0, horizon);
+  sc.service.engine = engine;
+  sc.service.num_shards = 1;
+  sc.service.workers_per_shard = workers;
+  sc.service.big_workers = (workers + 1) / 2;
+  server::scale_class_rates(sc.load, 0, kMixes[0].get_scale);
+  server::scale_class_rates(sc.load, 1, kMixes[0].put_scale);
+  return sc;
+}
+
+void run_mvcc_read_scaling_twin(ScenarioContext& ctx) {
+  ctx.banner("kv_mvcc_read_scaling",
+             "lock-free get route: get-class capacity vs worker count on "
+             "the twin (deterministic)");
+  ctx.note("one shard, get-heavy mix (12k:1k nominal); mvcc gets bypass the "
+           "shard lock (LockRouteStats proves it), hash gets serialize on "
+           "it");
+
+  Table table({"engine", "workers", "get_cap_per_sec", "put_cap_per_sec",
+               "get_route_acq", "put_route_acq", "cs_gets",
+               "lockfree_gets"});
+  std::map<std::string, std::map<std::uint32_t, double>> get_cap;
+  bool routes_ok = true;
+  for (const std::string engine : {"hash", "mvcc"}) {
+    for (const std::uint32_t workers : {1u, 8u}) {
+      const KvScenario base =
+          read_scaling_scenario(engine, workers, 10 * kNanosPerMilli);
+      const std::vector<ClassCapacity> per_class =
+          find_class_capacities_memoized(
+              twin_probe_config(base), base.service,
+              [&base](double rate) {
+                return server::run_sim_kv(at_rate(base, rate));
+              });
+      get_cap[engine][workers] = per_class[0].result.max_rate;
+      // Route accounting from one deterministic nominal-rate run: on mvcc
+      // no acquisition is ever headed by a get and no get runs in a CS.
+      const SimServiceReport r = server::run_sim_kv(base);
+      const server::LockRouteStats& routes = r.lock_routes;
+      table.add_row({engine, std::to_string(workers),
+                     Table::fmt_ops(per_class[0].result.max_rate),
+                     Table::fmt_ops(per_class[1].result.max_rate),
+                     std::to_string(routes.get_route_acquires),
+                     std::to_string(routes.put_route_acquires),
+                     std::to_string(routes.cs_gets),
+                     std::to_string(routes.lockfree_gets)});
+      if (engine == "mvcc") {
+        routes_ok = routes_ok && routes.get_route_acquires == 0 &&
+                    routes.cs_gets == 0 && routes.lockfree_gets > 0;
+      } else {
+        routes_ok = routes_ok && routes.get_route_acquires > 0 &&
+                    routes.cs_gets > 0 && routes.lockfree_gets == 0;
+      }
+    }
+  }
+  ctx.emit(table, "mvcc_read_scaling");
+
+  ctx.shape_check(routes_ok,
+                  "route counters: mvcc gets never acquire the shard lock "
+                  "(get_route_acquires == 0, cs_gets == 0), hash gets do");
+  const double mvcc_gain = get_cap["mvcc"][1] > 0
+                               ? get_cap["mvcc"][8] / get_cap["mvcc"][1]
+                               : 0.0;
+  const double hash_gain = get_cap["hash"][1] > 0
+                               ? get_cap["hash"][8] / get_cap["hash"][1]
+                               : 0.0;
+  ctx.note("get-class capacity gain 1 -> 8 workers: mvcc " +
+           Table::fmt(mvcc_gain, 2) + "x, hash " + Table::fmt(hash_gain, 2) +
+           "x");
+  // The tentpole assertion: off-lock gets scale with the worker pool (4 big
+  // + 4 little on 8 workers give well over 3x one big worker's service
+  // rate), while gets on a locked engine are bounded by lock throughput —
+  // at best the post-op share of the op is reclaimed, < 1.5x.
+  ctx.shape_check(mvcc_gain >= 3.0,
+                  "mvcc get capacity scales >= 3x from 1 to 8 workers");
+  ctx.shape_check(hash_gain > 0 && hash_gain < 1.5,
+                  "hash get capacity plateaus (< 1.5x) — the shard lock "
+                  "caps the locked read path");
+}
+
+void run_mvcc_read_scaling_real(ScenarioContext& ctx) {
+  const Nanos horizon = static_cast<Nanos>(
+      static_cast<double>(40 * kNanosPerMilli) * ctx.time_scale());
+  ctx.banner("kv_mvcc_read_scaling_real",
+             "lock-free get route on the wall-clock service (smoke: route "
+             "counters + completion ordering)");
+  ctx.note("same single-shard get-heavy overload as the twin scenario, "
+           "8 workers; latency is not asserted, the route counters and the "
+           "mvcc > hash completion ordering are");
+
+  std::map<std::string, std::uint64_t> completed;
+  bool routes_ok = true;
+  bool conserved = true;
+  for (const std::string engine : {"hash", "mvcc"}) {
+    KvScenario sc = read_scaling_scenario(engine, 8, horizon);
+    sc.service.prefill_keys = 4096;
+    // Push the single shard past the locked path's service rate (the
+    // nominal get-heavy mix is well inside both engines' capacity): the
+    // completion ordering below only discriminates once hash saturates.
+    server::scale_load_rates(sc.load, 6.0);
+    KvService service(sc.service);
+    service.start();
+    server::run_open_loop(service, sc.load, horizon);
+    service.stop();
+    const server::ServiceReport r = service.report();
+    const server::LockRouteStats routes = service.lock_route_stats();
+    completed[engine] = r.total_completed();
+    conserved = conserved && r.total_completed() == r.total_accepted();
+    ctx.note("engine=" + engine + ": " +
+             std::to_string(r.total_completed()) + " completed; acquires " +
+             std::to_string(routes.get_route_acquires) + " get-route / " +
+             std::to_string(routes.put_route_acquires) + " put-route, " +
+             std::to_string(routes.cs_gets) + " CS gets, " +
+             std::to_string(routes.lockfree_gets) + " lock-free gets");
+    ctx.emit(kv_measured_table(r), "kv_measured_" + engine);
+    if (engine == "mvcc") {
+      routes_ok = routes_ok && routes.get_route_acquires == 0 &&
+                  routes.cs_gets == 0 && routes.lockfree_gets > 0;
+    } else {
+      routes_ok = routes_ok && routes.get_route_acquires > 0 &&
+                  routes.cs_gets > 0;
+    }
+  }
+  ctx.shape_check(conserved, "stop() drains every accepted request");
+  ctx.shape_check(routes_ok,
+                  "real-path route counters: mvcc gets never block on the "
+                  "shard mutex (get-route acquires == 0), hash gets do");
+  // Same ordering as the twin: with one shard saturated by the get-heavy
+  // overload, the engine whose gets bypass the lock completes more. The
+  // ordering needs actual hardware parallelism — on a 1-2 core host the 8
+  // off-lock workers timeshare one pipeline and the lock is not the
+  // bottleneck — so it is asserted only where it can physically appear.
+  if (std::thread::hardware_concurrency() >= 4) {
+    ctx.shape_check(completed["mvcc"] > completed["hash"],
+                    "mvcc completes more than hash under the single-shard "
+                    "get-heavy overload");
+  } else {
+    ctx.note("host has < 4 cores: completion-ordering check skipped (the "
+             "off-lock gets have no parallelism to win)");
+  }
+}
+
 }  // namespace
 }  // namespace asl::bench
 
@@ -233,4 +467,16 @@ ASL_SCENARIO(kv_engine_sweep_twin,
 ASL_SCENARIO(kv_engine_sweep_real,
              "engines under the real service (smoke, accounting)") {
   asl::bench::run_engine_sweep_real(ctx);
+}
+
+ASL_SCENARIO(kv_mvcc_read_scaling,
+             "lock-free get route: mvcc vs hash get-capacity scaling in "
+             "workers on the twin (deterministic)") {
+  asl::bench::run_mvcc_read_scaling_twin(ctx);
+}
+
+ASL_SCENARIO(kv_mvcc_read_scaling_real,
+             "lock-free get route on the real service (route counters + "
+             "completion ordering)") {
+  asl::bench::run_mvcc_read_scaling_real(ctx);
 }

@@ -3,6 +3,7 @@
 #include "db/btreekv.h"
 #include "db/hashkv.h"
 #include "db/lsmkv.h"
+#include "db/mvkv.h"
 
 namespace asl::db {
 namespace {
@@ -73,6 +74,27 @@ class LsmKvEngine final : public KvEngine {
   LsmKv kv_;
 };
 
+// MvKv (the LMDB stand-in): native uint64 keys, single-writer MVCC with
+// epoch-reclaimed snapshot reads. The one engine whose gets are wait-free
+// against concurrent puts — lock_free_gets() lets the service skip the
+// shard lock for the get route entirely (DESIGN.md §8).
+class MvccKvEngine final : public KvEngine {
+ public:
+  std::string_view name() const override { return "mvcc"; }
+  void put(std::uint64_t key, const std::string& value) override {
+    kv_.put(key, value);
+  }
+  std::optional<std::string> get(std::uint64_t key) const override {
+    return kv_.get(key);
+  }
+  bool erase(std::uint64_t key) override { return kv_.erase(key); }
+  std::size_t size() const override { return kv_.size(); }
+  bool lock_free_gets() const override { return true; }
+
+ private:
+  MvKv kv_;
+};
+
 using EngineFactory = std::unique_ptr<KvEngine> (*)();
 
 // The registry rows, sorted by name. The default CostProfiles are the
@@ -86,7 +108,11 @@ using EngineFactory = std::unique_ptr<KvEngine> (*)();
 //   * lsm — gets snapshot briefly under the meta lock and read off-lock
 //     (small cs, larger post), puts append to the sorted memtable and carry
 //     the amortized rotation/compaction bill under the lock (large cs) —
-//     the LevelDB-style put amplification the engine sweep demonstrates.
+//     the LevelDB-style put amplification the engine sweep demonstrates;
+//   * mvcc — get_lock_free: gets never take the shard lock at all (the get
+//     class is the off-lock snapshot traversal, charged at non-CS speed);
+//     puts path-copy under the single-writer lock (cs) and retire the old
+//     version's nodes to the epoch reclaimer afterwards (post).
 struct EngineEntry {
   const char* name;
   EngineFactory make;
@@ -102,6 +128,8 @@ const EngineEntry kEngineRegistry[] = {
      CostProfile{{400, 100}, {400, 100}}},
     {"lsm", [] { return std::unique_ptr<KvEngine>(new LsmKvEngine); },
      CostProfile{{250, 600}, {1500, 100}}},
+    {"mvcc", [] { return std::unique_ptr<KvEngine>(new MvccKvEngine); },
+     CostProfile{{700, 100}, {1200, 300}, /*get_lock_free=*/true}},
 };
 
 const EngineEntry* find_entry(std::string_view name) {

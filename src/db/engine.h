@@ -52,6 +52,15 @@ struct OpCost {
 struct CostProfile {
   OpCost get;
   OpCost put;
+  // Lock-free get class (the MVCC snapshot-read contract, DESIGN.md §8):
+  // when set, the service routes gets around the shard lock entirely —
+  // get.cs_nops is still the latency-visible service time of the read, but
+  // it is spent *off-lock* at non-critical-section speed (the real worker
+  // spins it scale_ncs, the twin charges it under ncs_slowdown), and the
+  // shard lock is acquired for puts only. Safe because every engine is
+  // internally synchronized; profitable only for engines whose reads take
+  // no engine-side lock either (mvcc's pinned snapshots).
+  bool get_lock_free = false;
 
   const OpCost& op(bool is_put) const { return is_put ? put : get; }
 
@@ -70,7 +79,8 @@ struct CostProfile {
       return static_cast<std::uint64_t>(static_cast<double>(n) * factor);
     };
     return CostProfile{{mul(get.cs_nops), mul(get.post_nops)},
-                       {mul(put.cs_nops), mul(put.post_nops)}};
+                       {mul(put.cs_nops), mul(put.post_nops)},
+                       get_lock_free};
   }
 };
 
@@ -93,9 +103,16 @@ class KvEngine {
   // cheap counter (the LSM adapter counts a snapshot): an observability
   // call, not a hot-path one.
   virtual std::size_t size() const = 0;
+
+  // Whether get() is safe and profitable to call without the shard lock:
+  // true only for engines whose reads are wait-free against concurrent
+  // writers (no engine-internal reader lock, no refcount contention). Must
+  // agree with the registry CostProfile's get_lock_free flag — the service
+  // routes on the profile, and tests pin the two together.
+  virtual bool lock_free_gets() const { return false; }
 };
 
-// Registered engine names, sorted ("btree", "hash", "lsm").
+// Registered engine names, sorted ("btree", "hash", "lsm", "mvcc").
 std::vector<std::string> kv_engine_names();
 
 // Constructs the engine registered under `name`; nullptr when the name is

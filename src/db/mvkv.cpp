@@ -5,112 +5,155 @@ namespace asl::db {
 // Immutable BST node. No balancing: keys in the benchmarks are drawn
 // uniformly at random, which keeps expected depth logarithmic; the engine's
 // observable behaviour (single writer, lock-free snapshot reads) does not
-// depend on the tree shape.
+// depend on the tree shape. Raw child pointers: lifetime is managed by the
+// epoch reclaimer, not refcounts — a node stays valid for as long as any
+// pinned snapshot could reach it.
 struct MvKv::Snapshot::Node {
   std::uint64_t key;
   std::string value;
-  std::shared_ptr<const Node> left;
-  std::shared_ptr<const Node> right;
+  const Node* left;
+  const Node* right;
 };
 
-std::shared_ptr<const MvKv::Node> MvKv::insert(
-    const std::shared_ptr<const Node>& node, std::uint64_t key,
-    const std::string& value, bool& added) {
-  if (node == nullptr) {
-    added = true;
-    return std::make_shared<const Node>(Node{key, value, nullptr, nullptr});
-  }
-  if (key == node->key) {
-    added = false;
-    return std::make_shared<const Node>(
-        Node{key, value, node->left, node->right});
-  }
-  if (key < node->key) {
-    return std::make_shared<const Node>(
-        Node{node->key, node->value, insert(node->left, key, value, added),
-             node->right});
-  }
-  return std::make_shared<const Node>(
-      Node{node->key, node->value, node->left,
-           insert(node->right, key, value, added)});
-}
-
 namespace {
+
+using Node = MvKv::Snapshot::Node;
+
 // Leftmost node of a subtree (successor search for deletion).
-const MvKv::Snapshot::Node* leftmost(const MvKv::Snapshot::Node* n) {
-  while (n->left != nullptr) n = n->left.get();
+const Node* leftmost(const Node* n) {
+  while (n->left != nullptr) n = n->left;
   return n;
 }
+
+// Post-destruction teardown: delete a whole subtree with an explicit stack
+// (only the destructor calls this — no snapshot can be live).
+void delete_tree(const Node* root) {
+  std::vector<const Node*> stack;
+  if (root != nullptr) stack.push_back(root);
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->left != nullptr) stack.push_back(n->left);
+    if (n->right != nullptr) stack.push_back(n->right);
+    delete n;
+  }
+}
+
 }  // namespace
 
-std::shared_ptr<const MvKv::Node> MvKv::remove(
-    const std::shared_ptr<const Node>& node, std::uint64_t key,
-    bool& removed) {
+MvKv::MvKv(ReclaimConfig reclaim) : reclaimer_(reclaim) {}
+
+MvKv::~MvKv() {
+  // No readers can be live here; the published tree is deleted directly and
+  // the reclaimer's destructor frees everything ever retired (the two sets
+  // are disjoint: retired nodes were unlinked from the published version).
+  delete_tree(root_.load(std::memory_order_acquire));
+}
+
+const Node* MvKv::insert(const Node* node, std::uint64_t key,
+                         const std::string& value, bool& added,
+                         std::vector<const Node*>& retired) {
+  if (node == nullptr) {
+    added = true;
+    return new Node{key, value, nullptr, nullptr};
+  }
+  // Path copying: the original of every copied node is retired; subtrees
+  // hanging off the path are shared with the previous version untouched.
+  retired.push_back(node);
+  if (key == node->key) {
+    added = false;
+    return new Node{key, value, node->left, node->right};
+  }
+  if (key < node->key) {
+    return new Node{node->key, node->value,
+                    insert(node->left, key, value, added, retired),
+                    node->right};
+  }
+  return new Node{node->key, node->value, node->left,
+                  insert(node->right, key, value, added, retired)};
+}
+
+const Node* MvKv::remove(const Node* node, std::uint64_t key, bool& removed,
+                         std::vector<const Node*>& retired) {
   if (node == nullptr) {
     removed = false;
     return nullptr;
   }
   if (key < node->key) {
-    auto left = remove(node->left, key, removed);
-    if (!removed) return node;
-    return std::make_shared<const Node>(
-        Node{node->key, node->value, left, node->right});
+    const Node* left = remove(node->left, key, removed, retired);
+    if (!removed) return node;  // miss: old subtree returned unchanged
+    retired.push_back(node);
+    return new Node{node->key, node->value, left, node->right};
   }
   if (key > node->key) {
-    auto right = remove(node->right, key, removed);
+    const Node* right = remove(node->right, key, removed, retired);
     if (!removed) return node;
-    return std::make_shared<const Node>(
-        Node{node->key, node->value, node->left, right});
+    retired.push_back(node);
+    return new Node{node->key, node->value, node->left, right};
   }
   removed = true;
+  retired.push_back(node);  // the unlinked match itself
   if (node->left == nullptr) return node->right;
   if (node->right == nullptr) return node->left;
-  // Two children: replace with in-order successor, delete it from the right.
-  const Node* succ = leftmost(node->right.get());
+  // Two children: replace with in-order successor, delete it from the right
+  // (that recursion retires the successor's old path copies).
+  const Node* succ = leftmost(node->right);
   bool dummy = false;
-  auto right = remove(node->right, succ->key, dummy);
-  return std::make_shared<const Node>(
-      Node{succ->key, succ->value, node->left, right});
+  const Node* right = remove(node->right, succ->key, dummy, retired);
+  return new Node{succ->key, succ->value, node->left, right};
+}
+
+void MvKv::publish(const Node* new_root, std::vector<const Node*>& retired) {
+  // Release-publish the new version first: once a reader can load new_root
+  // it can no longer reach the retired path copies, so handing them to the
+  // reclaimer afterwards tags them with an epoch no earlier than any pin
+  // that could still be traversing the old version.
+  root_.store(new_root, std::memory_order_release);
+  for (const Node* n : retired) reclaimer_.retire(n);
+  retired.clear();
 }
 
 void MvKv::put(std::uint64_t key, const std::string& value) {
   LockGuard<AslMutex<McsLock>> writer(writer_lock_);
   bool added = false;
-  auto new_root = insert(root_, key, value, added);
-  if (added) ++size_;
-  ++version_;
-  {
-    LockGuard<AslMutex<McsLock>> meta(meta_lock_);
-    root_ = std::move(new_root);
-  }
+  retire_scratch_.clear();
+  const Node* new_root = insert(root_.load(std::memory_order_relaxed), key,
+                                value, added, retire_scratch_);
+  if (added) size_.fetch_add(1, std::memory_order_relaxed);
+  version_.fetch_add(1, std::memory_order_relaxed);
+  publish(new_root, retire_scratch_);
 }
 
 bool MvKv::erase(std::uint64_t key) {
   LockGuard<AslMutex<McsLock>> writer(writer_lock_);
   bool removed = false;
-  auto new_root = remove(root_, key, removed);
+  retire_scratch_.clear();
+  const Node* new_root = remove(root_.load(std::memory_order_relaxed), key,
+                                removed, retire_scratch_);
   if (removed) {
-    --size_;
-    ++version_;
-    LockGuard<AslMutex<McsLock>> meta(meta_lock_);
-    root_ = std::move(new_root);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    version_.fetch_add(1, std::memory_order_relaxed);
+    publish(new_root, retire_scratch_);
   }
   return removed;
 }
 
 MvKv::Snapshot MvKv::snapshot() const {
   Snapshot snap;
-  LockGuard<AslMutex<McsLock>> meta(meta_lock_);
-  snap.root_ = root_;
-  snap.version_ = version_;
+  // Pin first, then load: any version the load can observe was published
+  // before the pin resolved, so none of its nodes can complete the
+  // two-epoch grace period while this snapshot is alive.
+  snap.guard_ = EpochReclaimer::Guard(reclaimer_);
+  snap.root_ = root_.load(std::memory_order_acquire);
+  snap.version_ = version_.load(std::memory_order_acquire);
   return snap;
 }
 
 std::optional<std::string> MvKv::Snapshot::get(std::uint64_t key) const {
-  const Node* node = root_.get();
+  const Node* node = root_;
   while (node != nullptr) {
     if (key == node->key) return node->value;
-    node = key < node->key ? node->left.get() : node->right.get();
+    node = key < node->key ? node->left : node->right;
   }
   return std::nullopt;
 }
@@ -120,14 +163,14 @@ std::vector<std::pair<std::uint64_t, std::string>> MvKv::Snapshot::range(
   std::vector<std::pair<std::uint64_t, std::string>> out;
   // Explicit stack in-order walk with pruning.
   std::vector<const Node*> stack;
-  const Node* node = root_.get();
+  const Node* node = root_;
   while (node != nullptr || !stack.empty()) {
     while (node != nullptr) {
       if (node->key >= lo) {
         stack.push_back(node);
-        node = node->left.get();
+        node = node->left;
       } else {
-        node = node->right.get();
+        node = node->right;
       }
     }
     if (stack.empty()) break;
@@ -135,7 +178,7 @@ std::vector<std::pair<std::uint64_t, std::string>> MvKv::Snapshot::range(
     stack.pop_back();
     if (node->key > hi) break;
     out.emplace_back(node->key, node->value);
-    node = node->right.get();
+    node = node->right;
   }
   return out;
 }
@@ -150,13 +193,11 @@ std::vector<std::pair<std::uint64_t, std::string>> MvKv::range(
 }
 
 std::size_t MvKv::size() const {
-  LockGuard<AslMutex<McsLock>> writer(writer_lock_);
-  return size_;
+  return size_.load(std::memory_order_acquire);
 }
 
 std::uint64_t MvKv::version() const {
-  LockGuard<AslMutex<McsLock>> writer(writer_lock_);
-  return version_;
+  return version_.load(std::memory_order_acquire);
 }
 
 }  // namespace asl::db

@@ -1,16 +1,22 @@
 // MvKv — multi-version copy-on-write KV store, the LMDB stand-in.
 //
 // Lock pattern (Table 1): a *global (single-writer) lock* held across each
-// write transaction's copy-on-write path update, plus *metadata locks* —
-// the reader-table lock every operation touches briefly to pin / unpin a
-// root snapshot. Readers never block writers and vice versa once the
-// snapshot is pinned, exactly like LMDB's MVCC B-tree.
+// write transaction's copy-on-write path update; readers take no lock at
+// all — they pin the published root through the epoch reclaimer and read
+// the immutable version directly. Readers never block writers and vice
+// versa, exactly like LMDB's MVCC B-tree, but where LMDB pins pages via a
+// reader table, MvKv pins whole version trees via EpochReclaimer (asl/
+// reclaim.h): an atomic root pointer published with release order, raw
+// immutable BST nodes shared structurally across versions, and path-copied
+// nodes retired to the reclaimer the moment the new root is published.
 //
-// Versions are immutable binary search tree nodes shared via shared_ptr:
-// path copying on write, O(1) snapshot pin, reclamation when the last
-// reader of an old root drops it.
+// The shared_ptr scheme this replaces put an atomic refcount bump/drop on
+// every node a reader touched — cross-core cache-line traffic on the hot
+// read path, plus a metadata lock around every root pin. Now a read is:
+// pin (one uncontended store to a thread-private slot), traverse, unpin.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -18,12 +24,16 @@
 #include <vector>
 
 #include "asl/libasl.h"
+#include "asl/reclaim.h"
 
 namespace asl::db {
 
 class MvKv {
  public:
-  MvKv() = default;
+  explicit MvKv(ReclaimConfig reclaim = {});
+  ~MvKv();
+  MvKv(const MvKv&) = delete;
+  MvKv& operator=(const MvKv&) = delete;
 
   // Write transaction: insert/overwrite under the single-writer lock.
   void put(std::uint64_t key, const std::string& value);
@@ -31,7 +41,7 @@ class MvKv {
   // Write transaction: delete. Returns true if the key existed.
   bool erase(std::uint64_t key);
 
-  // Read transaction: pins the current root (metadata lock, briefly), then
+  // Read transaction: pins the current root (epoch pin, no lock), then
   // reads lock-free.
   std::optional<std::string> get(std::uint64_t key) const;
 
@@ -39,10 +49,18 @@ class MvKv {
   std::vector<std::pair<std::uint64_t, std::string>> range(
       std::uint64_t lo, std::uint64_t hi) const;
 
-  // Explicit snapshot handle for multi-read transactions.
+  // Explicit snapshot handle for multi-read transactions. Holds an epoch
+  // pin for its whole lifetime: every node reachable from root_ stays
+  // allocated until the snapshot is destroyed, however many writes land in
+  // the meantime. Movable, not copyable; destroy promptly — a long-lived
+  // snapshot stalls reclamation of every version retired after it.
   class Snapshot {
    public:
     struct Node;  // definition in mvkv.cpp (immutable BST node)
+
+    Snapshot() = default;
+    Snapshot(Snapshot&&) = default;
+    Snapshot& operator=(Snapshot&&) = default;
 
     std::optional<std::string> get(std::uint64_t key) const;
     std::vector<std::pair<std::uint64_t, std::string>> range(
@@ -51,7 +69,8 @@ class MvKv {
 
    private:
     friend class MvKv;
-    std::shared_ptr<const Node> root_;
+    EpochReclaimer::Guard guard_;  // pin outlives every root_ dereference
+    const Node* root_ = nullptr;
     std::uint64_t version_ = 0;
   };
   Snapshot snapshot() const;
@@ -59,21 +78,29 @@ class MvKv {
   std::size_t size() const;
   std::uint64_t version() const;
 
+  // Reclamation observables (tests/reclaim_test.cpp pins the backlog bound
+  // against these).
+  const EpochReclaimer& reclaimer() const { return reclaimer_; }
+
  private:
   using Node = Snapshot::Node;
 
-  static std::shared_ptr<const Node> insert(
-      const std::shared_ptr<const Node>& node, std::uint64_t key,
-      const std::string& value, bool& added);
-  static std::shared_ptr<const Node> remove(
-      const std::shared_ptr<const Node>& node, std::uint64_t key,
-      bool& removed);
+  // Copy-on-write helpers. Every node they copy or unlink is pushed onto
+  // `retired` (the caller retires the batch after publishing the new
+  // root); shared subtrees are never pushed.
+  const Node* insert(const Node* node, std::uint64_t key,
+                     const std::string& value, bool& added,
+                     std::vector<const Node*>& retired);
+  const Node* remove(const Node* node, std::uint64_t key, bool& removed,
+                     std::vector<const Node*>& retired);
+  void publish(const Node* new_root, std::vector<const Node*>& retired);
 
   mutable AslMutex<McsLock> writer_lock_;  // the single-writer global lock
-  mutable AslMutex<McsLock> meta_lock_;    // reader-table / root pin lock
-  std::shared_ptr<const Node> root_;       // guarded by meta_lock_ for swap
-  std::uint64_t version_ = 0;              // guarded by writer_lock_
-  std::size_t size_ = 0;                   // guarded by writer_lock_
+  mutable EpochReclaimer reclaimer_;       // version-node grace periods
+  std::atomic<const Node*> root_{nullptr};  // published root (release/acquire)
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::size_t> size_{0};
+  std::vector<const Node*> retire_scratch_;  // guarded by writer_lock_
 };
 
 }  // namespace asl::db

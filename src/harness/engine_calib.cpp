@@ -78,6 +78,11 @@ EngineCalibResult calibrate_engine(const std::string& engine,
       db::OpCost{to_nops(result.get_ns), result.reference.get.post_nops};
   result.measured.put =
       db::OpCost{to_nops(result.put_ns), result.reference.put.post_nops};
+  // Routing is part of the profile: a measured profile fed back through
+  // KvServiceConfig::cost must keep the engine on the same (lock-free or
+  // locked) get route as the reference, or the calibration would silently
+  // change the service's semantics along with its numbers.
+  result.measured.get_lock_free = result.reference.get_lock_free;
   return result;
 }
 

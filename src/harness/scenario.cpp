@@ -18,10 +18,17 @@ double env_time_scale() {
 }  // namespace
 
 ScenarioContext::ScenarioContext(std::string scenario, double time_scale,
-                                 std::ostream* csv)
+                                 std::ostream* csv,
+                                 std::map<std::string, std::string> options)
     : scenario_(std::move(scenario)),
       time_scale_(time_scale > 0 ? time_scale : 1.0),
-      csv_(csv) {}
+      csv_(csv),
+      options_(std::move(options)) {}
+
+std::string ScenarioContext::option(const std::string& name) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? std::string() : it->second;
+}
 
 void ScenarioContext::banner(const std::string& figure,
                              const std::string& title) {
@@ -84,6 +91,7 @@ int scenario_main(int argc, char** argv, const char* default_scenario) {
   bool list_only = false;
   bool run_all = false;
   std::vector<std::string> names;
+  std::map<std::string, std::string> options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,10 +109,14 @@ int scenario_main(int argc, char** argv, const char* default_scenario) {
       csv_path = value_of("--csv=");
     } else if (arg.rfind("--scenario=", 0) == 0) {
       names.push_back(value_of("--scenario="));
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      options["engine"] = value_of("--engine=");
+    } else if (arg.rfind("--mix=", 0) == 0) {
+      options["mix"] = value_of("--mix=");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--list] [--all] [--time-scale=F] [--csv=PATH] "
-                   "[scenario...]\n";
+                   "[--engine=NAME] [--mix=NAME|R:W] [scenario...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << " (try --help)\n";
@@ -147,7 +159,7 @@ int scenario_main(int argc, char** argv, const char* default_scenario) {
       std::cerr << "unknown scenario: " << name << " (try --list)\n";
       return 2;
     }
-    ScenarioContext ctx(name, time_scale, csv);
+    ScenarioContext ctx(name, time_scale, csv, options);
     scenario->run(ctx);
     std::cout << (ctx.all_ok() ? "\nAll shape checks passed.\n"
                                : "\nSOME SHAPE CHECKS FAILED.\n");

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,8 @@ namespace asl::bench {
 // the shared time-scale knob.
 class ScenarioContext {
  public:
-  ScenarioContext(std::string scenario, double time_scale, std::ostream* csv);
+  ScenarioContext(std::string scenario, double time_scale, std::ostream* csv,
+                  std::map<std::string, std::string> options = {});
 
   // Simulated-duration scaling (SIM_TIME_SCALE / --time-scale).
   double time_scale() const { return time_scale_; }
@@ -46,10 +48,17 @@ class ScenarioContext {
   bool all_ok() const { return all_ok_; }
   const std::string& scenario() const { return scenario_; }
 
+  // Scenario-interpreted filter option ("" when the flag was not given).
+  // The driver whitelists the flag names (--engine=, --mix=) so a typo'd
+  // flag still errors instead of silently reaching a scenario that ignores
+  // it; scenarios that do not read a given option are unaffected by it.
+  std::string option(const std::string& name) const;
+
  private:
   std::string scenario_;
   double time_scale_ = 1.0;
   std::ostream* csv_ = nullptr;
+  std::map<std::string, std::string> options_;
   bool all_ok_ = true;
 };
 
@@ -94,6 +103,10 @@ struct ScenarioRegistrar {
 //   --time-scale=<f>       override SIM_TIME_SCALE
 //   --csv=<path>           write every emitted table as CSV to <path>
 //   --all                  run every registered scenario
+//   --engine=<name>        filter option for engine-matrix scenarios
+//                          (kv_engine_sweep: run one registry engine)
+//   --mix=<name|r:w>       filter option for mix-matrix scenarios (a mix
+//                          name like get_heavy, or a get:put rate ratio)
 //   <name>...              scenarios to run (default: `default_scenario`,
 //                          or --list behaviour when none is configured)
 // Exit code 0 iff every shape check of every scenario passed.

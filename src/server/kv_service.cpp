@@ -177,6 +177,15 @@ std::uint32_t KvService::num_workers() const {
   return static_cast<std::uint32_t>(slots_.size());
 }
 
+LockRouteStats KvService::lock_route_stats() const {
+  LockRouteStats s;
+  s.get_route_acquires = get_route_acquires_.load(std::memory_order_relaxed);
+  s.put_route_acquires = put_route_acquires_.load(std::memory_order_relaxed);
+  s.cs_gets = cs_gets_.load(std::memory_order_relaxed);
+  s.lockfree_gets = lockfree_gets_.load(std::memory_order_relaxed);
+  return s;
+}
+
 ServiceReport KvService::report() const {
   ServiceReport report;
   for (const auto& cs : classes_) {
@@ -243,33 +252,75 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head) {
   // class that was at the front of the queue (DESIGN.md §6).
   ClassState& head_cls = *classes_[head.class_index];
   epoch_start(head_cls.epoch_id);
-  shard.lock.lock();
-  // Batch extension after the acquisition: requests that were already
-  // waiting when the lock was won ride along in this critical section; the
-  // drain never waits for new arrivals.
-  Request more;
-  while (count < batch_k && shard.queue.try_pop(more)) {
-    const Nanos t = now_ns();
-    batch[count++] =
-        Served{more, t > more.enqueue_ns ? t - more.enqueue_ns : 0, 0};
-  }
-  for (std::size_t i = 0; i < count; ++i) {
-    const Request& req = batch[i].req;
-    const bool is_put = req.op == OpType::kPut;
-    // Per-op cost class (DESIGN.md §7): the emulated critical-section cost
-    // of *this* op's kind, on top of the actual engine call below.
-    spin_nops(slot.speed.scale_cs(cost_.op(is_put).cs_nops));
-    if (is_put) {
-      shard.engine->put(req.key, "v:" + std::to_string(req.key));
-    } else {
-      (void)shard.engine->get(req.key);
+
+  const bool lock_free_gets = cost_.get_lock_free;
+  if (lock_free_gets && head.op == OpType::kGet) {
+    // Lock-free get route (DESIGN.md §8): the engine's snapshot read is
+    // wait-free against writers, so a get-headed serve touches neither the
+    // shard lock nor the batch extension — the emulated service time is
+    // the get class's cs_nops spent *off-lock* at non-CS speed (the same
+    // accounting the twin charges under ncs_slowdown), and the next
+    // waiting request is picked up by the regular pop loop immediately.
+    spin_nops(slot.speed.scale_ncs(cost_.get.cs_nops));
+    (void)shard.engine->get(head.key);
+    batch[0].done = now_ns();
+    lockfree_gets_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Locked route. The acquisition is attributed to the head's op kind:
+    // get_route_acquires must stay zero on a lock-free profile, and on
+    // locked engines it is the counter that shows gets do block here.
+    (head.op == OpType::kPut ? put_route_acquires_ : get_route_acquires_)
+        .fetch_add(1, std::memory_order_relaxed);
+    shard.lock.lock();
+    // Batch extension after the acquisition: requests that were already
+    // waiting when the lock was won ride along in this critical section;
+    // the drain never waits for new arrivals.
+    Request more;
+    while (count < batch_k && shard.queue.try_pop(more)) {
+      const Nanos t = now_ns();
+      batch[count++] =
+          Served{more, t > more.enqueue_ns ? t - more.enqueue_ns : 0, 0};
     }
-    // A request is done at the end of its own segment, not the batch's:
-    // later batch members pay for the work ahead of them in their measured
-    // latency, exactly like requests served by separate acquisitions.
-    batch[i].done = now_ns();
+    // Critical-section pass. On a lock-free profile only the puts run here
+    // — gets that rode a put-headed batch are deferred past the release
+    // (served below, off-lock, in pop order). On locked profiles this is
+    // the historic path serving every op in pop order, byte-identical
+    // behaviour to before the route split.
+    for (std::size_t i = 0; i < count; ++i) {
+      const Request& req = batch[i].req;
+      const bool is_put = req.op == OpType::kPut;
+      if (lock_free_gets && !is_put) continue;
+      // Per-op cost class (DESIGN.md §7): the emulated critical-section
+      // cost of *this* op's kind, on top of the actual engine call below.
+      spin_nops(slot.speed.scale_cs(cost_.op(is_put).cs_nops));
+      if (is_put) {
+        shard.engine->put(req.key, "v:" + std::to_string(req.key));
+      } else {
+        (void)shard.engine->get(req.key);
+        cs_gets_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // A request is done at the end of its own segment, not the batch's:
+      // later batch members pay for the work ahead of them in their
+      // measured latency, exactly like requests served by separate
+      // acquisitions.
+      batch[i].done = now_ns();
+    }
+    shard.lock.unlock();
+    if (lock_free_gets) {
+      // Deferred gets: off-lock, after the puts published. Each still gets
+      // its own done stamp at the end of its own segment, so a get that
+      // waited behind two puts and another get pays for all three in its
+      // measured latency — the same segment rule as the CS pass.
+      for (std::size_t i = 0; i < count; ++i) {
+        const Request& req = batch[i].req;
+        if (req.op == OpType::kPut) continue;
+        spin_nops(slot.speed.scale_ncs(cost_.get.cs_nops));
+        (void)shard.engine->get(req.key);
+        batch[i].done = now_ns();
+        lockfree_gets_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
-  shard.lock.unlock();
 
   // Per-request feedback even though the acquisition was shared: the head
   // ends the epoch opened before the lock; every later member brackets its

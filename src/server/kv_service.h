@@ -1,7 +1,7 @@
 // Sharded KV front-end — the open-loop service layer over the asl_db
 // engines (DESIGN.md §4).
 //
-// Layout: N shards, each one KvEngine (hash/btree/lsm, selected by
+// Layout: N shards, each one KvEngine (hash/btree/lsm/mvcc, selected by
 // KvServiceConfig::engine — DESIGN.md §7) guarded by a BlockingAslMutex
 // (the oversubscription-safe LibASL lock) behind a bounded request queue.
 // Requests are routed by key hash, admitted with backpressure (a full queue
@@ -17,6 +17,13 @@
 // overload, queueing delay violates the SLO, the window collapses, and
 // little-core workers stop standing by — the service-level version of the
 // paper's feedback loop.
+//
+// Lock-free read route (DESIGN.md §8): when the resolved CostProfile sets
+// get_lock_free (the mvcc engine), gets bypass the shard lock entirely —
+// the engine's snapshot reads are wait-free against writers, so the worker
+// serves them off-lock at non-CS speed while only puts acquire the mutex.
+// LockRouteStats counts which route served what on both the real path and
+// the twin.
 #pragma once
 
 #include <atomic>
@@ -265,6 +272,24 @@ inline bool report_meets_slos(const ServiceReport& report,
   return true;
 }
 
+// Which route served what (DESIGN.md §8) — the observable that proves the
+// lock-free read path is actually lock-free. Counted identically by the
+// real service and the twin:
+//   * get_route_acquires — shard-lock acquisitions whose batch head was a
+//     get. Zero on a get_lock_free profile (the acceptance criterion: gets
+//     never block on the shard mutex), nonzero on locked engines.
+//   * put_route_acquires — acquisitions headed by a put.
+//   * cs_gets — gets served inside a critical section (locked engines).
+//   * lockfree_gets — gets served off-lock (head-get solo serves plus gets
+//     that rode a put-headed batch and were deferred past the release).
+// cs_gets + lockfree_gets == completed gets, always.
+struct LockRouteStats {
+  std::uint64_t get_route_acquires = 0;
+  std::uint64_t put_route_acquires = 0;
+  std::uint64_t cs_gets = 0;
+  std::uint64_t lockfree_gets = 0;
+};
+
 class KvService {
  public:
   explicit KvService(KvServiceConfig config);
@@ -318,6 +343,11 @@ class KvService {
   // stop() it is quiescent and satisfies completed == accepted per class.
   ServiceReport report() const;
 
+  // Route accounting (see LockRouteStats). On a get_lock_free profile
+  // get_route_acquires stays 0 and cs_gets stays 0 — every get is served
+  // off-lock.
+  LockRouteStats lock_route_stats() const;
+
  private:
   struct Shard {
     Shard(std::size_t queue_capacity, std::unique_ptr<db::KvEngine> eng)
@@ -360,6 +390,10 @@ class KvService {
 
   KvServiceConfig config_;
   db::CostProfile cost_;  // resolved_cost_profile(config_), fixed at build
+  std::atomic<std::uint64_t> get_route_acquires_{0};
+  std::atomic<std::uint64_t> put_route_acquires_{0};
+  std::atomic<std::uint64_t> cs_gets_{0};
+  std::atomic<std::uint64_t> lockfree_gets_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<ClassState>> classes_;
   std::vector<WorkerSlot> slots_;

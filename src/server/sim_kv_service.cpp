@@ -66,6 +66,7 @@ struct SimKvService::Impl {
   std::vector<std::unique_ptr<Shard>> shards;
   std::vector<std::unique_ptr<Worker>> workers;
   std::vector<ClassState> classes;
+  LockRouteStats routes;
   bool ran = false;
 
   Impl(KvServiceConfig cfg, SimTwinConfig tw)
@@ -140,6 +141,14 @@ struct SimKvService::Impl {
                       twin.nop_ns * twin.machine.ncs_slowdown(type);
     return ns < 1.0 ? sim::Time{1} : static_cast<sim::Time>(ns);
   }
+  // Lock-free get service time (DESIGN.md §8): the get class's cs_nops are
+  // still the latency-visible read, but they run off-lock at non-CS speed —
+  // the twin of the real worker's scale_ncs spin on the lock-free route.
+  sim::Time lockfree_get_time(CoreType type) const {
+    const double ns = static_cast<double>(cost.get.cs_nops) * twin.nop_ns *
+                      twin.machine.ncs_slowdown(type);
+    return ns < 1.0 ? sim::Time{1} : static_cast<sim::Time>(ns);
+  }
 
   void flush_depth(Shard& shard) {
     shard.stats.depth_integral +=
@@ -198,6 +207,44 @@ struct SimKvService::Impl {
     shard.queue.pop_front();
     const Nanos head_wait = eng.now() - head.at;
 
+    if (cost.get_lock_free && !head.is_put) {
+      // Lock-free get route — the twin of the real worker's solo off-lock
+      // serve: no simulated acquisition, no batch extension, no dispatch-
+      // window decision (there is no lock to reorder around). The read
+      // occupies the worker for lockfree_get_time, then the usual
+      // accounting / feedback / post-op sequence runs at the same joints
+      // as a one-request locked batch.
+      routes.lockfree_gets += 1;
+      eng.after(lockfree_get_time(worker.core.type),
+                [this, &worker, &shard, head, head_wait] {
+        ClassState& cls = classes[head.class_index];
+        const Nanos total = eng.now() - head.at;
+        cls.completed += 1;
+        shard.stats.completed += 1;
+        if (cls.spec.slo_ns == 0 || total <= cls.spec.slo_ns) {
+          cls.slo_met += 1;
+        }
+        cls.total.record(worker.core.type, total);
+        cls.queue_wait.record(head_wait);
+        if (cls.spec.slo_ns > 0 &&
+            DispatchPolicy::updates_window(worker.core.type)) {
+          worker.controllers[head.class_index].on_epoch_end(total,
+                                                            cls.spec.slo_ns);
+        }
+        eng.after(post_time(worker.core.type, /*is_put=*/false),
+                  [this, &worker, &shard] {
+          if (!shard.queue.empty()) {
+            dispatch(worker);
+          } else {
+            worker.busy = false;
+          }
+        });
+      });
+      return;
+    }
+    (head.is_put ? routes.put_route_acquires : routes.get_route_acquires) +=
+        1;
+
     // The real worker wraps the shard critical section in epoch_start /
     // epoch_end_with_latency; the twin consumes the same DispatchPolicy and
     // WindowController directly (sim_runner precedent — the feedback loop is
@@ -229,21 +276,44 @@ struct SimKvService::Impl {
             shard.queue.pop_front();
             batch->push_back(Pending{req, eng.now() - req.at});
           }
-          serve_segment(worker, shard, batch, 0);
+          std::size_t cs_count = batch->size();
+          if (cost.get_lock_free) {
+            // Mixed put-headed batch on the lock-free route: puts run
+            // first, inside the CS, gets are deferred past the release —
+            // the same stable puts-then-gets reorder the real worker's two
+            // serving passes produce (each group keeps pop order; waits
+            // were frozen at pop time above, so the reorder only changes
+            // *service* order).
+            std::stable_partition(
+                batch->begin(), batch->end(),
+                [](const Pending& p) { return p.req.is_put; });
+            cs_count = static_cast<std::size_t>(std::count_if(
+                batch->begin(), batch->end(),
+                [](const Pending& p) { return p.req.is_put; }));
+          }
+          serve_segment(worker, shard, batch, 0, cs_count);
         });
   }
 
-  // Serves batch member i: one cs_time segment for *its* op kind, then that
+  // Serves batch member i: one service segment for *its* op kind, then that
   // request's accounting and controller feedback at the segment's end —
   // later batch members see the work ahead of them in their measured
-  // latency, exactly like the real path. The lock is released after the
-  // last segment, then each served request's own post-op interval elapses
-  // before the worker re-dispatches or idles.
+  // latency, exactly like the real path. Members below cs_count run inside
+  // the critical section at cs_time; the lock is released after the last of
+  // them, and members past cs_count (deferred lock-free gets — only on a
+  // get_lock_free profile, where cs_count is the batch's put count) run
+  // off-lock at lockfree_get_time. Then each served request's own post-op
+  // interval elapses before the worker re-dispatches or idles.
   void serve_segment(Worker& worker, Shard& shard,
                      const std::shared_ptr<std::vector<Pending>>& batch,
-                     std::size_t i) {
-    eng.after(cs_time(worker.core.type, (*batch)[i].req.is_put),
-              [this, &worker, &shard, batch, i] {
+                     std::size_t i, std::size_t cs_count) {
+    const bool in_cs = i < cs_count;
+    const sim::Time span = in_cs
+                               ? cs_time(worker.core.type, (*batch)[i].req.is_put)
+                               : lockfree_get_time(worker.core.type);
+    if (!in_cs) routes.lockfree_gets += 1;
+    if (in_cs && !(*batch)[i].req.is_put) routes.cs_gets += 1;
+    eng.after(span, [this, &worker, &shard, batch, i, cs_count] {
       const Pending& served = (*batch)[i];
       ClassState& cls = classes[served.req.class_index];
       const Nanos total = eng.now() - served.req.at;
@@ -259,11 +329,16 @@ struct SimKvService::Impl {
         worker.controllers[served.req.class_index].on_epoch_end(
             total, cls.spec.slo_ns);
       }
+      // Release at the CS boundary: after the last critical-section member,
+      // whether or not deferred off-lock gets follow (when cs_count ==
+      // batch size this is the historic release-after-last-segment).
+      if (i + 1 == cs_count) {
+        shard.lock->release(&worker.sim);
+      }
       if (i + 1 < batch->size()) {
-        serve_segment(worker, shard, batch, i + 1);
+        serve_segment(worker, shard, batch, i + 1, cs_count);
         return;
       }
-      shard.lock->release(&worker.sim);
       // One post-op interval per served request, each priced by its own op
       // class — the twin of the real path's per-request post spin.
       sim::Time post = 0;
@@ -341,6 +416,7 @@ SimServiceReport SimKvService::run(const std::vector<LoadSpec>& load,
   for (const auto& shard : impl_->shards) {
     report.shards.push_back(shard->stats);
   }
+  report.lock_routes = impl_->routes;
   return report;
 }
 

@@ -21,7 +21,12 @@
 //     (LockKind::kBlockingReorderable by default), ASL dispatch + AIMD
 //     feedback via the production DispatchPolicy/WindowController driven by
 //     virtual end-to-end latencies (per batch member, at the end of its own
-//     critical-section segment), and the drain-on-stop invariant
+//     critical-section segment), the lock-free get route (a get_lock_free
+//     profile serves gets with no lock acquisition at all — service time is
+//     the get class's cs_nops under the *non*-CS slowdown, the twin of the
+//     real worker's off-lock scale_ncs spin; puts in a mixed batch run
+//     first, inside the CS, with the deferred gets following the release in
+//     pop order — DESIGN.md §8), and the drain-on-stop invariant
 //     (completed == accepted).
 //   * elided: the engine's data structures (no keys are stored; service
 //     cost is the engine's per-op CostProfile — resolved_cost_profile, the
@@ -89,6 +94,11 @@ struct SimServiceReport {
   std::uint64_t offered = 0;  // scheduled arrivals across every LoadSpec
   Nanos horizon = 0;     // arrival window
   Nanos drained_at = 0;  // virtual time the last queued request finished
+  // Route accounting (kv_service.h LockRouteStats): on a get_lock_free
+  // profile the twin, like the real path, serves every get without a
+  // simulated lock acquisition — get_route_acquires == 0 and cs_gets == 0
+  // is the assertable twin half of the lock-free contract (DESIGN.md §8).
+  LockRouteStats lock_routes;
 
   std::uint64_t total_accepted() const { return service.total_accepted(); }
   std::uint64_t total_rejected() const { return service.total_rejected(); }

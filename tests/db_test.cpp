@@ -533,6 +533,37 @@ TEST(KvEngineContract, CostProfilesEncodeTheDocumentedShapes) {
   EXPECT_FALSE(lsm.empty());
 }
 
+TEST(KvEngineContract, LockFreeGetCapabilityMatchesProfileFlag) {
+  // The engine's runtime capability and the registry profile's routing flag
+  // are two statements of one fact — KvService routes on the profile, the
+  // engine must actually be safe for it. Pin them together for every
+  // registered engine, and pin which engines claim the capability at all.
+  for (const std::string& name : kv_engine_names()) {
+    const std::unique_ptr<KvEngine> engine = make_kv_engine(name);
+    ASSERT_NE(engine, nullptr) << name;
+    EXPECT_EQ(engine->lock_free_gets(), default_cost_profile(name).get_lock_free)
+        << name << ": capability and profile flag must agree";
+    EXPECT_EQ(engine->lock_free_gets(), name == "mvcc")
+        << name << ": only the MVCC engine serves gets without the shard lock";
+  }
+  // scaled() must not drop the routing flag (it scales costs, not semantics).
+  EXPECT_TRUE(default_cost_profile("mvcc").scaled(100.0).get_lock_free);
+  EXPECT_FALSE(default_cost_profile("hash").scaled(100.0).get_lock_free);
+}
+
+TEST(MvKv, ReclaimerFreesRetiredVersionsUnderChurn) {
+  // The engine-level view of DESIGN.md §8: put churn with no live snapshot
+  // must actually free superseded version nodes (not just retire them), and
+  // the outstanding backlog must respect the reclaimer's bound.
+  MvKv kv;
+  for (std::uint64_t i = 0; i < 2000; ++i) kv.put(i % 64, val_of(i));
+  EXPECT_GT(kv.reclaimer().freed_count(), 0u)
+      << "churn must recycle version nodes";
+  EXPECT_LE(kv.reclaimer().retired_backlog(),
+            kv.reclaimer().backlog_bound() + kv.reclaimer().batch())
+      << "backlog must stay within one in-flight batch of the bound";
+}
+
 // --------------------------------------------------------------- MiniSql
 TEST(MiniSql, CreateTableOnce) {
   MiniSql db;

@@ -388,6 +388,52 @@ TEST(ServiceEngines, EveryRegisteredEngineServesAndDrains) {
   }
 }
 
+TEST(ServiceEngines, LockRouteCountersSplitByEngineCapability) {
+  // The lock-free read path's observable contract (DESIGN.md §8): on an
+  // engine whose profile claims get_lock_free (mvcc), a get NEVER acquires
+  // the shard lock — zero get-route acquisitions, zero in-CS gets, every
+  // completed get on the lock-free route. On a locked engine (hash) the
+  // split is exactly the other way. Puts acquire on both.
+  for (const std::string& engine : {std::string("mvcc"), std::string("hash")}) {
+    KvServiceConfig cfg;
+    cfg.num_shards = 2;
+    cfg.workers_per_shard = 2;
+    cfg.queue_capacity = 256;
+    cfg.engine = engine;
+    cfg.prefill_keys = 64;
+    cfg.classes.push_back(RequestClass{"route-" + engine, 2 * kNanosPerMilli});
+    KvService service(cfg);
+    service.start();
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    for (std::uint64_t key = 0; key < 400; ++key) {
+      if (key % 4 == 0) {
+        puts += service.try_submit(OpType::kPut, key, 0) ? 1 : 0;
+      } else {
+        gets += service.try_submit(OpType::kGet, key % 64, 0) ? 1 : 0;
+      }
+    }
+    service.stop();
+    const LockRouteStats routes = service.lock_route_stats();
+    EXPECT_EQ(routes.cs_gets + routes.lockfree_gets, gets)
+        << engine << ": every completed get is on exactly one route";
+    if (engine == "mvcc") {
+      EXPECT_EQ(routes.get_route_acquires, 0u)
+          << "mvcc gets must never take the shard lock";
+      EXPECT_EQ(routes.cs_gets, 0u);
+      EXPECT_EQ(routes.lockfree_gets, gets);
+    } else {
+      EXPECT_EQ(routes.lockfree_gets, 0u)
+          << "hash has no lock-free read path";
+      EXPECT_EQ(routes.cs_gets, gets);
+    }
+    EXPECT_GT(routes.put_route_acquires, 0u)
+        << engine << ": puts always publish under the shard lock";
+    EXPECT_LE(routes.put_route_acquires, puts)
+        << engine << ": batching can only merge put acquisitions, not mint";
+  }
+}
+
 TEST(ServiceLifecycle, StopBeforeStartThenLateTrafficIsRejected) {
   // stop() before start(): queued work drains inline, the service closes,
   // and everything submitted afterwards is a counted rejection — the

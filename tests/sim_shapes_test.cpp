@@ -413,6 +413,41 @@ TEST(TwinShapes, AllScenariosRunOnEveryEngineWithInvariantsIntact) {
   }
 }
 
+TEST(TwinShapes, LockRoutesSplitByEngineProfileFlag) {
+  // The twin's model of the lock-free read route (DESIGN.md §8), mirrored
+  // from the real-path counters: on an engine whose profile claims
+  // get_lock_free (mvcc) no get ever enters the shard lock's critical
+  // section — zero get-route acquisitions, zero in-CS gets — while on a
+  // locked engine (hash) no get ever takes the lock-free route. Both
+  // engines publish puts under the lock. Deterministic, so exact.
+  for (const std::string& engine : {std::string("mvcc"), std::string("hash")}) {
+    KvScenario sc = make_kv_scenario("kv_uniform_steady", engine);
+    sc.horizon = 50 * kNanosPerMilli;
+    const SimServiceReport r = run_sim_kv(sc);
+    const LockRouteStats& routes = r.lock_routes;
+    ASSERT_GT(r.total_completed(), 0u) << engine;
+    EXPECT_GT(routes.put_route_acquires, 0u)
+        << engine << ": puts always publish under the shard lock";
+    if (engine == "mvcc") {
+      EXPECT_EQ(routes.get_route_acquires, 0u)
+          << "mvcc gets must never acquire the shard lock in the twin";
+      EXPECT_EQ(routes.cs_gets, 0u);
+      EXPECT_GT(routes.lockfree_gets, 0u);
+    } else {
+      EXPECT_EQ(routes.lockfree_gets, 0u)
+          << "hash has no lock-free read path in the twin";
+      EXPECT_GT(routes.cs_gets, 0u);
+      EXPECT_GT(routes.get_route_acquires, 0u);
+    }
+    // Route totals tie back to completions: every completed get took
+    // exactly one of the two routes (class 0 is the get stream by the
+    // scenarios.cpp convention).
+    EXPECT_EQ(routes.cs_gets + routes.lockfree_gets,
+              r.service.classes.at(0).completed)
+        << engine;
+  }
+}
+
 // Offered load with the standard key mix but the put share scaled: class 0
 // is the get stream, class 1 the put stream (scenarios.cpp convention).
 KvScenario lsm_mix_scenario(double get_scale, double put_scale) {
