@@ -59,7 +59,7 @@ def known_names() -> set:
     names = set()
     for bench in (ROOT / "bench").glob("*.cpp"):
         names |= set(
-            re.findall(r"ASL_SCENARIO\(\s*(\w+)", bench.read_text()))
+            re.findall(r"ASL_SCENARIO(?:_EXPLICIT)?\(\s*(\w+)", bench.read_text()))
     cmake = (ROOT / "CMakeLists.txt").read_text()
     names |= set(re.findall(r"asl_add_figure\((\w+)", cmake))
     names |= set(re.findall(r"add_executable\((\w+)", cmake))

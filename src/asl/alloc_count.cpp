@@ -1,0 +1,186 @@
+// See alloc_count.h. Implementation notes:
+//
+// * The replacements forward to malloc/free (aligned_alloc for the aligned
+//   forms) and count into plain thread_local integers plus relaxed global
+//   atomics. No code here may allocate: these functions ARE the allocator
+//   for any binary that links them.
+// * The thread_local counters are trivially-initialized scalars, so reading
+//   them from inside operator new cannot recurse through a dynamic
+//   initializer.
+// * Defining ANY replacement in a translation unit obliges us to define the
+//   whole family (new/new[]/nothrow/aligned x delete/sized/aligned):
+//   a partial replacement would pair our new with the library's delete.
+// * Throwing forms honor the std::new_handler loop, per [new.delete.single].
+#include "asl/alloc_count.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+thread_local std::uint64_t t_allocs = 0;
+thread_local std::uint64_t t_frees = 0;
+
+inline void count_alloc(std::size_t size) {
+  t_allocs += 1;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+inline void count_free(void* p) {
+  if (p == nullptr) return;
+  t_frees += 1;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+// malloc with the new-handler retry loop; returns nullptr only when no
+// handler is installed (the nothrow forms surface that, the throwing forms
+// turn it into bad_alloc).
+void* checked_malloc(std::size_t size) {
+  if (size == 0) size = 1;  // malloc(0) may return nullptr legally
+  for (;;) {
+    void* p = std::malloc(size);
+    if (p != nullptr) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+void* checked_aligned(std::size_t size, std::size_t alignment) {
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  for (;;) {
+    void* p = std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+    if (p != nullptr) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+}  // namespace
+
+namespace asl {
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+AllocCounts alloc_counts() {
+  AllocCounts c;
+  c.allocs = g_allocs.load(std::memory_order_relaxed);
+  c.frees = g_frees.load(std::memory_order_relaxed);
+  c.bytes = g_bytes.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::uint64_t thread_alloc_count() { return t_allocs; }
+
+std::uint64_t thread_free_count() { return t_frees; }
+
+bool alloc_counting_linked() { return true; }
+
+}  // namespace asl
+
+// ------------------------------------------------------------ replacements
+
+void* operator new(std::size_t size) {
+  count_alloc(size);
+  void* p = checked_malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  count_alloc(size);
+  return checked_malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  count_alloc(size);
+  return checked_malloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  count_alloc(size);
+  void* p = checked_aligned(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return ::operator new(size, alignment);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  count_alloc(size);
+  return checked_aligned(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  count_alloc(size);
+  return checked_aligned(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept {
+  count_free(p);
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept {
+  count_free(p);
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  count_free(p);
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  count_free(p);
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  count_free(p);
+  std::free(p);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  count_free(p);
+  std::free(p);
+}
+
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  count_free(p);
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  count_free(p);
+  std::free(p);
+}

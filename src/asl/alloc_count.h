@@ -1,0 +1,61 @@
+// Allocation-counting operator new/delete interposition — the observability
+// half of the zero-allocation hot path (DESIGN.md §9).
+//
+// The paper schedules the *lock* as the scarce resource, but a request path
+// that heap-allocates smuggles a second, unscheduled lock into every op: the
+// allocator's. Before allocation can be *removed* from the hot path it has
+// to be *countable*, and countable in a way a regression test can pin — so,
+// alongside the pthread_mutex interposer (interpose.h, the same weak-symbol
+// replacement idea), this module replaces the global operator new/delete
+// family with counting forwards to malloc/free.
+//
+// Like asl_interpose, linking is the opt-in: binaries that link `asl_alloc`
+// get the counting allocator process-wide (every new/delete in the binary,
+// the STL included, passes through it); binaries that do not are untouched.
+// The counters are the contract the kv_alloc_audit scenario and
+// tests/alloc_test.cpp assert on: a steady-state KV request must move none
+// of them.
+//
+// Counting costs one thread-local increment plus one relaxed global
+// fetch_add per call — nothing the figure benches can measure — and the
+// hooks never allocate themselves (malloc only), so they are safe under
+// ThreadSanitizer and inside any locking path in this codebase.
+#pragma once
+
+#include <cstdint>
+
+namespace asl {
+
+// Process-wide totals since process start. `allocs`/`frees` count calls
+// (operator new family / operator delete family with a non-null pointer);
+// `bytes` sums requested allocation sizes.
+struct AllocCounts {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bytes = 0;
+};
+
+// Process-wide operator-new call count. THE steady-state observable: take it
+// before and after a traffic window; the delta is how many times the window
+// hit the allocator. Monotone, relaxed (exact once the threads of interest
+// have quiesced — drain the service before the "after" read).
+std::uint64_t alloc_count();
+
+// All three process-wide counters in one read (each individually relaxed).
+AllocCounts alloc_counts();
+
+// Operator-new calls made by the calling thread only. Exact with no
+// quiescence requirement, which is what the single-threaded unit tests pin
+// (a push/pop cycle on a warmed queue moves this by exactly zero).
+std::uint64_t thread_alloc_count();
+
+// Operator-delete calls (non-null) made by the calling thread.
+std::uint64_t thread_free_count();
+
+// True when the counting hooks are linked into this binary. Defined in the
+// same translation unit as the operator new replacement, so any binary that
+// can call this has the hooks by construction — it exists so audit output
+// can state the fact rather than assume it.
+bool alloc_counting_linked();
+
+}  // namespace asl

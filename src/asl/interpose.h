@@ -7,6 +7,12 @@
 // an AslMutex shadow object per pthread_mutex_t address. The C epoch API is
 // exported alongside so latency-critical applications add exactly the three
 // lines of Figure 6.
+//
+// Sibling module: alloc_count.h applies the same link-time replacement idea
+// to the global operator new/delete family — counting hooks for the
+// zero-allocation hot-path regression harness (DESIGN.md §9). The two are
+// separate opt-in libraries on purpose: this one *changes lock behaviour*
+// process-wide, the allocation counter only observes.
 #pragma once
 
 #include <pthread.h>

@@ -75,17 +75,19 @@ BtreeKv::Node* BtreeKv::find_leaf(std::uint64_t key) const {
 }
 
 void BtreeKv::insert_into_leaf(Node* leaf, std::uint64_t key,
-                               const std::string& value) {
+                               std::string_view value) {
   auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
   const std::size_t idx =
       static_cast<std::size_t>(it - leaf->keys.begin());
   if (it != leaf->keys.end() && *it == key) {
-    leaf->values[idx] = value;
+    // assign() reuses the slot's capacity: overwrites are allocation-free
+    // while the value is not growing.
+    leaf->values[idx].assign(value);
     return;
   }
   leaf->keys.insert(it, key);
   leaf->values.insert(leaf->values.begin() + static_cast<std::ptrdiff_t>(idx),
-                      value);
+                      std::string(value));
   ++size_;
   if (leaf->keys.size() > kFanout) {
     split_leaf(leaf);
@@ -148,7 +150,7 @@ void BtreeKv::insert_into_parent(Node* left, std::uint64_t sep, Node* right) {
   }
 }
 
-void BtreeKv::put(std::uint64_t key, const std::string& value) {
+void BtreeKv::put(std::uint64_t key, std::string_view value) {
   Cursor* cursor = pool_acquire();
   {
     LockGuard<AslMutex<McsLock>> guard(global_lock_);

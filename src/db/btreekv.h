@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "asl/libasl.h"
@@ -29,7 +30,9 @@ class BtreeKv {
   BtreeKv();
   ~BtreeKv();
 
-  void put(std::uint64_t key, const std::string& value);
+  // The value is a view (arena/stack-formatted by callers, DESIGN.md §9);
+  // overwrites reuse the leaf slot's capacity, first inserts copy.
+  void put(std::uint64_t key, std::string_view value);
   std::optional<std::string> get(std::uint64_t key) const;
   bool erase(std::uint64_t key);
 
@@ -54,8 +57,7 @@ class BtreeKv {
   void pool_release(Cursor* cursor) const;
 
   Node* find_leaf(std::uint64_t key) const;
-  void insert_into_leaf(Node* leaf, std::uint64_t key,
-                        const std::string& value);
+  void insert_into_leaf(Node* leaf, std::uint64_t key, std::string_view value);
   void split_leaf(Node* leaf);
   void split_inner(Node* inner);
   void insert_into_parent(Node* left, std::uint64_t sep, Node* right);

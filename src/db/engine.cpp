@@ -1,5 +1,7 @@
 #include "db/engine.h"
 
+#include <cstdio>
+
 #include "db/btreekv.h"
 #include "db/hashkv.h"
 #include "db/lsmkv.h"
@@ -10,23 +12,34 @@ namespace {
 
 // HashKv (the Kyoto stand-in) keys by string; keep the service's historic
 // "k:<n>" representation so a hash-backed store looks exactly like the
-// pre-engine-subsystem one.
+// pre-engine-subsystem one. Keys are formatted into a stack buffer and
+// passed as views — the adapter itself never touches the heap (the store
+// copies into its own entries, reusing capacity on overwrite).
 class HashKvEngine final : public KvEngine {
  public:
   HashKvEngine() : kv_(16) {}
   std::string_view name() const override { return "hash"; }
-  void put(std::uint64_t key, const std::string& value) override {
-    kv_.put(key_string(key), value);
+  void put(std::uint64_t key, std::string_view value) override {
+    KeyBuf buf;
+    kv_.put(key_string(key, buf), value);
   }
   std::optional<std::string> get(std::uint64_t key) const override {
-    return kv_.get(key_string(key));
+    KeyBuf buf;
+    return kv_.get(key_string(key, buf));
   }
-  bool erase(std::uint64_t key) override { return kv_.remove(key_string(key)); }
+  bool erase(std::uint64_t key) override {
+    KeyBuf buf;
+    return kv_.remove(key_string(key, buf));
+  }
   std::size_t size() const override { return kv_.size(); }
 
  private:
-  static std::string key_string(std::uint64_t key) {
-    return "k:" + std::to_string(key);
+  using KeyBuf = char[24];  // "k:" + 20 digits + nul
+
+  static std::string_view key_string(std::uint64_t key, KeyBuf& buf) {
+    const int len = std::snprintf(buf, sizeof(KeyBuf), "k:%llu",
+                                  static_cast<unsigned long long>(key));
+    return std::string_view(buf, static_cast<std::size_t>(len));
   }
   HashKv kv_;
 };
@@ -35,7 +48,7 @@ class HashKvEngine final : public KvEngine {
 class BtreeKvEngine final : public KvEngine {
  public:
   std::string_view name() const override { return "btree"; }
-  void put(std::uint64_t key, const std::string& value) override {
+  void put(std::uint64_t key, std::string_view value) override {
     kv_.put(key, value);
   }
   std::optional<std::string> get(std::uint64_t key) const override {
@@ -55,7 +68,7 @@ class BtreeKvEngine final : public KvEngine {
 class LsmKvEngine final : public KvEngine {
  public:
   std::string_view name() const override { return "lsm"; }
-  void put(std::uint64_t key, const std::string& value) override {
+  void put(std::uint64_t key, std::string_view value) override {
     kv_.put(key, value);
   }
   std::optional<std::string> get(std::uint64_t key) const override {
@@ -81,7 +94,7 @@ class LsmKvEngine final : public KvEngine {
 class MvccKvEngine final : public KvEngine {
  public:
   std::string_view name() const override { return "mvcc"; }
-  void put(std::uint64_t key, const std::string& value) override {
+  void put(std::uint64_t key, std::string_view value) override {
     kv_.put(key, value);
   }
   std::optional<std::string> get(std::uint64_t key) const override {
@@ -113,6 +126,12 @@ using EngineFactory = std::unique_ptr<KvEngine> (*)();
 //     class is the off-lock snapshot traversal, charged at non-CS speed);
 //     puts path-copy under the single-writer lock (cs) and retire the old
 //     version's nodes to the epoch reclaimer afterwards (post).
+// The third OpCost field is the steady-state allocation count (DESIGN.md
+// §9): hash, btree and mvcc are allocation-free after warmup (hash/mvcc
+// pinned at zero by kv_alloc_audit; btree allocates only on the rare
+// amortized split), while lsm inherently allocates — every get materializes
+// a run-list snapshot, every put appends a memtable entry and carries the
+// amortized rotation/compaction churn.
 struct EngineEntry {
   const char* name;
   EngineFactory make;
@@ -123,13 +142,13 @@ struct EngineEntry {
 // keep one entry per line.
 const EngineEntry kEngineRegistry[] = {
     {"btree", [] { return std::unique_ptr<KvEngine>(new BtreeKvEngine); },
-     CostProfile{{1000, 100}, {1300, 120}}},
+     CostProfile{{1000, 100, 0}, {1300, 120, 0}}},
     {"hash", [] { return std::unique_ptr<KvEngine>(new HashKvEngine); },
-     CostProfile{{400, 100}, {400, 100}}},
+     CostProfile{{400, 100, 0}, {400, 100, 0}}},
     {"lsm", [] { return std::unique_ptr<KvEngine>(new LsmKvEngine); },
-     CostProfile{{250, 600}, {1500, 100}}},
+     CostProfile{{250, 600, 1}, {1500, 100, 1}}},
     {"mvcc", [] { return std::unique_ptr<KvEngine>(new MvccKvEngine); },
-     CostProfile{{700, 100}, {1200, 300}, /*get_lock_free=*/true}},
+     CostProfile{{700, 100, 0}, {1200, 300, 0}, /*get_lock_free=*/true}},
 };
 
 const EngineEntry* find_entry(std::string_view name) {

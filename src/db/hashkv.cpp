@@ -7,7 +7,7 @@ namespace asl::db {
 HashKv::HashKv(std::size_t num_slots)
     : slots_(num_slots == 0 ? 1 : num_slots) {}
 
-std::uint64_t HashKv::hash_key(const std::string& key) {
+std::uint64_t HashKv::hash_key(std::string_view key) {
   // FNV-1a: cheap and uniform enough for bucket selection.
   std::uint64_t h = 0xCBF29CE484222325ULL;
   for (unsigned char c : key) {
@@ -17,10 +17,10 @@ std::uint64_t HashKv::hash_key(const std::string& key) {
   return h;
 }
 
-HashKv::Slot& HashKv::slot_for(const std::string& key) {
+HashKv::Slot& HashKv::slot_for(std::string_view key) {
   return slots_[hash_key(key) % slots_.size()];
 }
-const HashKv::Slot& HashKv::slot_for(const std::string& key) const {
+const HashKv::Slot& HashKv::slot_for(std::string_view key) const {
   return slots_[hash_key(key) % slots_.size()];
 }
 
@@ -34,7 +34,7 @@ void HashKv::method_exit_shared() const {
   --inflight_;
 }
 
-bool HashKv::put(const std::string& key, const std::string& value) {
+bool HashKv::put(std::string_view key, std::string_view value) {
   method_enter_shared();
   Slot& slot = slot_for(key);
   bool inserted = false;
@@ -43,13 +43,15 @@ bool HashKv::put(const std::string& key, const std::string& value) {
     bool found = false;
     for (Entry& e : slot.chain) {
       if (e.key == key) {
-        e.value = value;
+        // assign() reuses the entry's capacity: an overwrite of a key whose
+        // value is not growing never allocates (the steady-state contract).
+        e.value.assign(value);
         found = true;
         break;
       }
     }
     if (!found) {
-      slot.chain.push_back(Entry{key, value});
+      slot.chain.push_back(Entry{std::string(key), std::string(value)});
       inserted = true;
     }
   }
@@ -61,7 +63,7 @@ bool HashKv::put(const std::string& key, const std::string& value) {
   return inserted;
 }
 
-std::optional<std::string> HashKv::get(const std::string& key) const {
+std::optional<std::string> HashKv::get(std::string_view key) const {
   method_enter_shared();
   const Slot& slot = slot_for(key);
   std::optional<std::string> result;
@@ -78,7 +80,7 @@ std::optional<std::string> HashKv::get(const std::string& key) const {
   return result;
 }
 
-bool HashKv::remove(const std::string& key) {
+bool HashKv::remove(std::string_view key) {
   method_enter_shared();
   Slot& slot = slot_for(key);
   bool removed = false;

@@ -14,6 +14,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "asl/libasl.h"
@@ -24,13 +25,16 @@ class HashKv {
  public:
   explicit HashKv(std::size_t num_slots = 64);
 
-  // Inserts or overwrites. Returns true if the key was new.
-  bool put(const std::string& key, const std::string& value);
+  // Inserts or overwrites. Returns true if the key was new. Keys and values
+  // are views (callers may format them in stack/arena buffers — DESIGN.md
+  // §9); the store copies into its own entries, reusing an existing entry's
+  // value capacity on overwrite, so only first-insert allocates.
+  bool put(std::string_view key, std::string_view value);
 
-  std::optional<std::string> get(const std::string& key) const;
+  std::optional<std::string> get(std::string_view key) const;
 
   // Removes the key; returns true if it existed.
-  bool remove(const std::string& key);
+  bool remove(std::string_view key);
 
   std::size_t size() const;
 
@@ -52,9 +56,9 @@ class HashKv {
     std::vector<Entry> chain;
   };
 
-  static std::uint64_t hash_key(const std::string& key);
-  Slot& slot_for(const std::string& key);
-  const Slot& slot_for(const std::string& key) const;
+  static std::uint64_t hash_key(std::string_view key);
+  Slot& slot_for(std::string_view key);
+  const Slot& slot_for(std::string_view key) const;
 
   // Method lock: count of in-flight record ops + exclusive flag, guarded by
   // method_lock_. Record ops take it briefly (shared intent); for_each takes

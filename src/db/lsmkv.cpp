@@ -20,9 +20,9 @@ bool entry_less(const LsmKv::Snapshot::Entry& a,
 }
 }  // namespace
 
-void LsmKv::put(std::uint64_t key, const std::string& value) {
+void LsmKv::put(std::uint64_t key, std::string_view value) {
   LockGuard<AslMutex<McsLock>> guard(meta_lock_);
-  Entry e{key, next_seq_++, false, value};
+  Entry e{key, next_seq_++, false, std::string(value)};
   memtable_.insert(
       std::lower_bound(memtable_.begin(), memtable_.end(), e, entry_less), e);
   if (memtable_.size() >= options_.memtable_limit) {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "asl/libasl.h"
@@ -30,7 +31,10 @@ class LsmKv {
   explicit LsmKv(Options options);
   LsmKv() : LsmKv(Options{}) {}
 
-  void put(std::uint64_t key, const std::string& value);
+  // The value is a view; the memtable entry copies it (an LSM put appends a
+  // fresh version by design, so this engine allocates per put — the cost
+  // registry's nonzero allocs row, DESIGN.md §9).
+  void put(std::uint64_t key, std::string_view value);
   // Tombstone write; get() of an erased key returns nullopt.
   void erase(std::uint64_t key);
 

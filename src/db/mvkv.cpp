@@ -1,18 +1,25 @@
 #include "db/mvkv.h"
 
+#include "platform/spin.h"
+
 namespace asl::db {
 
-// Immutable BST node. No balancing: keys in the benchmarks are drawn
-// uniformly at random, which keeps expected depth logarithmic; the engine's
-// observable behaviour (single writer, lock-free snapshot reads) does not
-// depend on the tree shape. Raw child pointers: lifetime is managed by the
+// Immutable BST node. No balancing: steady-state keys in the benchmarks are
+// drawn uniformly at random and the service prefills in median-first order
+// (kv_service.cpp), which together keep depth logarithmic — a sorted insert
+// stream would degenerate into a chain, making every get O(n) and every
+// path copy O(n) pool nodes. The engine's observable behaviour (single
+// writer, lock-free snapshot reads) does not depend on the tree shape. Raw child pointers: lifetime is managed by the
 // epoch reclaimer, not refcounts — a node stays valid for as long as any
-// pinned snapshot could reach it.
+// pinned snapshot could reach it. `pool` points back at the owning freelist
+// so the reclaimer's context-free Deleter can recycle the node (DESIGN.md
+// §9) instead of deleting it.
 struct MvKv::Snapshot::Node {
   std::uint64_t key;
   std::string value;
   const Node* left;
   const Node* right;
+  MvKv::NodePool* pool;
 };
 
 namespace {
@@ -25,52 +32,115 @@ const Node* leftmost(const Node* n) {
   return n;
 }
 
-// Post-destruction teardown: delete a whole subtree with an explicit stack
-// (only the destructor calls this — no snapshot can be live).
-void delete_tree(const Node* root) {
-  std::vector<const Node*> stack;
-  if (root != nullptr) stack.push_back(root);
-  while (!stack.empty()) {
-    const Node* n = stack.back();
-    stack.pop_back();
-    if (n->left != nullptr) stack.push_back(n->left);
-    if (n->right != nullptr) stack.push_back(n->right);
-    delete n;
-  }
+}  // namespace
+
+MvKv::NodePool::~NodePool() {
+  // The pool owns every node it ever handed out — the published tree, the
+  // freelist, and anything the reclaimer drained back — so teardown is one
+  // sweep over `all_`. No liveness question arises: ~MvKv destroys the
+  // reclaimer (declared after the pool) first, and no snapshot can be live.
+  for (Node* n : all_) delete n;
 }
 
-}  // namespace
+Node* MvKv::NodePool::try_acquire(std::uint64_t key, std::string_view value,
+                                  const Node* left, const Node* right) {
+  Node* n = nullptr;
+  lock_.lock();
+  if (!free_.empty()) {
+    n = free_.back();
+    free_.pop_back();
+  }
+  lock_.unlock();
+  if (n == nullptr) return nullptr;
+  n->key = key;
+  // assign() reuses the recycled node's string capacity: once the freelist
+  // reaches equilibrium a put writes into storage that already exists.
+  n->value.assign(value);
+  n->left = left;
+  n->right = right;
+  return n;
+}
+
+Node* MvKv::NodePool::acquire(std::uint64_t key, std::string_view value,
+                              const Node* left, const Node* right) {
+  if (Node* n = try_acquire(key, value, left, right)) return n;
+  // Grow by a chunk, not a node: a miss means outstanding nodes (live
+  // tree + reclaimer backlog + in-flight path) hit a new high-water mark,
+  // and the mark is approached stochastically — sweep timing depends on
+  // reader pin interleavings. Overshooting it by a margin makes the next
+  // miss need a mark `kGrowChunk` higher, so the population converges to
+  // its (hard-bounded, see reclaim.h) fixed point in a handful of misses
+  // instead of creeping up one node per miss for millions of requests.
+  Node* spares[kGrowChunk - 1];
+  for (std::size_t i = 0; i + 1 < kGrowChunk; ++i) {
+    spares[i] = new Node{0, std::string(), nullptr, nullptr, this};
+  }
+  Node* n = new Node{key, std::string(value), left, right, this};
+  lock_.lock();
+  for (Node* spare : spares) {
+    all_.push_back(spare);
+    free_.push_back(spare);
+  }
+  all_.push_back(n);
+  lock_.unlock();
+  return n;
+}
+
+void MvKv::NodePool::release(Node* node) {
+  lock_.lock();
+  free_.push_back(node);
+  lock_.unlock();
+}
+
+std::size_t MvKv::NodePool::total() const {
+  lock_.lock();
+  const std::size_t n = all_.size();
+  lock_.unlock();
+  return n;
+}
+
+std::size_t MvKv::NodePool::free_count() const {
+  lock_.lock();
+  const std::size_t n = free_.size();
+  lock_.unlock();
+  return n;
+}
+
+void MvKv::recycle_node(void* p) {
+  Node* n = static_cast<Node*>(p);
+  n->pool->release(n);
+}
 
 MvKv::MvKv(ReclaimConfig reclaim) : reclaimer_(reclaim) {}
 
 MvKv::~MvKv() {
-  // No readers can be live here; the published tree is deleted directly and
-  // the reclaimer's destructor frees everything ever retired (the two sets
-  // are disjoint: retired nodes were unlinked from the published version).
-  delete_tree(root_.load(std::memory_order_acquire));
+  // Destruction order does the work: ~EpochReclaimer (declared after the
+  // pool) recycles every still-retired node into the freelist, then
+  // ~NodePool deletes the backing storage of the whole node population —
+  // published tree included, so no explicit tree teardown is needed here.
 }
 
 const Node* MvKv::insert(const Node* node, std::uint64_t key,
-                         const std::string& value, bool& added,
+                         std::string_view value, bool& added,
                          std::vector<const Node*>& retired) {
   if (node == nullptr) {
     added = true;
-    return new Node{key, value, nullptr, nullptr};
+    return fresh_node(key, value, nullptr, nullptr);
   }
   // Path copying: the original of every copied node is retired; subtrees
   // hanging off the path are shared with the previous version untouched.
   retired.push_back(node);
   if (key == node->key) {
     added = false;
-    return new Node{key, value, node->left, node->right};
+    return fresh_node(key, value, node->left, node->right);
   }
   if (key < node->key) {
-    return new Node{node->key, node->value,
-                    insert(node->left, key, value, added, retired),
-                    node->right};
+    return fresh_node(node->key, node->value,
+                      insert(node->left, key, value, added, retired),
+                      node->right);
   }
-  return new Node{node->key, node->value, node->left,
-                  insert(node->right, key, value, added, retired)};
+  return fresh_node(node->key, node->value, node->left,
+                    insert(node->right, key, value, added, retired));
 }
 
 const Node* MvKv::remove(const Node* node, std::uint64_t key, bool& removed,
@@ -83,13 +153,13 @@ const Node* MvKv::remove(const Node* node, std::uint64_t key, bool& removed,
     const Node* left = remove(node->left, key, removed, retired);
     if (!removed) return node;  // miss: old subtree returned unchanged
     retired.push_back(node);
-    return new Node{node->key, node->value, left, node->right};
+    return fresh_node(node->key, node->value, left, node->right);
   }
   if (key > node->key) {
     const Node* right = remove(node->right, key, removed, retired);
     if (!removed) return node;
     retired.push_back(node);
-    return new Node{node->key, node->value, node->left, right};
+    return fresh_node(node->key, node->value, node->left, right);
   }
   removed = true;
   retired.push_back(node);  // the unlinked match itself
@@ -100,7 +170,7 @@ const Node* MvKv::remove(const Node* node, std::uint64_t key, bool& removed,
   const Node* succ = leftmost(node->right);
   bool dummy = false;
   const Node* right = remove(node->right, succ->key, dummy, retired);
-  return new Node{succ->key, succ->value, node->left, right};
+  return fresh_node(succ->key, succ->value, node->left, right);
 }
 
 void MvKv::publish(const Node* new_root, std::vector<const Node*>& retired) {
@@ -109,12 +179,50 @@ void MvKv::publish(const Node* new_root, std::vector<const Node*>& retired) {
   // reclaimer afterwards tags them with an epoch no earlier than any pin
   // that could still be traversing the old version.
   root_.store(new_root, std::memory_order_release);
-  for (const Node* n : retired) reclaimer_.retire(n);
+  // recycle_node, not the deleting default: a reclaimed node goes back to
+  // the pool's freelist, which is what makes steady-state puts heap-free.
+  for (const Node* n : retired) {
+    reclaimer_.retire(const_cast<Node*>(n), &MvKv::recycle_node);
+  }
   retired.clear();
 }
 
-void MvKv::put(std::uint64_t key, const std::string& value) {
+MvKv::Snapshot::Node* MvKv::fresh_node(std::uint64_t key,
+                                       std::string_view value,
+                                       const Node* left, const Node* right) {
+  if (Node* n = pool_.try_acquire(key, value, left, right)) return n;
+  // Grace-period wait (header comment): the retirees of previous puts are
+  // the supply this write should draw on; they only need the epoch to turn
+  // over twice. A reader pinned across one try_advance unpins within its
+  // (microsecond) read, so the bounded spin resolves the miss without the
+  // heap in all but pathological schedules.
+  SpinWait waiter;
+  for (int i = 0; i < kReclaimSpinRounds; ++i) {
+    reclaimer_.try_advance();
+    if (reclaimer_.sweep() > 0) {
+      if (Node* n = pool_.try_acquire(key, value, left, right)) return n;
+    }
+    waiter.pause();
+  }
+  return pool_.acquire(key, value, left, right);
+}
+
+void MvKv::maybe_replenish() {
+  if (pool_.free_count() >= kFreelistLowWater) return;
+  // Two rounds: retirees tagged one epoch back need a single advance to
+  // leave their grace period, the freshest need two. A round can stall if a
+  // reader is pinned at the pre-advance epoch right now; then the next
+  // write's call retries, and the chunked pool growth is the backstop.
+  for (int round = 0; round < 2; ++round) {
+    reclaimer_.try_advance();
+    reclaimer_.sweep();
+    if (pool_.free_count() >= kFreelistLowWater) return;
+  }
+}
+
+void MvKv::put(std::uint64_t key, std::string_view value) {
   LockGuard<AslMutex<McsLock>> writer(writer_lock_);
+  maybe_replenish();
   bool added = false;
   retire_scratch_.clear();
   const Node* new_root = insert(root_.load(std::memory_order_relaxed), key,
@@ -126,6 +234,7 @@ void MvKv::put(std::uint64_t key, const std::string& value) {
 
 bool MvKv::erase(std::uint64_t key) {
   LockGuard<AslMutex<McsLock>> writer(writer_lock_);
+  maybe_replenish();
   bool removed = false;
   retire_scratch_.clear();
   const Node* new_root = remove(root_.load(std::memory_order_relaxed), key,
@@ -199,5 +308,9 @@ std::size_t MvKv::size() const {
 std::uint64_t MvKv::version() const {
   return version_.load(std::memory_order_acquire);
 }
+
+std::size_t MvKv::pool_total() const { return pool_.total(); }
+
+std::size_t MvKv::pool_free() const { return pool_.free_count(); }
 
 }  // namespace asl::db

@@ -21,10 +21,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "asl/libasl.h"
 #include "asl/reclaim.h"
+#include "platform/raw_spinlock.h"
 
 namespace asl::db {
 
@@ -35,8 +37,11 @@ class MvKv {
   MvKv(const MvKv&) = delete;
   MvKv& operator=(const MvKv&) = delete;
 
-  // Write transaction: insert/overwrite under the single-writer lock.
-  void put(std::uint64_t key, const std::string& value);
+  // Write transaction: insert/overwrite under the single-writer lock. The
+  // value is a view (callers format into arena/stack buffers, DESIGN.md §9);
+  // the path-copied nodes reuse pooled storage, so a put over a warmed
+  // keyspace touches the heap zero times.
+  void put(std::uint64_t key, std::string_view value);
 
   // Write transaction: delete. Returns true if the key existed.
   bool erase(std::uint64_t key);
@@ -82,20 +87,87 @@ class MvKv {
   // against these).
   const EpochReclaimer& reclaimer() const { return reclaimer_; }
 
+  // Node-pool observables (tests/alloc_test.cpp pins steady-state puts at
+  // zero pool growth): how many nodes the pool ever created, and how many
+  // currently sit on the freelist.
+  std::size_t pool_total() const;
+  std::size_t pool_free() const;
+
  private:
   using Node = Snapshot::Node;
+
+  // Node freelist (DESIGN.md §9). The copy-on-write path allocates d+1
+  // nodes per put and retires d; recycling retired nodes through the
+  // reclaimer's deleter closes the loop, so a warmed keyspace reaches an
+  // equilibrium where every acquire is a freelist pop and the heap is never
+  // touched. The pool owns every node it ever created (`all_`) and frees
+  // them at teardown — which is why it is declared *before* reclaimer_:
+  // the reclaimer's destructor drains pending retirees back into the
+  // freelist, and only then may the pool destruct and delete the backing
+  // storage. Spinlock-guarded: acquires run under writer_lock_, but
+  // releases arrive from whichever thread's retire() crossed a sweep
+  // boundary.
+  class NodePool {
+   public:
+    // Nodes created per freelist miss (one returned, the rest banked):
+    // over-provisioning past each high-water mark is what lets the pool
+    // reach allocation-free equilibrium within a few warmup misses.
+    static constexpr std::size_t kGrowChunk = 32;
+
+    ~NodePool();
+    Node* acquire(std::uint64_t key, std::string_view value, const Node* left,
+                  const Node* right);
+    // Freelist pop alone — nullptr on a miss, never touches the heap (so
+    // the caller can try reclamation before conceding an allocation).
+    Node* try_acquire(std::uint64_t key, std::string_view value,
+                      const Node* left, const Node* right);
+    void release(Node* node);
+    std::size_t total() const;
+    std::size_t free_count() const;
+
+   private:
+    mutable RawSpinLock lock_;
+    std::vector<Node*> free_;  // guarded by lock_
+    std::vector<Node*> all_;   // every node ever created; deleted at teardown
+  };
+
+  // The reclaimer Deleter that returns a node to its pool instead of
+  // deleting it (Node carries the back-pointer; Deleter has no context arg).
+  static void recycle_node(void* p);
+
+  // Writer-side reclamation push, called (under writer_lock_) at the top of
+  // every write transaction: when the freelist dips under this bound —
+  // comfortably above the deepest path copy a put can need — advance the
+  // epoch and sweep, so the write draws on grace-expired retirees instead
+  // of growing the pool. Without it the pool's size converges only as
+  // retire()'s batch-boundary sweeps happen to fire near backlog peaks,
+  // i.e. stochastically — and every new high-water mark is a heap
+  // allocation the zero-allocation audit would count.
+  static constexpr std::size_t kFreelistLowWater = 64;
+  void maybe_replenish();
+
+  // Freelist acquire with a bounded reclaim-wait on a miss. An empty
+  // freelist almost always means the nodes this write needs are retirees
+  // still inside their grace period (every put retires a whole path copy),
+  // not a genuinely larger working set — so before conceding a (counted)
+  // chunk allocation, spin on advance+sweep: readers unpin in microseconds,
+  // and the heap stays the supplier of last resort against a stuck pin.
+  static constexpr int kReclaimSpinRounds = 256;
+  Node* fresh_node(std::uint64_t key, std::string_view value,
+                   const Node* left, const Node* right);
 
   // Copy-on-write helpers. Every node they copy or unlink is pushed onto
   // `retired` (the caller retires the batch after publishing the new
   // root); shared subtrees are never pushed.
   const Node* insert(const Node* node, std::uint64_t key,
-                     const std::string& value, bool& added,
+                     std::string_view value, bool& added,
                      std::vector<const Node*>& retired);
   const Node* remove(const Node* node, std::uint64_t key, bool& removed,
                      std::vector<const Node*>& retired);
   void publish(const Node* new_root, std::vector<const Node*>& retired);
 
   mutable AslMutex<McsLock> writer_lock_;  // the single-writer global lock
+  NodePool pool_;                          // MUST precede reclaimer_ (above)
   mutable EpochReclaimer reclaimer_;       // version-node grace periods
   std::atomic<const Node*> root_{nullptr};  // published root (release/acquire)
   std::atomic<std::uint64_t> version_{0};

@@ -80,9 +80,9 @@ std::vector<const Scenario*> ScenarioRegistry::list() const {
 }
 
 ScenarioRegistrar::ScenarioRegistrar(std::string name, std::string title,
-                                     ScenarioFn fn) {
-  ScenarioRegistry::instance().add(
-      Scenario{std::move(name), std::move(title), std::move(fn)});
+                                     ScenarioFn fn, bool explicit_only) {
+  ScenarioRegistry::instance().add(Scenario{std::move(name), std::move(title),
+                                            std::move(fn), explicit_only});
 }
 
 int scenario_main(int argc, char** argv, const char* default_scenario) {
@@ -129,14 +129,17 @@ int scenario_main(int argc, char** argv, const char* default_scenario) {
   ScenarioRegistry& registry = ScenarioRegistry::instance();
   if (run_all) {
     names.clear();
-    for (const Scenario* s : registry.list()) names.push_back(s->name);
+    for (const Scenario* s : registry.list()) {
+      if (!s->explicit_only) names.push_back(s->name);
+    }
   }
   if (names.empty() && default_scenario != nullptr) {
     names.emplace_back(default_scenario);
   }
   if (list_only || names.empty()) {
     for (const Scenario* s : registry.list()) {
-      std::cout << s->name << "  —  " << s->title << "\n";
+      std::cout << s->name << "  —  " << s->title
+                << (s->explicit_only ? "  [explicit-only]" : "") << "\n";
     }
     return list_only || !registry.list().empty() ? 0 : 1;
   }

@@ -68,6 +68,11 @@ struct Scenario {
   std::string name;   // CLI name, e.g. "fig01_collapse"
   std::string title;  // one-line description for --list
   ScenarioFn run;
+  // Run only when named on the command line, never under --all. For
+  // scenarios whose assertions need a quiet process (kv_alloc_audit counts
+  // every heap allocation process-wide; dozens of preceding scenarios'
+  // thread churn would show up in its steady-state window).
+  bool explicit_only = false;
 };
 
 class ScenarioRegistry {
@@ -84,7 +89,8 @@ class ScenarioRegistry {
 };
 
 struct ScenarioRegistrar {
-  ScenarioRegistrar(std::string name, std::string title, ScenarioFn fn);
+  ScenarioRegistrar(std::string name, std::string title, ScenarioFn fn,
+                    bool explicit_only = false);
 };
 
 // Registers `void` scenario body: ASL_SCENARIO(fig01_collapse, "...") { ... }
@@ -98,11 +104,24 @@ struct ScenarioRegistrar {
   static void asl_scenario_body_##scenario_name(                             \
       ::asl::bench::ScenarioContext& ctx)
 
+// Like ASL_SCENARIO, but the scenario runs only when named explicitly —
+// `--all` skips it (and `--list` marks it). See Scenario::explicit_only.
+#define ASL_SCENARIO_EXPLICIT(scenario_name, scenario_title)                 \
+  static void asl_scenario_body_##scenario_name(                             \
+      ::asl::bench::ScenarioContext& ctx);                                   \
+  static const ::asl::bench::ScenarioRegistrar                               \
+      asl_scenario_reg_##scenario_name{#scenario_name, scenario_title,       \
+                                       asl_scenario_body_##scenario_name,    \
+                                       /*explicit_only=*/true};              \
+  static void asl_scenario_body_##scenario_name(                             \
+      ::asl::bench::ScenarioContext& ctx)
+
 // The shared driver. CLI:
 //   --list                 print registered scenarios and exit
 //   --time-scale=<f>       override SIM_TIME_SCALE
 //   --csv=<path>           write every emitted table as CSV to <path>
-//   --all                  run every registered scenario
+//   --all                  run every registered scenario (except the
+//                          explicit-only ones, see ASL_SCENARIO_EXPLICIT)
 //   --engine=<name>        filter option for engine-matrix scenarios
 //                          (kv_engine_sweep: run one registry engine)
 //   --mix=<name|r:w>       filter option for mix-matrix scenarios (a mix

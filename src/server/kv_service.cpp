@@ -69,8 +69,25 @@ KvService::KvService(KvServiceConfig config) : config_(std::move(config)) {
     classes_.push_back(std::move(cs));
   }
 
-  for (std::uint64_t k = 0; k < config_.prefill_keys; ++k) {
-    shards_[shard_of(k)]->engine->put(k, "prefill");
+  // Median-first prefill order (each range's midpoint before its halves):
+  // engines with comparison-ordered internals that never rebalance — the
+  // mvcc path-copying BST — come up with logarithmic depth, where the
+  // ascending 0..N-1 order would build a degenerate N-deep chain: every
+  // mvcc get would then traverse O(N) nodes and every put would path-copy
+  // O(N) pool nodes, which is both a latency cliff and a steady drain on
+  // the node freelist (DESIGN.md §9). Hash/btree/lsm are insensitive to
+  // the order; the key set is identical either way.
+  if (config_.prefill_keys > 0) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+    ranges.emplace_back(0, config_.prefill_keys);  // half-open [lo, hi)
+    while (!ranges.empty()) {
+      const auto [lo, hi] = ranges.back();
+      ranges.pop_back();
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      shards_[shard_of(mid)]->engine->put(mid, "prefill");
+      if (mid > lo) ranges.emplace_back(lo, mid);
+      if (mid + 1 < hi) ranges.emplace_back(mid + 1, hi);
+    }
   }
 
   // Worker slots: worker w serves shard w % num_shards; the first
@@ -92,17 +109,31 @@ KvService::KvService(KvServiceConfig config) : config_(std::move(config)) {
 KvService::~KvService() { stop(); }
 
 void KvService::start() {
-  if (running_ || stopped_) return;
-  running_ = true;
+  // Whole transition under the lifecycle lock: a concurrent stop() either
+  // runs first (stopped_ is set, no workers ever spawn) or waits until the
+  // worker vector is fully populated and joins every thread. The old plain-
+  // bool flags made start()/stop() from different threads a data race.
+  lifecycle_lock_.lock();
+  if (running_.load(std::memory_order_relaxed) ||
+      stopped_.load(std::memory_order_relaxed)) {
+    lifecycle_lock_.unlock();
+    return;
+  }
+  running_.store(true, std::memory_order_relaxed);
   workers_.reserve(slots_.size());
   for (const WorkerSlot& slot : slots_) {
     workers_.emplace_back([this, &slot] { worker_loop(slot); });
   }
+  lifecycle_lock_.unlock();
 }
 
 void KvService::stop() {
-  if (stopped_) return;
-  stopped_ = true;
+  lifecycle_lock_.lock();
+  if (stopped_.load(std::memory_order_relaxed)) {
+    lifecycle_lock_.unlock();
+    return;
+  }
+  stopped_.store(true, std::memory_order_relaxed);
   for (auto& shard : shards_) {
     shard->queue.close();
   }
@@ -121,7 +152,8 @@ void KvService::stop() {
     }
   }
   workers_.clear();
-  running_ = false;
+  running_.store(false, std::memory_order_relaxed);
+  lifecycle_lock_.unlock();
 }
 
 std::uint32_t KvService::shard_of(std::uint64_t key) const {
@@ -223,18 +255,33 @@ void KvService::worker_loop(const WorkerSlot& slot) {
   // snapshots still account for every served request.
 }
 
+std::string_view ValueArena::format_value(std::uint64_t key) {
+  // The 1-byte alignment request packs slots tightly; with the null
+  // upstream, running past the fixed buffer would throw rather than touch
+  // the heap — unreachable by the sizing (kMaxBatch slots per batch).
+  char* slot = static_cast<char*>(resource_.allocate(kSlotBytes, 1));
+  const int len = std::snprintf(slot, kSlotBytes, "v:%llu",
+                                static_cast<unsigned long long>(key));
+  return std::string_view(slot, static_cast<std::size_t>(len));
+}
+
 void KvService::drain_queue(const WorkerSlot& slot) {
   Shard& shard = *shards_[slot.shard];
+  // One arena per worker, on the drain loop's own stack: naturally private
+  // to this thread for the whole run (see ValueArena's sharing note).
+  ValueArena arena;
   Request head;
   while (shard.queue.pop(head)) {
-    serve_batch(slot, head);
+    serve_batch(slot, head, arena);
   }
 }
 
-void KvService::serve_batch(const WorkerSlot& slot, const Request& head) {
+void KvService::serve_batch(const WorkerSlot& slot, const Request& head,
+                            ValueArena& arena) {
   Shard& shard = *shards_[slot.shard];
   struct Served {
     Request req;
+    std::string_view value;  // arena-formatted put value (empty for gets)
     Nanos wait = 0;  // enqueue -> pop (the instant a worker took charge)
     Nanos done = 0;  // end of the request's critical-section segment
   };
@@ -242,10 +289,16 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head) {
   std::size_t count = 0;
   const std::size_t batch_k = config_.batch_k;  // clamped to kMaxBatch
 
+  // The head's value is formatted here — outside the critical section, into
+  // the worker's arena (DESIGN.md §9). This is the put path's whole point:
+  // the old code built a std::string inside the shard lock on every put.
+  const std::string_view head_value =
+      head.op == OpType::kPut ? arena.format_value(head.key)
+                              : std::string_view{};
   const Nanos head_start = now_ns();
   batch[count++] = Served{
-      head, head_start > head.enqueue_ns ? head_start - head.enqueue_ns : 0,
-      0};
+      head, head_value,
+      head_start > head.enqueue_ns ? head_start - head.enqueue_ns : 0, 0};
 
   // The acquisition runs under the *head* request's class epoch: one
   // reorder-dispatch decision per batch, governed by the window of the
@@ -274,12 +327,18 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head) {
     shard.lock.lock();
     // Batch extension after the acquisition: requests that were already
     // waiting when the lock was won ride along in this critical section;
-    // the drain never waits for new arrivals.
+    // the drain never waits for new arrivals. Extension values are
+    // formatted at pop time — inside the lock (they cannot exist earlier:
+    // the batch is discovered under it) but still allocation-free, a
+    // bounded snprintf into the same arena.
     Request more;
     while (count < batch_k && shard.queue.try_pop(more)) {
+      const std::string_view value = more.op == OpType::kPut
+                                         ? arena.format_value(more.key)
+                                         : std::string_view{};
       const Nanos t = now_ns();
-      batch[count++] =
-          Served{more, t > more.enqueue_ns ? t - more.enqueue_ns : 0, 0};
+      batch[count++] = Served{
+          more, value, t > more.enqueue_ns ? t - more.enqueue_ns : 0, 0};
     }
     // Critical-section pass. On a lock-free profile only the puts run here
     // — gets that rode a put-headed batch are deferred past the release
@@ -294,7 +353,7 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head) {
       // cost of *this* op's kind, on top of the actual engine call below.
       spin_nops(slot.speed.scale_cs(cost_.op(is_put).cs_nops));
       if (is_put) {
-        shard.engine->put(req.key, "v:" + std::to_string(req.key));
+        shard.engine->put(req.key, batch[i].value);
       } else {
         (void)shard.engine->get(req.key);
         cs_gets_.fetch_add(1, std::memory_order_relaxed);
@@ -348,6 +407,9 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head) {
     spin_nops(slot.speed.scale_ncs(
         cost_.op(req.op == OpType::kPut).post_nops));
   }
+  // Recycle every value slot for the next batch. The engines copied the
+  // bytes during their put calls, so nothing references the arena now.
+  arena.release();
 }
 
 }  // namespace asl::server

@@ -30,12 +30,15 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "asl/libasl.h"
 #include "db/engine.h"
+#include "platform/cacheline.h"
 #include "platform/raw_spinlock.h"
 #include "platform/rng.h"
 #include "server/request_queue.h"
@@ -67,12 +70,49 @@ inline std::uint32_t shard_for_key(std::uint64_t key,
 inline constexpr std::size_t kMaxBatch = 64;
 
 // One queued request. `class_index` is the dense index into the configured
-// request classes (each of which owns a registered epoch id).
+// request classes (each of which owns a registered epoch id). A fixed-size
+// value type on purpose: the shard queues are preallocated rings of these,
+// so admission moves 24 bytes and never touches the heap (DESIGN.md §9).
 struct Request {
   OpType op = OpType::kGet;
   std::uint64_t key = 0;
   std::uint32_t class_index = 0;
   Nanos enqueue_ns = 0;
+};
+
+// Per-worker value arena (DESIGN.md §9). Puts format their value bytes into
+// this fixed monotonic buffer *before* entering the critical section; the
+// engines consume them as string_views and copy into their own storage, so
+// the slots recycle every batch. Two guarantees by construction:
+//   * zero heap traffic — the upstream is the null resource, so an arena
+//     that would ever spill past its fixed buffer throws bad_alloc instead
+//     of silently allocating (and the sizing makes that unreachable: at
+//     most kMaxBatch values of kSlotBytes each per batch);
+//   * no sharing — each worker thread owns one arena on its drain-loop
+//     stack. "Per shard" would race: with two workers per shard, both
+//     format values for the same shard concurrently outside the lock.
+class ValueArena {
+ public:
+  // "v:" + at most 20 decimal digits + nul, rounded up: one slot per batch
+  // member, kMaxBatch slots per batch.
+  static constexpr std::size_t kSlotBytes = 32;
+
+  ValueArena()
+      : resource_(buffer_, sizeof(buffer_), std::pmr::null_memory_resource()) {}
+  ValueArena(const ValueArena&) = delete;
+  ValueArena& operator=(const ValueArena&) = delete;
+
+  // Formats the service's value representation of `key` ("v:<key>") into an
+  // arena slot. The view stays valid until the next release().
+  std::string_view format_value(std::uint64_t key);
+
+  // Recycles every slot (end of batch). O(1): a monotonic resource resets
+  // its cursor to the start of the fixed buffer it was constructed over.
+  void release() { resource_.release(); }
+
+ private:
+  alignas(kCacheLine) char buffer_[kMaxBatch * kSlotBytes];
+  std::pmr::monotonic_buffer_resource resource_;
 };
 
 // Class-aware admission control (DESIGN.md §6). Under backpressure the
@@ -349,29 +389,45 @@ class KvService {
   LockRouteStats lock_route_stats() const;
 
  private:
+  // Cache-line discipline inside the shard (DESIGN.md §9): the queue ends
+  // with its own padded lock group, and the shard lock starts a fresh line,
+  // so a submitter hammering the queue lock never bounces the line a worker
+  // is spinning on for the shard mutex. The engine pointer rides after the
+  // lock — it is read-only once constructed.
   struct Shard {
     Shard(std::size_t queue_capacity, std::unique_ptr<db::KvEngine> eng)
         : queue(queue_capacity), engine(std::move(eng)) {}
     BoundedQueue<Request> queue;
-    BlockingAslMutex lock;  // serializes workers of this shard on the engine
+    alignas(kCacheLine) BlockingAslMutex lock;  // serializes shard workers
     std::unique_ptr<db::KvEngine> engine;
   };
 
+  // Split by writer population: the admission counters are bumped by
+  // submitter threads on every try_submit, the completion stats by worker
+  // threads under stats_lock — putting each group on its own line keeps the
+  // load generator and the workers from false-sharing, and both away from
+  // the read-only spec words.
   struct ClassState {
     RequestClass spec;
     int epoch_id = -1;
     std::size_t depth_limit = 0;  // shed_threshold(spec.admission, capacity)
-    std::atomic<std::uint64_t> accepted{0};
+    // Submitter side.
+    alignas(kCacheLine) std::atomic<std::uint64_t> accepted{0};
     std::atomic<std::uint64_t> rejected{0};  // all bounces (shed included)
     std::atomic<std::uint64_t> shed{0};      // watermark bounces only
-    mutable RawSpinLock stats_lock;
+    // Worker side.
+    alignas(kCacheLine) mutable RawSpinLock stats_lock;
     std::uint64_t completed = 0;  // guarded by stats_lock
     std::uint64_t slo_met = 0;
     LatencySplit total;
     Histogram queue_wait;
   };
 
-  struct WorkerSlot {
+  // Read-only per-worker configuration, one private line each: slots_ is a
+  // contiguous vector every worker indexes in its hot loop, and padding
+  // them means a future mutable field cannot silently put two workers'
+  // state on one line.
+  struct alignas(kCacheLine) WorkerSlot {
     std::uint32_t index = 0;
     std::uint32_t shard = 0;
     CoreType type = CoreType::kBig;
@@ -381,16 +437,21 @@ class KvService {
   void worker_loop(const WorkerSlot& slot);
   // Blocking-pop/batch/serve loop shared by worker threads and the inline
   // drain in stop(); returns when the shard queue is closed and empty.
+  // Owns the worker's ValueArena for its whole run.
   void drain_queue(const WorkerSlot& slot);
   // One lock acquisition for `head` plus up to batch_k-1 already-waiting
   // requests drained after the acquisition, executed back-to-back in the
   // critical section, then per-request latency recording + controller
-  // feedback (DESIGN.md §6).
-  void serve_batch(const WorkerSlot& slot, const Request& head);
+  // feedback (DESIGN.md §6). Put values are formatted into `arena` (the
+  // head's before the acquisition); the arena is recycled before return.
+  void serve_batch(const WorkerSlot& slot, const Request& head,
+                   ValueArena& arena);
 
   KvServiceConfig config_;
   db::CostProfile cost_;  // resolved_cost_profile(config_), fixed at build
-  std::atomic<std::uint64_t> get_route_acquires_{0};
+  // Route counters: worker-side only, grouped on their own line away from
+  // the read-mostly config/cost words above.
+  alignas(kCacheLine) std::atomic<std::uint64_t> get_route_acquires_{0};
   std::atomic<std::uint64_t> put_route_acquires_{0};
   std::atomic<std::uint64_t> cs_gets_{0};
   std::atomic<std::uint64_t> lockfree_gets_{0};
@@ -398,8 +459,14 @@ class KvService {
   std::vector<std::unique_ptr<ClassState>> classes_;
   std::vector<WorkerSlot> slots_;
   std::vector<std::thread> workers_;
-  bool running_ = false;
-  bool stopped_ = false;
+  // Lifecycle: transitions (spawn/join, the flags) serialize on
+  // lifecycle_lock_, so concurrent start()/stop() from different threads
+  // compose instead of racing on the worker vector; the flags themselves
+  // are atomic so diagnostic reads never need the lock. Workers never take
+  // lifecycle_lock_, so joining under it cannot deadlock.
+  mutable PthreadLock lifecycle_lock_;
+  std::atomic<bool> running_{false};   // guarded by lifecycle_lock_ (writes)
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace asl::server

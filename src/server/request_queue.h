@@ -27,6 +27,7 @@
 
 #include "asl/condvar.h"
 #include "locks/pthread_lock.h"
+#include "platform/cacheline.h"
 
 namespace asl::server {
 
@@ -92,6 +93,10 @@ class BoundedQueue {
       return false;
     }
     out = std::move(ring_[head_]);
+    // Reset the slot: a moved-from element may still own resources (arena
+    // handles, strings), and leaving it in the ring keeps them alive until
+    // the slot happens to be overwritten — a leak-by-delay under low load.
+    ring_[head_] = T{};
     head_ = (head_ + 1) % capacity_;
     count_ -= 1;
     lock_.unlock();
@@ -110,6 +115,7 @@ class BoundedQueue {
       return false;
     }
     out = std::move(ring_[head_]);
+    ring_[head_] = T{};  // same leak-by-delay rule as pop()
     head_ = (head_ + 1) % capacity_;
     count_ -= 1;
     lock_.unlock();
@@ -147,13 +153,21 @@ class BoundedQueue {
   }
 
  private:
+  // Cache-line placement: the immutable fields (capacity_, the ring's
+  // control block — its data pointer never moves after construction) share
+  // a read-only line, while the lock word sits on its own line *with* the
+  // cursors it guards — lock, head_, count_ and closed_ travel together
+  // through every push/pop, so splitting them across lines would just add
+  // coherence misses, and padding the group keeps neighbouring objects
+  // (the shard's BlockingAslMutex, another queue in an array) from sharing
+  // a line with this queue's hottest word.
   const std::size_t capacity_;
-  mutable PthreadLock lock_;
-  CondVar not_empty_;
   std::vector<T> ring_;   // ring buffer: [head_, head_ + count_) mod capacity
+  alignas(kCacheLine) mutable PthreadLock lock_;
   std::size_t head_ = 0;  // guarded by lock_
   std::size_t count_ = 0;
   bool closed_ = false;
+  CondVar not_empty_;
 };
 
 }  // namespace asl::server

@@ -67,6 +67,7 @@ struct SimKvService::Impl {
   std::vector<std::unique_ptr<Worker>> workers;
   std::vector<ClassState> classes;
   LockRouteStats routes;
+  std::uint64_t allocs_charged = 0;  // sum of per-op CostProfile allocs
   bool ran = false;
 
   Impl(KvServiceConfig cfg, SimTwinConfig tw)
@@ -132,8 +133,16 @@ struct SimKvService::Impl {
   // time. The op kind selects the class (DESIGN.md §7) — this is where the
   // old flat cs_nops fold used to live.
   sim::Time cs_time(CoreType type, bool is_put) const {
-    const double ns = static_cast<double>(cost.op(is_put).cs_nops) *
-                      twin.nop_ns * twin.machine.cs_slowdown(type);
+    // The per-op allocation charge (allocs * alloc_ns, DESIGN.md §9) rides
+    // on the op's service segment and stretches with the same slowdown the
+    // segment runs under: the allocation happens inside the engine call.
+    // With the default alloc_ns = 0.0 this term vanishes and the formula is
+    // the historic NOP fold.
+    const double ns = (static_cast<double>(cost.op(is_put).cs_nops) *
+                           twin.nop_ns +
+                       static_cast<double>(cost.op(is_put).allocs) *
+                           twin.alloc_ns) *
+                      twin.machine.cs_slowdown(type);
     return ns < 1.0 ? sim::Time{1} : static_cast<sim::Time>(ns);
   }
   sim::Time post_time(CoreType type, bool is_put) const {
@@ -144,8 +153,10 @@ struct SimKvService::Impl {
   // Lock-free get service time (DESIGN.md §8): the get class's cs_nops are
   // still the latency-visible read, but they run off-lock at non-CS speed —
   // the twin of the real worker's scale_ncs spin on the lock-free route.
+  // The get class's allocation charge moves off-lock with it.
   sim::Time lockfree_get_time(CoreType type) const {
-    const double ns = static_cast<double>(cost.get.cs_nops) * twin.nop_ns *
+    const double ns = (static_cast<double>(cost.get.cs_nops) * twin.nop_ns +
+                       static_cast<double>(cost.get.allocs) * twin.alloc_ns) *
                       twin.machine.ncs_slowdown(type);
     return ns < 1.0 ? sim::Time{1} : static_cast<sim::Time>(ns);
   }
@@ -215,6 +226,7 @@ struct SimKvService::Impl {
       // accounting / feedback / post-op sequence runs at the same joints
       // as a one-request locked batch.
       routes.lockfree_gets += 1;
+      allocs_charged += cost.get.allocs;
       eng.after(lockfree_get_time(worker.core.type),
                 [this, &worker, &shard, head, head_wait] {
         ClassState& cls = classes[head.class_index];
@@ -313,6 +325,10 @@ struct SimKvService::Impl {
                                : lockfree_get_time(worker.core.type);
     if (!in_cs) routes.lockfree_gets += 1;
     if (in_cs && !(*batch)[i].req.is_put) routes.cs_gets += 1;
+    // Ledger entry regardless of alloc_ns: the count is the twin-side
+    // assertion surface for the zero-allocation contract (DESIGN.md §9).
+    allocs_charged +=
+        in_cs ? cost.op((*batch)[i].req.is_put).allocs : cost.get.allocs;
     eng.after(span, [this, &worker, &shard, batch, i, cs_count] {
       const Pending& served = (*batch)[i];
       ClassState& cls = classes[served.req.class_index];
@@ -417,6 +433,7 @@ SimServiceReport SimKvService::run(const std::vector<LoadSpec>& load,
     report.shards.push_back(shard->stats);
   }
   report.lock_routes = impl_->routes;
+  report.allocs_charged = impl_->allocs_charged;
   return report;
 }
 

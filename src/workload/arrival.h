@@ -106,7 +106,7 @@ class ArrivalProcess {
         while (now_ns_ >= state_until_ns_) {
           in_burst_ = !in_burst_;
           const Nanos mean = in_burst_ ? mean_burst_ns_ : mean_calm_ns_;
-          state_until_ns_ += exponential(rng, mean);
+          state_until_ns_ += exponential(rng, static_cast<double>(mean));
         }
         if (in_burst_) rate = base_rate_ * burst_multiplier_;
         break;
@@ -123,10 +123,15 @@ class ArrivalProcess {
         break;
       }
     }
-    const Nanos mean_gap = rate > 0
-                               ? static_cast<Nanos>(
-                                     static_cast<double>(kNanosPerSec) / rate)
-                               : kNanosPerSec;
+    // The mean stays in double all the way into the draw: truncating it to
+    // whole nanoseconds first biases offered load high once gaps approach a
+    // few ns (a 600M/s target has a 1.67 ns mean; floored to 1 ns it offers
+    // ~1.67x the configured rate). Only the drawn gap is cast, and the >= 1
+    // floor applies per draw — E[max(1, floor(Exp(mean)))] stays within 1%
+    // of the mean even at mean 1.67 ns (the regression test pins this).
+    const double mean_gap =
+        rate > 0 ? static_cast<double>(kNanosPerSec) / rate
+                 : static_cast<double>(kNanosPerSec);
     const Nanos gap = exponential(rng, mean_gap);
     now_ns_ += gap;
     return gap;
@@ -139,11 +144,11 @@ class ArrivalProcess {
 
   static constexpr double kPi = 3.14159265358979323846;
 
-  // Exponential draw with the given mean, floored at 1 ns.
-  static Nanos exponential(Rng& rng, Nanos mean_ns) {
+  // Exponential draw with the given (fractional-ns) mean, floored at 1 ns.
+  static Nanos exponential(Rng& rng, double mean_ns) {
     // 1 - uniform() is in (0, 1], so the log argument never hits zero.
     const double u = 1.0 - rng.uniform();
-    const double gap = -static_cast<double>(mean_ns) * std::log(u);
+    const double gap = -mean_ns * std::log(u);
     return gap < 1.0 ? Nanos{1} : static_cast<Nanos>(gap);
   }
 

@@ -21,6 +21,7 @@
 #include "sim/db_model.h"
 #include "sim/sim_runner.h"
 #include "stats/table.h"
+#include "workload/arrival.h"
 #include "workload/open_loop.h"
 
 namespace asl {
@@ -228,6 +229,28 @@ TEST(Determinism, SimTwinGoldenTraceMatchesCheckedInCsv) {
            "change is intentional, regenerate with ASL_WRITE_GOLDEN=1";
   }
   if (regenerated) GTEST_SKIP() << "goldens regenerated";
+}
+
+TEST(Determinism, ArrivalRateIsUnbiasedAtNanosecondGaps) {
+  // Regression for the mean-truncation bug (workload/arrival.h): next_gap
+  // used to floor the mean inter-arrival to whole ns *before* the
+  // exponential draw, so a 600M/s process (1.67 ns mean) drew from a 1 ns
+  // mean and offered ~1.67x the configured rate. The mean now stays
+  // fractional; only the drawn gap is floored at 1 ns, which keeps the
+  // offered rate within 1% of configured even at nanosecond-scale means.
+  const double kRates[] = {6e8, 1e6};
+  for (const double rate : kRates) {
+    workload::ArrivalProcess process = workload::ArrivalProcess::poisson(rate);
+    Rng rng(123);
+    const std::uint64_t kDraws = 2000000;
+    std::uint64_t total_ns = 0;
+    for (std::uint64_t i = 0; i < kDraws; ++i) {
+      total_ns += process.next_gap(rng);
+    }
+    const double offered = static_cast<double>(kDraws) * 1e9 /
+                           static_cast<double>(total_ns);
+    EXPECT_NEAR(offered / rate, 1.0, 0.01) << "configured rate " << rate;
+  }
 }
 
 TEST(Determinism, DistinctSeedsOfferDistinctSchedules) {

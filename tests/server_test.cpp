@@ -5,6 +5,7 @@
 
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "asl/runtime.h"
@@ -490,6 +491,37 @@ TEST(ServiceLifecycle, StopWithQueuedWorkDrainsEveryShard) {
     EXPECT_EQ(service.queue_depth(s), 0u) << "shard " << s;
   }
   EXPECT_GT(service.store_size(), 0u);
+}
+
+TEST(ServiceLifecycle, ConcurrentStartAndStopCompose) {
+  // The transition race (this suite runs under TSan in CI): one thread
+  // starting the service while another stops it. The lifecycle lock
+  // serializes the two orders — stop-first leaves a closed, never-started
+  // service that drained inline; start-first spawns workers that stop()
+  // then joins — and either way every accepted request completes. The old
+  // plain-bool running_/stopped_ flags made this a data race.
+  for (int round = 0; round < 8; ++round) {
+    KvServiceConfig cfg;
+    cfg.num_shards = 2;
+    cfg.queue_capacity = 32;
+    cfg.classes.push_back(RequestClass{"lifecycle-race-test", 0});
+    KvService service(cfg);
+
+    std::uint64_t accepted = 0;
+    for (std::uint64_t key = 0; key < 16; ++key) {
+      accepted += service.try_submit(OpType::kPut, key, 0) ? 1 : 0;
+    }
+    std::thread starter([&service] { service.start(); });
+    std::thread stopper([&service] { service.stop(); });
+    starter.join();
+    stopper.join();
+    service.stop();  // idempotent; the first stop already drained
+
+    ServiceReport report = service.report();
+    EXPECT_EQ(report.classes[0].accepted, accepted);
+    EXPECT_EQ(report.classes[0].completed, accepted);
+    EXPECT_EQ(service.queue_depth(0) + service.queue_depth(1), 0u);
+  }
 }
 
 // ------------------------------------------------------------ batch drain
