@@ -1,0 +1,320 @@
+// Trace record/replay scenarios (DESIGN.md §10).
+//
+//   * kv_record — run a twin scenario with a TraceRecorder attached, emit
+//     the run's measured/shard tables, self-check the trace (stream vs
+//     accounting, serialization round trip) and write it to --trace=PATH
+//     when given. --seed=N perturbs every LoadSpec seed, so CI can record
+//     fresh traffic without recompiling.
+//   * kv_replay — load --trace=PATH (or self-record when absent), replay it
+//     through a fresh twin under the recorded config, and emit the same
+//     two tables. The tables must be byte-identical to kv_record's — that
+//     is the determinism contract, and the CI step diffs the two CSVs to
+//     prove it. Re-recording the replay must reproduce the trace file byte
+//     for byte, which additionally pins the batch histogram and routes.
+//   * kv_ab_policy — record one overloaded trace, replay it under two
+//     configs (batch_k 1 vs 8; shed off vs on) and emit the paired-
+//     difference tables: identical offered streams, so every delta is the
+//     policy's doing (src/harness/ab_compare.h).
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+#include "harness/ab_compare.h"
+#include "server/sim_kv_service.h"
+#include "workload/trace.h"
+
+namespace asl::bench {
+namespace {
+
+using server::AdmissionPolicy;
+using server::KvScenario;
+using server::RecordedTrace;
+using server::SimKvService;
+using server::SimReplayReport;
+using server::SimServiceReport;
+using server::SimTwinConfig;
+using server::TraceRecorder;
+
+// The configuration the record/replay pair exercises. Steady uniform
+// traffic keeps the trace compact; the scenario name rides in the trace
+// meta, so kv_replay can rebuild the identical config from the file alone.
+constexpr const char* kRecordedScenario = "kv_uniform_steady";
+
+// --seed=N (decimal or 0x-hex). Returns false on a malformed value — the
+// caller turns that into a shape FAIL, per the option() contract.
+bool parse_seed_option(const ScenarioContext& ctx, std::uint64_t* seed,
+                       bool* given) {
+  const std::string s = ctx.option("seed");
+  *given = !s.empty();
+  if (s.empty()) return true;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *seed = v;
+  return true;
+}
+
+KvScenario recorded_scenario(const ScenarioContext& ctx, std::uint64_t seed,
+                             bool reseed) {
+  KvScenario sc = server::make_kv_scenario(kRecordedScenario);
+  // Same compression rule as the twin scenarios: horizon and arrival
+  // modulation shrink together under --time-scale.
+  sc.horizon =
+      static_cast<Nanos>(static_cast<double>(sc.horizon) * ctx.time_scale());
+  for (server::LoadSpec& spec : sc.load) {
+    spec.arrivals = spec.arrivals.with_time_scale(ctx.time_scale());
+  }
+  if (reseed) {
+    // One splitmix64 stream off the user seed: distinct per-spec seeds,
+    // deterministic in N.
+    std::uint64_t state = seed;
+    for (server::LoadSpec& spec : sc.load) {
+      spec.seed = splitmix64(state);
+    }
+  }
+  return sc;
+}
+
+void emit_twin_tables(ScenarioContext& ctx, const SimServiceReport& report) {
+  ctx.emit(server::sim_kv_measured_table(report), "sim_kv_measured");
+  ctx.emit(server::sim_kv_shard_table(report), "sim_kv_shards");
+}
+
+bool routes_equal(const server::LockRouteStats& a,
+                  const server::LockRouteStats& b) {
+  return a.get_route_acquires == b.get_route_acquires &&
+         a.put_route_acquires == b.put_route_acquires &&
+         a.cs_gets == b.cs_gets && a.lockfree_gets == b.lockfree_gets;
+}
+
+void run_kv_record(ScenarioContext& ctx) {
+  ctx.banner("kv_record",
+             "record a twin run: offered trace + admission decisions");
+  std::uint64_t seed = 0;
+  bool reseed = false;
+  if (!parse_seed_option(ctx, &seed, &reseed)) {
+    ctx.shape_check(false, "--seed='" + ctx.option("seed") +
+                               "' parses as an unsigned integer");
+    return;
+  }
+  const KvScenario sc = recorded_scenario(ctx, seed, reseed);
+  ctx.note("scenario=" + sc.name + " engine=" + sc.service.engine +
+           " horizon_ms=" + std::to_string(sc.horizon / kNanosPerMilli) +
+           (reseed ? " seed=" + std::to_string(seed) : std::string()));
+
+  SimServiceReport report;
+  const RecordedTrace trace = server::record_sim_kv(sc, {}, &report);
+  emit_twin_tables(ctx, report);
+
+  ctx.shape_check(trace.offered() == report.offered,
+                  "every scheduled arrival was recorded");
+  std::string why;
+  ctx.shape_check(
+      server::accounting_counts_match(
+          trace.accounting, server::sim_trace_accounting(report), &why),
+      "recorded accounting matches the run's report" +
+          (why.empty() ? std::string() : " (" + why + ")"));
+  std::uint64_t batch_total = 0;
+  for (const server::TraceBatchBucket& b : trace.accounting.batches) {
+    batch_total += b.count;
+  }
+  ctx.shape_check(batch_total ==
+                      trace.accounting.routes.get_route_acquires +
+                          trace.accounting.routes.put_route_acquires,
+                  "batch histogram sums to the lock acquisition count");
+
+  // Serialization round trip, in memory: write -> parse -> write must be
+  // byte-stable, or the on-disk artifact is not the ground truth it claims.
+  const std::string bytes = server::trace_to_string(trace);
+  RecordedTrace parsed;
+  std::string error;
+  std::istringstream in(bytes);
+  const bool ok = server::parse_trace(in, &parsed, &error);
+  ctx.shape_check(ok && server::trace_to_string(parsed) == bytes,
+                  "serialization round-trips byte-identically" +
+                      (ok ? std::string() : " (" + error + ")"));
+  ctx.note("trace: " + std::to_string(trace.offered()) + " records, " +
+           std::to_string(bytes.size()) + " bytes");
+
+  const std::string path = ctx.option("trace");
+  if (!path.empty()) {
+    const bool saved = server::save_trace(trace, path, &error);
+    ctx.shape_check(saved, "trace written to " + path +
+                               (saved ? std::string() : " (" + error + ")"));
+  }
+}
+
+void run_kv_replay(ScenarioContext& ctx) {
+  ctx.banner("kv_replay",
+             "replay a recorded trace on the twin (byte-deterministic)");
+  std::uint64_t seed = 0;
+  bool reseed = false;
+  if (!parse_seed_option(ctx, &seed, &reseed)) {
+    ctx.shape_check(false, "--seed='" + ctx.option("seed") +
+                               "' parses as an unsigned integer");
+    return;
+  }
+
+  RecordedTrace trace;
+  std::string error;
+  const std::string path = ctx.option("trace");
+  if (!path.empty()) {
+    if (!server::load_trace(path, &trace, &error)) {
+      ctx.shape_check(false, "--trace=" + path + " loads (" + error + ")");
+      return;
+    }
+    ctx.note("replaying " + path + ": " + std::to_string(trace.offered()) +
+             " records of " + trace.meta.scenario + "/" + trace.meta.engine);
+  } else {
+    // Self-contained mode: record the reference run in-process, then
+    // replay it — the same byte-identity contract, no file needed.
+    trace = server::record_sim_kv(recorded_scenario(ctx, seed, reseed));
+    ctx.note("no --trace given: self-recorded " +
+             std::to_string(trace.offered()) + " records of " +
+             trace.meta.scenario);
+  }
+
+  bool known = false;
+  for (const std::string& name : server::kv_scenario_names()) {
+    known = known || name == trace.meta.scenario;
+  }
+  ctx.shape_check(known, "trace scenario '" + trace.meta.scenario +
+                             "' is a registered kv scenario");
+  if (!known) return;
+
+  // Rebuild the recorded config from the trace meta alone (the file is
+  // self-sufficient), with the recording's twin seed so the simulated
+  // lock's randomness is reproduced too.
+  const KvScenario sc =
+      server::make_kv_scenario(trace.meta.scenario, trace.meta.engine);
+  SimTwinConfig twin;
+  twin.seed = trace.meta.twin_seed;
+
+  // Replay with a recorder attached: beyond table identity, re-recording
+  // the replay must reproduce the trace itself byte for byte (records,
+  // accounting, batch histogram — everything).
+  SimKvService service(sc.service, twin);
+  TraceRecorder recorder;
+  service.record_to(&recorder);
+  const SimReplayReport rr = service.replay(trace);
+  const RecordedTrace rerecorded =
+      recorder.finish(trace.meta, rr.report.lock_routes);
+
+  emit_twin_tables(ctx, rr.report);
+
+  ctx.shape_check(rr.report.offered == trace.offered(),
+                  "replay offered every recorded request");
+  ctx.shape_check(rr.exact(),
+                  "replay re-took every recorded decision (divergence = " +
+                      std::to_string(rr.decision_divergence) + "/" +
+                      std::to_string(rr.shard_divergence) + ")");
+  std::string why;
+  ctx.shape_check(
+      server::accounting_counts_match(
+          trace.accounting, server::sim_trace_accounting(rr.report), &why),
+      "replayed accounting equals the recording's" +
+          (why.empty() ? std::string() : " (" + why + ")"));
+  ctx.shape_check(
+      routes_equal(trace.accounting.routes, rr.report.lock_routes),
+      "replayed lock-route counters equal the recording's");
+  ctx.shape_check(server::trace_to_string(rerecorded) ==
+                      server::trace_to_string(trace),
+                  "re-recording the replay reproduces the trace byte-for-"
+                  "byte");
+  ctx.shape_check(rr.report.total_completed() == rr.report.total_accepted(),
+                  "drain completes every accepted request");
+}
+
+void run_kv_ab_policy(ScenarioContext& ctx) {
+  ctx.banner("kv_ab_policy",
+             "A/B two policies on one recorded trace (paired differences)");
+  // Fixed 20 ms virtual horizon, deliberately NOT scaled by --time-scale:
+  // the twin's cost is event count, not wall time, and a fixed horizon
+  // keeps this table byte-identical across CI time-scale settings.
+  const Nanos horizon = 20 * kNanosPerMilli;
+  const double overload = 8.0;  // kv_batch_sweep's past-saturation factor
+  ctx.note("one recorded trace per comparison, 8x-nominal overload, "
+           "heavy-cost profile; identical offered streams per pair");
+
+  // Comparison 1: batch_k 1 vs 8, shedding disabled so batching is the
+  // only difference. Recorded under the A arm's config.
+  KvScenario batch_base =
+      server::make_overloaded_kv_scenario("kv_batch_shed", overload, horizon);
+  batch_base.service.batch_k = 1;
+  batch_base.service.classes[1].admission = AdmissionPolicy{};
+  const RecordedTrace batch_trace = server::record_sim_kv(batch_base);
+  AbPolicy batch1{"batch1", batch_base.service, {}};
+  AbPolicy batch8 = batch1;
+  batch8.label = "batch8";
+  batch8.service.batch_k = 8;
+  const AbComparison batch_cmp = ab_compare(batch_trace, batch1, batch8);
+  ctx.emit(ab_difference_table(batch_cmp), "ab_batch");
+
+  ctx.shape_check(batch_cmp.a.exact(),
+                  "A arm (the recorded config) replays exactly");
+  std::string why;
+  ctx.shape_check(server::accounting_counts_match(
+                      batch_trace.accounting,
+                      server::sim_trace_accounting(batch_cmp.a.report), &why),
+                  "A arm accounting equals the recording's" +
+                      (why.empty() ? std::string() : " (" + why + ")"));
+  ctx.shape_check(batch_cmp.b.report.total_completed() >
+                      batch_cmp.a.report.total_completed(),
+                  "batch_k=8 completes more of the same trace than "
+                  "batch_k=1");
+  ctx.shape_check(batch_cmp.b.report.total_rejected() <
+                      batch_cmp.a.report.total_rejected(),
+                  "batch_k=8 rejects less of the same trace than batch_k=1");
+
+  // Comparison 2: shedding off vs on at the scenario's batch_k=4, recorded
+  // under the no-shed arm. Shedding trades loose-class (kv-put) sheds for
+  // tight-class (kv-get) queue headroom.
+  KvScenario shed_base =
+      server::make_overloaded_kv_scenario("kv_batch_shed", overload, horizon);
+  KvScenario noshed_base = shed_base;
+  noshed_base.service.classes[1].admission = AdmissionPolicy{};
+  const RecordedTrace shed_trace = server::record_sim_kv(noshed_base);
+  AbPolicy noshed{"noshed", noshed_base.service, {}};
+  AbPolicy shed{"shed", shed_base.service, {}};
+  const AbComparison shed_cmp = ab_compare(shed_trace, noshed, shed);
+  ctx.emit(ab_difference_table(shed_cmp), "ab_shed");
+
+  ctx.shape_check(shed_cmp.a.exact(),
+                  "no-shed arm (the recorded config) replays exactly");
+  const server::ClassReport& get_noshed =
+      shed_cmp.a.report.service.classes[0];
+  const server::ClassReport& get_shed = shed_cmp.b.report.service.classes[0];
+  const server::ClassReport& put_shed = shed_cmp.b.report.service.classes[1];
+  const auto hard = [](const server::ClassReport& c) {
+    return c.rejected >= c.shed ? c.rejected - c.shed : 0;
+  };
+  ctx.shape_check(put_shed.shed > 0,
+                  "shed arm sheds the loose class on the same trace");
+  ctx.shape_check(hard(get_shed) < hard(get_noshed),
+                  "shedding cuts the tight class's hard rejections on the "
+                  "same trace");
+}
+
+}  // namespace
+}  // namespace asl::bench
+
+ASL_SCENARIO(kv_record,
+             "record a twin run's offered trace + decisions (--trace=PATH "
+             "writes it, --seed=N reseeds)") {
+  asl::bench::run_kv_record(ctx);
+}
+
+ASL_SCENARIO(kv_replay,
+             "replay a recorded trace on the twin, byte-deterministically "
+             "(--trace=PATH, else self-records)") {
+  asl::bench::run_kv_replay(ctx);
+}
+
+ASL_SCENARIO(kv_ab_policy,
+             "A/B policy comparison on one recorded trace: batch_k 1 vs 8, "
+             "shed off vs on") {
+  asl::bench::run_kv_ab_policy(ctx);
+}

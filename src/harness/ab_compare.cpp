@@ -1,0 +1,84 @@
+#include "harness/ab_compare.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asl::bench {
+namespace {
+
+using server::ClassReport;
+using server::SimReplayReport;
+
+std::string signed_delta(std::uint64_t a, std::uint64_t b) {
+  return b >= a ? std::to_string(b - a) : "-" + std::to_string(a - b);
+}
+
+std::uint64_t hard_rejects(const ClassReport& c) {
+  return c.rejected >= c.shed ? c.rejected - c.shed : 0;
+}
+
+}  // namespace
+
+AbComparison ab_compare(const server::RecordedTrace& trace, const AbPolicy& a,
+                        const AbPolicy& b) {
+  AbComparison cmp;
+  cmp.label_a = a.label;
+  cmp.label_b = b.label;
+  cmp.a = server::replay_sim_kv(trace, a.service, a.twin);
+  cmp.b = server::replay_sim_kv(trace, b.service, b.twin);
+  return cmp;
+}
+
+Table ab_difference_table(const AbComparison& cmp) {
+  const std::string& la = cmp.label_a;
+  const std::string& lb = cmp.label_b;
+  Table table({"class", la + "_completed", lb + "_completed", "d_completed",
+               la + "_hard_rej", lb + "_hard_rej", "d_hard_rej", la + "_shed",
+               lb + "_shed", "d_shed", la + "_p99_ns", lb + "_p99_ns",
+               "d_p99_ns"});
+
+  const std::vector<ClassReport>& ca = cmp.a.report.service.classes;
+  const std::vector<ClassReport>& cb = cmp.b.report.service.classes;
+  const std::size_t n = ca.size() < cb.size() ? ca.size() : cb.size();
+  ClassReport total_a, total_b;
+  std::uint64_t p99a_max = 0, p99b_max = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ClassReport& A = ca[i];
+    const ClassReport& B = cb[i];
+    const std::uint64_t p99a = A.total.overall().p99();
+    const std::uint64_t p99b = B.total.overall().p99();
+    table.add_row({A.name, std::to_string(A.completed),
+                   std::to_string(B.completed),
+                   signed_delta(A.completed, B.completed),
+                   std::to_string(hard_rejects(A)),
+                   std::to_string(hard_rejects(B)),
+                   signed_delta(hard_rejects(A), hard_rejects(B)),
+                   std::to_string(A.shed), std::to_string(B.shed),
+                   signed_delta(A.shed, B.shed), std::to_string(p99a),
+                   std::to_string(p99b), signed_delta(p99a, p99b)});
+    total_a.completed += A.completed;
+    total_a.rejected += A.rejected;
+    total_a.shed += A.shed;
+    total_b.completed += B.completed;
+    total_b.rejected += B.rejected;
+    total_b.shed += B.shed;
+    p99a_max = p99a > p99a_max ? p99a : p99a_max;
+    p99b_max = p99b > p99b_max ? p99b : p99b_max;
+  }
+  // TOTAL row: counts sum over classes; the p99 columns carry the max over
+  // classes (quantiles do not sum — the max is the "worst class" view).
+  table.add_row({"TOTAL", std::to_string(total_a.completed),
+                 std::to_string(total_b.completed),
+                 signed_delta(total_a.completed, total_b.completed),
+                 std::to_string(hard_rejects(total_a)),
+                 std::to_string(hard_rejects(total_b)),
+                 signed_delta(hard_rejects(total_a), hard_rejects(total_b)),
+                 std::to_string(total_a.shed), std::to_string(total_b.shed),
+                 signed_delta(total_a.shed, total_b.shed),
+                 std::to_string(p99a_max), std::to_string(p99b_max),
+                 signed_delta(p99a_max, p99b_max)});
+  return table;
+}
+
+}  // namespace asl::bench

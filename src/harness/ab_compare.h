@@ -1,0 +1,49 @@
+// A/B policy comparison on a recorded trace (DESIGN.md §10).
+//
+// The apples-to-apples guarantee record/replay buys: both arms replay the
+// *same* offered stream — identical arrivals, keys, ops, classes, in
+// identical order — through the deterministic twin under two different
+// service configs (batch_k 1 vs 8, shed on vs off, hash vs mvcc, ...).
+// Every difference in the paired table is therefore attributable to the
+// policy change alone: no regenerated randomness, no statistically-similar
+// traffic, no wall-clock noise. This is the harness the ROADMAP's
+// autoscaling sweeps stand on.
+#pragma once
+
+#include <string>
+
+#include "server/sim_kv_service.h"
+#include "stats/table.h"
+
+namespace asl::bench {
+
+// One arm of the comparison: a display label (used as a column prefix, so
+// keep it a short token) plus the service + twin configuration to replay
+// the trace under. Arms that only change policy knobs keep the recording's
+// twin seed so the lock randomness is paired too.
+struct AbPolicy {
+  std::string label;
+  server::KvServiceConfig service;
+  server::SimTwinConfig twin{};
+};
+
+struct AbComparison {
+  std::string label_a;
+  std::string label_b;
+  server::SimReplayReport a;
+  server::SimReplayReport b;
+};
+
+// Replays `trace` under both arms (two fresh twins, same offered stream)
+// and returns the paired results. Deterministic: same trace + same arms =>
+// same comparison, byte for byte.
+AbComparison ab_compare(const server::RecordedTrace& trace, const AbPolicy& a,
+                        const AbPolicy& b);
+
+// The paired-difference table: one row per class plus a TOTAL row, with
+// completed / hard-rejected (rejected - shed) / shed / p99 under each arm
+// and the signed B-A deltas. All-integer cells (virtual ns), so the table
+// is byte-reproducible and golden-able like every other twin table.
+Table ab_difference_table(const AbComparison& cmp);
+
+}  // namespace asl::bench

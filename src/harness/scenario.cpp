@@ -113,10 +113,15 @@ int scenario_main(int argc, char** argv, const char* default_scenario) {
       options["engine"] = value_of("--engine=");
     } else if (arg.rfind("--mix=", 0) == 0) {
       options["mix"] = value_of("--mix=");
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options["seed"] = value_of("--seed=");
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options["trace"] = value_of("--trace=");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--list] [--all] [--time-scale=F] [--csv=PATH] "
-                   "[--engine=NAME] [--mix=NAME|R:W] [scenario...]\n";
+                   "[--engine=NAME] [--mix=NAME|R:W] [--seed=N] "
+                   "[--trace=PATH] [scenario...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << " (try --help)\n";

@@ -49,9 +49,11 @@ class ScenarioContext {
   const std::string& scenario() const { return scenario_; }
 
   // Scenario-interpreted filter option ("" when the flag was not given).
-  // The driver whitelists the flag names (--engine=, --mix=) so a typo'd
-  // flag still errors instead of silently reaching a scenario that ignores
-  // it; scenarios that do not read a given option are unaffected by it.
+  // The driver whitelists the flag names (--engine=, --mix=, --seed=,
+  // --trace=) so a typo'd flag still errors instead of silently reaching a
+  // scenario that ignores it; scenarios that do not read a given option are
+  // unaffected by it. Values are raw strings: the consuming scenario
+  // validates them (a bad value is a shape FAIL there, not a CLI error).
   std::string option(const std::string& name) const;
 
  private:
@@ -126,6 +128,11 @@ struct ScenarioRegistrar {
 //                          (kv_engine_sweep: run one registry engine)
 //   --mix=<name|r:w>       filter option for mix-matrix scenarios (a mix
 //                          name like get_heavy, or a get:put rate ratio)
+//   --seed=<n>             reseed option for the record/replay scenarios
+//                          (kv_record: perturb every LoadSpec seed)
+//   --trace=<path>         trace file option for the record/replay
+//                          scenarios (kv_record writes it, kv_replay reads
+//                          it; an unreadable value is a shape FAIL)
 //   <name>...              scenarios to run (default: `default_scenario`,
 //                          or --list behaviour when none is configured)
 // Exit code 0 iff every shape check of every scenario passed.

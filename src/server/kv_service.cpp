@@ -6,6 +6,7 @@
 #include "platform/affinity.h"
 #include "platform/rng.h"
 #include "platform/time.h"
+#include "workload/trace.h"
 
 namespace asl::server {
 
@@ -169,10 +170,22 @@ bool KvService::try_submit(OpType op, std::uint64_t key,
   req.key = key;
   req.class_index = class_index;
   req.enqueue_ns = now_ns();
+  const std::uint32_t shard = shard_of(key);
   // The class's precomputed depth limit turns the push into the shed
   // decision: protected classes carry limit == capacity (plain bounded-
   // queue admission), sheddable classes bounce early at their watermark.
-  switch (shards_[shard_of(key)]->queue.try_push_below(req, cs.depth_limit)) {
+  const PushResult pushed =
+      shards_[shard]->queue.try_push_below(req, cs.depth_limit);
+  if (TraceRecorder* rec = recorder_.load(std::memory_order_relaxed)) {
+    const TraceDecision decision = pushed == PushResult::kOk
+                                       ? TraceDecision::kAdmit
+                                       : pushed == PushResult::kShed
+                                             ? TraceDecision::kShed
+                                             : TraceDecision::kReject;
+    rec->on_arrival(req.enqueue_ns, class_index, op == OpType::kPut, key,
+                    decision, shard);
+  }
+  switch (pushed) {
     case PushResult::kOk:
       cs.accepted.fetch_add(1, std::memory_order_relaxed);
       return true;
@@ -189,6 +202,10 @@ bool KvService::try_submit(OpType op, std::uint64_t key,
       return false;
   }
   return false;  // unreachable: the switch above is exhaustive
+}
+
+void KvService::set_recorder(TraceRecorder* recorder) {
+  recorder_.store(recorder, std::memory_order_relaxed);
 }
 
 int KvService::epoch_id(std::uint32_t class_index) const {
@@ -365,6 +382,12 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head,
       batch[i].done = now_ns();
     }
     shard.lock.unlock();
+    // Batch-size capture after the release: the recorder's internal lock
+    // must not extend the shard critical section. `count` is final — the
+    // extension loop closed before the CS pass.
+    if (TraceRecorder* rec = recorder_.load(std::memory_order_relaxed)) {
+      rec->on_batch(slot.shard, static_cast<std::uint32_t>(count));
+    }
     if (lock_free_gets) {
       // Deferred gets: off-lock, after the puts published. Each still gets
       // its own done stamp at the end of its own segment, so a get that

@@ -330,6 +330,8 @@ struct LockRouteStats {
   std::uint64_t lockfree_gets = 0;
 };
 
+class TraceRecorder;  // workload/trace.h
+
 class KvService {
  public:
   explicit KvService(KvServiceConfig config);
@@ -387,6 +389,16 @@ class KvService {
   // get_route_acquires stays 0 and cs_gets stays 0 — every get is served
   // off-lock.
   LockRouteStats lock_route_stats() const;
+
+  // Attach a trace recorder (workload/trace.h, DESIGN.md §10): every
+  // subsequent try_submit's admission decision + shard route and every
+  // drained batch's size are captured into it. Not owned — it must outlive
+  // the traffic it records; pass nullptr to detach. Real-path recording is
+  // accounting-faithful, not byte-deterministic: concurrent submitters
+  // append in whatever order they win the recorder's lock, so the record
+  // stream's interleaving (unlike its per-class/per-shard totals) can
+  // differ run to run.
+  void set_recorder(TraceRecorder* recorder);
 
  private:
   // Cache-line discipline inside the shard (DESIGN.md §9): the queue ends
@@ -449,6 +461,10 @@ class KvService {
 
   KvServiceConfig config_;
   db::CostProfile cost_;  // resolved_cost_profile(config_), fixed at build
+  // Trace recorder hook (null = not recording). Atomic so set_recorder can
+  // race benignly with in-flight submits/workers; callers attach before
+  // traffic for a complete recording.
+  std::atomic<TraceRecorder*> recorder_{nullptr};
   // Route counters: worker-side only, grouped on their own line away from
   // the read-mostly config/cost words above.
   alignas(kCacheLine) std::atomic<std::uint64_t> get_route_acquires_{0};

@@ -1,0 +1,94 @@
+#include "server/replay.h"
+
+#include <algorithm>
+
+#include "platform/time.h"
+
+namespace asl::server {
+
+RealReplayResult replay_trace(KvService& service, const RecordedTrace& trace,
+                              const ReplayOptions& options) {
+  RealReplayResult result;
+  // Tally in the trace's shape so the parity check is a straight
+  // accounting_counts_match. Shard slots cover both shard counts: routes
+  // are recomputed against the live service, which may be configured wider
+  // or narrower than the recording (then the size mismatch itself is the
+  // reported difference).
+  result.accounting.classes.resize(trace.accounting.classes.size());
+  for (std::size_t i = 0; i < result.accounting.classes.size(); ++i) {
+    result.accounting.classes[i].name = trace.accounting.classes[i].name;
+  }
+  result.accounting.shards.resize(std::max<std::size_t>(
+      service.config().num_shards, trace.meta.num_shards));
+
+  const bool paced = options.time_scale > 0;
+  const Nanos origin = now_ns();
+  Nanos last = origin;
+  for (const TraceRecord& rec : trace.records) {
+    if (rec.class_index >= service.num_classes() ||
+        rec.class_index >= result.accounting.classes.size()) {
+      result.skipped += 1;
+      continue;
+    }
+    result.offered += 1;
+    if (paced) {
+      const Nanos target =
+          origin + static_cast<Nanos>(static_cast<double>(rec.at) *
+                                      options.time_scale);
+      const Nanos now = now_ns();
+      if (now < target) {
+        // Coarse sleep, then spin the last stretch (run_open_loop's pacing
+        // idiom): submissions stay near the recorded tempo without burning
+        // the replay core.
+        if (target - now > 60 * kNanosPerMicro) {
+          sleep_ns(target - now - 50 * kNanosPerMicro);
+        }
+        spin_until(target);
+      }
+    }
+
+    TraceClassTotals& cls = result.accounting.classes[rec.class_index];
+    TraceShardTotals& shd = result.accounting.shards[service.shard_of(rec.key)];
+    if (options.enforce_decisions && rec.decision != TraceDecision::kAdmit) {
+      // Honor the recorded bounce: account it where the recording did,
+      // without re-offering — the service sees only the recorded accepted
+      // stream.
+      cls.rejected += 1;
+      shd.rejected += 1;
+      if (rec.decision == TraceDecision::kShed) {
+        cls.shed += 1;
+        shd.shed += 1;
+        result.enforced_shed += 1;
+      } else {
+        result.enforced_reject += 1;
+      }
+      last = now_ns();
+      continue;
+    }
+
+    result.submitted += 1;
+    const bool ok =
+        service.try_submit(rec.is_put ? OpType::kPut : OpType::kGet, rec.key,
+                           rec.class_index);
+    if (ok) {
+      result.accepted += 1;
+      cls.accepted += 1;
+      shd.accepted += 1;
+    } else {
+      // try_submit does not report shed vs full, so a live bounce lands in
+      // the rejected totals only — with enforce_decisions on, any bounce
+      // here is already a divergence (the recording admitted this record).
+      result.rejected += 1;
+      cls.rejected += 1;
+      shd.rejected += 1;
+    }
+    if (ok != (rec.decision == TraceDecision::kAdmit)) {
+      result.divergence += 1;
+    }
+    last = now_ns();
+  }
+  result.elapsed = last > origin ? last - origin : 0;
+  return result;
+}
+
+}  // namespace asl::server

@@ -1,0 +1,63 @@
+// Real-path trace replay (DESIGN.md §10): feed a recorded offered stream
+// back through a live KvService, at the recorded tempo, and check the
+// decisions it takes against the ones the recording captured.
+//
+// What this guarantees — and what it does not. The offered *sequence* is
+// exact: same requests, same order (one replay thread walks the merged
+// stream), same classes, keys and ops. The *decisions* are exact under
+// enforce_decisions (recorded sheds/rejects are accounted without being
+// re-offered, so only recorded admits reach try_submit; a live bounce of
+// one of those is a counted divergence, impossible when the service has
+// queue headroom for the recorded accepted load). What is NOT reproduced:
+// wall-clock latencies (different run, different machine noise), batch
+// formation and lock-route acquire counts (worker timing), and — with
+// enforce_decisions off — the shed/reject split under contention, because
+// live queue depths depend on how fast workers drained this time. The twin
+// replay (SimKvService::replay) is the byte-deterministic half of the
+// contract; this is the accounting-faithful half.
+#pragma once
+
+#include "server/kv_service.h"
+#include "workload/trace.h"
+
+namespace asl::server {
+
+struct ReplayOptions {
+  // Honor recorded non-admit decisions instead of re-deciding them: a
+  // recorded shed/reject is counted (per class, per shard) and skipped, so
+  // the service sees exactly the recording's accepted stream. Off = every
+  // record is re-offered and the service re-decides live (policy A/B on
+  // the real path; the shed/reject split then depends on live timing).
+  bool enforce_decisions = true;
+  // Pacing: record i is submitted at origin + at * time_scale wall ns
+  // (the open-loop sleep-then-spin idiom). <= 0 disables pacing — the
+  // stream is offered back-to-back, which preserves order and (with
+  // enforce_decisions and queue headroom) accounting, but not tempo.
+  double time_scale = 1.0;
+};
+
+// Replay-side accounting. `accounting` is the trace-shaped tally the
+// harness kept (live decisions plus enforced ones): decision parity with
+// the recording is accounting_counts_match(trace.accounting,
+// result.accounting) — exact whenever divergence == 0.
+struct RealReplayResult {
+  std::uint64_t offered = 0;    // records fed (skipped excluded)
+  std::uint64_t submitted = 0;  // try_submit calls actually issued
+  std::uint64_t accepted = 0;   // live admissions
+  std::uint64_t rejected = 0;   // live bounces of submitted records
+  std::uint64_t enforced_shed = 0;    // recorded sheds not re-offered
+  std::uint64_t enforced_reject = 0;  // recorded rejects not re-offered
+  std::uint64_t divergence = 0;  // live decision != recorded decision
+  std::uint64_t skipped = 0;  // classes the service does not have
+  Nanos elapsed = 0;          // wall clock, first to last record
+  TraceAccounting accounting;
+};
+
+// Walks the trace through `service` (which the caller has start()ed and
+// will stop()) on the calling thread. Routing is recomputed from the key
+// via service.shard_of — under the recorded shard count it reproduces the
+// recorded routes exactly (shared shard_for_key rule).
+RealReplayResult replay_trace(KvService& service, const RecordedTrace& trace,
+                              const ReplayOptions& options = {});
+
+}  // namespace asl::server

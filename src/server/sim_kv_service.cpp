@@ -68,6 +68,7 @@ struct SimKvService::Impl {
   std::vector<ClassState> classes;
   LockRouteStats routes;
   std::uint64_t allocs_charged = 0;  // sum of per-op CostProfile allocs
+  TraceRecorder* recorder = nullptr;  // not owned; null = no recording
   bool ran = false;
 
   Impl(KvServiceConfig cfg, SimTwinConfig tw)
@@ -168,23 +169,37 @@ struct SimKvService::Impl {
     shard.depth_since = eng.now();
   }
 
-  void arrive(std::uint32_t shard_index, const SimRequest& req) {
+  // Admission at arrival time. Returns the decision taken (the replay path
+  // compares it against the recorded one) and, when a recorder is attached,
+  // captures the arrival + decision + route before any queue/worker state
+  // moves — so recorded order is exactly virtual processing order.
+  TraceDecision arrive(std::uint32_t shard_index, const SimRequest& req) {
     Shard& shard = *shards[shard_index];
     ClassState& cls = classes[req.class_index];
     // Mirror of BoundedQueue::try_push_below: capacity exhaustion first,
     // then the class watermark — a shed is counted only when the queue
     // still had room.
+    TraceDecision decision = TraceDecision::kAdmit;
     if (shard.queue.size() >= config.queue_capacity) {
+      decision = TraceDecision::kReject;
+    } else if (shard.queue.size() >= cls.depth_limit) {
+      decision = TraceDecision::kShed;
+    }
+    if (recorder != nullptr) {
+      recorder->on_arrival(req.at, req.class_index, req.is_put, req.key,
+                           decision, shard_index);
+    }
+    if (decision == TraceDecision::kReject) {
       cls.rejected += 1;
       shard.stats.rejected += 1;
-      return;
+      return decision;
     }
-    if (shard.queue.size() >= cls.depth_limit) {
+    if (decision == TraceDecision::kShed) {
       cls.shed += 1;
       cls.rejected += 1;
       shard.stats.rejected += 1;
       shard.stats.shed += 1;
-      return;
+      return decision;
     }
     flush_depth(shard);
     shard.queue.push_back(req);
@@ -197,9 +212,10 @@ struct SimKvService::Impl {
     for (auto& worker : workers) {
       if (worker->shard == shard_index && !worker->busy) {
         dispatch(*worker);
-        return;
+        break;
       }
     }
+    return decision;
   }
 
   // One claimed batch member: the request plus its queue wait, frozen at
@@ -288,6 +304,13 @@ struct SimKvService::Impl {
             shard.queue.pop_front();
             batch->push_back(Pending{req, eng.now() - req.at});
           }
+          if (recorder != nullptr) {
+            // One histogram bucket per acquisition: summed over buckets,
+            // batch counts equal the route acquire counters (lock-free solo
+            // gets acquire nothing and are not batches).
+            recorder->on_batch(worker.shard,
+                               static_cast<std::uint32_t>(batch->size()));
+          }
           std::size_t cs_count = batch->size();
           if (cost.get_lock_free) {
             // Mixed put-headed batch on the lock-free route: puts run
@@ -370,6 +393,33 @@ struct SimKvService::Impl {
       });
     });
   }
+
+  // Snapshot after run_all(): per-class reports, shard stats, routes, the
+  // allocation ledger — shared verbatim by run() and replay() so both
+  // emit byte-identical tables for identical executions.
+  void collect(SimServiceReport& report) {
+    report.drained_at = eng.now();
+    for (auto& shard : shards) flush_depth(*shard);
+    for (const ClassState& cs : classes) {
+      ClassReport c;
+      c.name = cs.spec.name;
+      c.epoch_id = -1;  // the twin does not touch the global EpochRegistry
+      c.slo_ns = cs.spec.slo_ns;
+      c.accepted = cs.accepted;
+      c.rejected = cs.rejected;
+      c.shed = cs.shed;
+      c.completed = cs.completed;
+      c.slo_met = cs.slo_met;
+      c.total = cs.total;
+      c.queue_wait = cs.queue_wait;
+      report.service.classes.push_back(std::move(c));
+    }
+    for (const auto& shard : shards) {
+      report.shards.push_back(shard->stats);
+    }
+    report.lock_routes = routes;
+    report.allocs_charged = allocs_charged;
+  }
 };
 
 SimKvService::SimKvService(KvServiceConfig config, SimTwinConfig twin)
@@ -412,35 +462,108 @@ SimServiceReport SimKvService::run(const std::vector<LoadSpec>& load,
   // dry — the virtual-time equivalent of stop()'s close-then-drain, so
   // completed == accepted holds exactly on return.
   impl_->eng.run_all();
-  report.drained_at = impl_->eng.now();
-
-  for (auto& shard : impl_->shards) impl_->flush_depth(*shard);
-  for (const Impl::ClassState& cs : impl_->classes) {
-    ClassReport c;
-    c.name = cs.spec.name;
-    c.epoch_id = -1;  // the twin does not touch the global EpochRegistry
-    c.slo_ns = cs.spec.slo_ns;
-    c.accepted = cs.accepted;
-    c.rejected = cs.rejected;
-    c.shed = cs.shed;
-    c.completed = cs.completed;
-    c.slo_met = cs.slo_met;
-    c.total = cs.total;
-    c.queue_wait = cs.queue_wait;
-    report.service.classes.push_back(std::move(c));
-  }
-  for (const auto& shard : impl_->shards) {
-    report.shards.push_back(shard->stats);
-  }
-  report.lock_routes = impl_->routes;
-  report.allocs_charged = impl_->allocs_charged;
+  impl_->collect(report);
   return report;
+}
+
+void SimKvService::record_to(TraceRecorder* recorder) {
+  impl_->recorder = recorder;
+}
+
+SimReplayReport SimKvService::replay(const RecordedTrace& trace) {
+  SimReplayReport rr;
+  rr.report.horizon = trace.meta.horizon;
+  if (impl_->ran) return rr;  // single-shot, like run()
+  impl_->ran = true;
+
+  // Schedule the recorded stream in record order. Recorded order is the
+  // original run's processing order ((time, insertion) — sim/engine.h), so
+  // inserting in that order preserves both the time order and the original
+  // FIFO tie-breaks among equal timestamps: the replayed event sequence is
+  // the original one, which is what makes the tables byte-identical under
+  // the recorded config. Records aimed at classes this config lacks are
+  // skipped, mirroring run()'s unknown-class rule.
+  for (const TraceRecord& rec : trace.records) {
+    if (rec.class_index >= impl_->classes.size()) {
+      rr.skipped += 1;
+      continue;
+    }
+    SimRequest req;
+    req.key = rec.key;
+    req.class_index = rec.class_index;
+    req.is_put = rec.is_put;
+    req.at = rec.at;
+    rr.report.offered += 1;
+    impl_->eng.at(rec.at, [this, req, rec, &rr] {
+      // Routing is always recomputed from the key: under the recorded
+      // config it reproduces the recorded shard (shared shard_for_key
+      // rule); under a changed shard count the divergence counter says how
+      // much of the recorded routing no longer applies.
+      const std::uint32_t shard = shard_of(req.key);
+      if (shard != rec.shard) rr.shard_divergence += 1;
+      const TraceDecision live = impl_->arrive(shard, req);
+      if (live != rec.decision) rr.decision_divergence += 1;
+    });
+  }
+
+  impl_->eng.run_all();
+  impl_->collect(rr.report);
+  return rr;
 }
 
 SimServiceReport run_sim_kv(const KvScenario& scenario,
                             const SimTwinConfig& twin) {
   SimKvService service(scenario.service, twin);
   return service.run(scenario.load, scenario.horizon);
+}
+
+RecordedTrace record_sim_kv(const KvScenario& scenario,
+                            const SimTwinConfig& twin,
+                            SimServiceReport* report_out) {
+  SimKvService service(scenario.service, twin);
+  TraceRecorder recorder;
+  service.record_to(&recorder);
+  const SimServiceReport report = service.run(scenario.load, scenario.horizon);
+
+  TraceMeta meta;
+  if (!scenario.name.empty()) meta.scenario = scenario.name;
+  meta.engine = service.config().engine;
+  meta.horizon = scenario.horizon;
+  meta.num_shards = service.config().num_shards;
+  meta.twin_seed = twin.seed;
+  meta.real_path = false;
+  for (const RequestClass& cls : service.config().classes) {
+    meta.class_names.push_back(cls.name);
+  }
+  for (const LoadSpec& spec : scenario.load) {
+    meta.seeds.push_back(TraceMeta::SpecSeed{spec.class_index, spec.seed});
+  }
+  if (report_out != nullptr) *report_out = report;
+  return recorder.finish(std::move(meta), report.lock_routes);
+}
+
+SimReplayReport replay_sim_kv(const RecordedTrace& trace,
+                              const KvServiceConfig& config,
+                              const SimTwinConfig& twin) {
+  SimKvService service(config, twin);
+  return service.replay(trace);
+}
+
+TraceAccounting sim_trace_accounting(const SimServiceReport& report) {
+  TraceAccounting acc;
+  for (const ClassReport& c : report.service.classes) {
+    TraceClassTotals t;
+    t.name = c.name;
+    t.accepted = c.accepted;
+    t.rejected = c.rejected;
+    t.shed = c.shed;
+    acc.classes.push_back(std::move(t));
+  }
+  for (const SimShardStats& s : report.shards) {
+    acc.shards.push_back(TraceShardTotals{s.accepted, s.rejected, s.shed});
+  }
+  acc.routes = report.lock_routes;
+  return acc;
 }
 
 Table sim_kv_measured_table(const SimServiceReport& report) {

@@ -48,6 +48,7 @@
 #include "sim/sim_lock.h"
 #include "stats/table.h"
 #include "workload/open_loop.h"
+#include "workload/trace.h"
 
 namespace asl::server {
 
@@ -118,6 +119,26 @@ struct SimServiceReport {
   std::uint64_t total_completed() const { return service.total_completed(); }
 };
 
+// A trace replayed through a fresh twin (DESIGN.md §10). The divergence
+// counters compare each record's *live* re-decision against what the
+// recording captured: replaying under the recorded config they are all
+// zero (same admission state machine, same event order — that is the
+// byte-determinism contract the golden trace test pins); replaying under a
+// changed config (the A/B harness) they measure exactly how many requests
+// the policy change re-decided. Counters and tables always reflect the
+// live decisions, never the recorded ones.
+struct SimReplayReport {
+  SimServiceReport report;
+  std::uint64_t decision_divergence = 0;  // live admit/shed/reject differed
+  std::uint64_t shard_divergence = 0;     // live route differed (config change)
+  std::uint64_t skipped = 0;  // records aimed at classes this config lacks
+
+  // True when the replay re-took every recorded decision identically.
+  bool exact() const {
+    return decision_divergence == 0 && shard_divergence == 0 && skipped == 0;
+  }
+};
+
 class SimKvService {
  public:
   explicit SimKvService(KvServiceConfig config, SimTwinConfig twin = {});
@@ -130,6 +151,20 @@ class SimKvService {
   // completed == accepted per class, exactly. Single-shot — one run per
   // instance, like one start()/stop() cycle of the real service.
   SimServiceReport run(const std::vector<LoadSpec>& load, Nanos horizon);
+
+  // Feeds a recorded trace's offered stream back through the twin instead
+  // of generating one. Records are scheduled in recorded order, which is
+  // the original run's processing order — the engine executes events by
+  // (time, insertion) order, so the replayed event sequence, and therefore
+  // the measured/shard tables, are byte-identical to the recording run's
+  // when the config and twin seed match. Single-shot, like run().
+  SimReplayReport replay(const RecordedTrace& trace);
+
+  // Attach a recorder before run()/replay(): every arrival's admission
+  // decision + shard route and every lock acquisition's batch size are
+  // captured. Not owned; must outlive the run. The twin is single-threaded,
+  // so recorded order is exactly virtual processing order.
+  void record_to(TraceRecorder* recorder);
 
   // Identical mapping to KvService::shard_of (shared shard_for_key rule).
   std::uint32_t shard_of(std::uint64_t key) const;
@@ -147,6 +182,29 @@ class SimKvService {
 // horizon), as registered in server/scenarios.*.
 SimServiceReport run_sim_kv(const KvScenario& scenario,
                             const SimTwinConfig& twin = {});
+
+// Records one twin run of `scenario`: runs it with a recorder attached and
+// returns the finished trace (meta filled from the scenario + twin,
+// seed provenance from the load specs). The run's own report lands in
+// `*report_out` when non-null — its tables are the byte-identity reference
+// a replay of the returned trace must reproduce.
+RecordedTrace record_sim_kv(const KvScenario& scenario,
+                            const SimTwinConfig& twin = {},
+                            SimServiceReport* report_out = nullptr);
+
+// Replays a recorded trace through a fresh twin under `config` — the
+// recording's config for determinism checks, a deliberately changed one
+// for policy A/Bs. Pass the trace's own twin_seed (in `twin`) to reproduce
+// the recorded lock randomness.
+SimReplayReport replay_sim_kv(const RecordedTrace& trace,
+                              const KvServiceConfig& config,
+                              const SimTwinConfig& twin = {});
+
+// A twin report's accounting in the trace's shape (class/shard totals +
+// route counters; the batch histogram lives only in recordings) — the
+// right-hand side of accounting_counts_match against a trace's recorded
+// accounting.
+TraceAccounting sim_trace_accounting(const SimServiceReport& report);
 
 // Byte-reproducible tables (all-integer cells, virtual ns): the measured
 // per-class table the determinism/golden tests compare, and the per-shard

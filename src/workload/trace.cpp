@@ -1,0 +1,399 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace asl::server {
+namespace {
+
+// Name tokens are single whitespace-free words on disk; class names in this
+// repo already are ("kv-get", "audit"), the substitution just keeps a
+// hypothetical exotic name from corrupting the line structure.
+std::string sanitize_token(std::string s) {
+  if (s.empty()) return "_";
+  for (char& c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return s;
+}
+
+// Per-class / per-shard totals recomputed from the record stream — used by
+// finish() to build the accounting and by parse_trace() to cross-check the
+// file's own totals against its records.
+void derive_totals(const std::vector<TraceRecord>& records,
+                   std::vector<TraceClassTotals>& classes,
+                   std::vector<TraceShardTotals>& shards) {
+  for (const TraceRecord& r : records) {
+    TraceClassTotals& c = classes[r.class_index];
+    TraceShardTotals& s = shards[r.shard];
+    switch (r.decision) {
+      case TraceDecision::kAdmit:
+        c.accepted += 1;
+        s.accepted += 1;
+        break;
+      case TraceDecision::kShed:
+        c.rejected += 1;
+        c.shed += 1;
+        s.rejected += 1;
+        s.shed += 1;
+        break;
+      case TraceDecision::kReject:
+        c.rejected += 1;
+        s.rejected += 1;
+        break;
+    }
+  }
+}
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = "trace: " + why;
+  return false;
+}
+
+}  // namespace
+
+bool accounting_counts_match(const TraceAccounting& want,
+                             const TraceAccounting& got, std::string* why) {
+  auto mismatch = [why](const std::string& what, std::uint64_t w,
+                        std::uint64_t g) {
+    if (why != nullptr) {
+      *why = what + ": recorded " + std::to_string(w) + ", replayed " +
+             std::to_string(g);
+    }
+    return false;
+  };
+  if (want.classes.size() != got.classes.size()) {
+    return mismatch("class count", want.classes.size(), got.classes.size());
+  }
+  if (want.shards.size() != got.shards.size()) {
+    return mismatch("shard count", want.shards.size(), got.shards.size());
+  }
+  for (std::size_t i = 0; i < want.classes.size(); ++i) {
+    const TraceClassTotals& w = want.classes[i];
+    const TraceClassTotals& g = got.classes[i];
+    const std::string tag = "class " + w.name;
+    if (w.accepted != g.accepted) {
+      return mismatch(tag + " accepted", w.accepted, g.accepted);
+    }
+    if (w.rejected != g.rejected) {
+      return mismatch(tag + " rejected", w.rejected, g.rejected);
+    }
+    if (w.shed != g.shed) return mismatch(tag + " shed", w.shed, g.shed);
+  }
+  for (std::size_t i = 0; i < want.shards.size(); ++i) {
+    const TraceShardTotals& w = want.shards[i];
+    const TraceShardTotals& g = got.shards[i];
+    const std::string tag = "shard " + std::to_string(i);
+    if (w.accepted != g.accepted) {
+      return mismatch(tag + " accepted", w.accepted, g.accepted);
+    }
+    if (w.rejected != g.rejected) {
+      return mismatch(tag + " rejected", w.rejected, g.rejected);
+    }
+    if (w.shed != g.shed) return mismatch(tag + " shed", w.shed, g.shed);
+  }
+  return true;
+}
+
+void TraceRecorder::set_origin(Nanos origin_ns) {
+  lock_.lock();
+  origin_ = origin_ns;
+  lock_.unlock();
+}
+
+void TraceRecorder::on_arrival(Nanos at, std::uint32_t class_index,
+                               bool is_put, std::uint64_t key,
+                               TraceDecision decision, std::uint32_t shard) {
+  TraceRecord r;
+  r.class_index = class_index;
+  r.is_put = is_put;
+  r.key = key;
+  r.value_size = is_put ? kv_value_size(key) : 0;
+  r.decision = decision;
+  r.shard = shard;
+  lock_.lock();
+  r.at = at > origin_ ? at - origin_ : 0;
+  records_.push_back(r);
+  lock_.unlock();
+}
+
+void TraceRecorder::on_batch(std::uint32_t shard, std::uint32_t size) {
+  lock_.lock();
+  batches_[{shard, size}] += 1;
+  lock_.unlock();
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  lock_.lock();
+  const std::uint64_t n = records_.size();
+  lock_.unlock();
+  return n;
+}
+
+RecordedTrace TraceRecorder::finish(TraceMeta meta,
+                                    const LockRouteStats& routes) {
+  RecordedTrace trace;
+  trace.meta = std::move(meta);
+  lock_.lock();
+  trace.records = std::move(records_);
+  records_.clear();
+  for (const auto& [key, count] : batches_) {
+    trace.accounting.batches.push_back(
+        TraceBatchBucket{key.first, key.second, count});
+  }
+  batches_.clear();
+  origin_ = 0;
+  lock_.unlock();
+  trace.accounting.routes = routes;
+  trace.accounting.classes.resize(trace.meta.class_names.size());
+  for (std::size_t i = 0; i < trace.accounting.classes.size(); ++i) {
+    trace.accounting.classes[i].name = trace.meta.class_names[i];
+  }
+  trace.accounting.shards.resize(trace.meta.num_shards);
+  derive_totals(trace.records, trace.accounting.classes,
+                trace.accounting.shards);
+  return trace;
+}
+
+void write_trace(const RecordedTrace& trace, std::ostream& out) {
+  out << "asltrace v" << trace.version << "\n";
+  out << "scenario " << sanitize_token(trace.meta.scenario) << "\n";
+  out << "engine " << sanitize_token(trace.meta.engine) << "\n";
+  out << "horizon " << trace.meta.horizon << "\n";
+  out << "shards " << trace.meta.num_shards << "\n";
+  out << "twin_seed " << trace.meta.twin_seed << "\n";
+  out << "real " << (trace.meta.real_path ? 1 : 0) << "\n";
+  for (const TraceMeta::SpecSeed& s : trace.meta.seeds) {
+    out << "seed " << s.class_index << " " << s.seed << "\n";
+  }
+  for (const TraceClassTotals& c : trace.accounting.classes) {
+    out << "class " << sanitize_token(c.name) << " " << c.accepted << " "
+        << c.rejected << " " << c.shed << "\n";
+  }
+  for (const TraceShardTotals& s : trace.accounting.shards) {
+    out << "shard " << s.accepted << " " << s.rejected << " " << s.shed
+        << "\n";
+  }
+  const LockRouteStats& r = trace.accounting.routes;
+  out << "routes " << r.get_route_acquires << " " << r.put_route_acquires
+      << " " << r.cs_gets << " " << r.lockfree_gets << "\n";
+  for (const TraceBatchBucket& b : trace.accounting.batches) {
+    out << "batch " << b.shard << " " << b.size << " " << b.count << "\n";
+  }
+  out << "columns at,class,op,key,vsize,decision,shard\n";
+  out << "records " << trace.records.size() << "\n";
+  for (const TraceRecord& rec : trace.records) {
+    out << rec.at << "," << rec.class_index << "," << (rec.is_put ? 1 : 0)
+        << "," << rec.key << "," << rec.value_size << ","
+        << static_cast<unsigned>(rec.decision) << "," << rec.shard << "\n";
+  }
+  out << "end\n";
+}
+
+std::string trace_to_string(const RecordedTrace& trace) {
+  std::ostringstream out;
+  write_trace(trace, out);
+  return out.str();
+}
+
+bool parse_trace(std::istream& in, RecordedTrace* out, std::string* error) {
+  RecordedTrace trace;
+  std::string line;
+
+  if (!std::getline(in, line)) return fail(error, "empty input");
+  {
+    unsigned version = 0;
+    if (std::sscanf(line.c_str(), "asltrace v%u", &version) != 1) {
+      return fail(error, "missing 'asltrace v<N>' magic on line 1");
+    }
+    if (version != RecordedTrace::kVersion) {
+      return fail(error, "unsupported trace version v" +
+                             std::to_string(version) + " (this reader is v" +
+                             std::to_string(RecordedTrace::kVersion) + ")");
+    }
+    trace.version = version;
+  }
+
+  // Header section: named meta / seed / accounting lines in any order,
+  // terminated by the `columns` schema line.
+  bool saw_columns = false;
+  std::uint64_t record_count = 0;
+  bool saw_records = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) return fail(error, "blank line inside header");
+    if (key == "scenario") {
+      if (!(ls >> trace.meta.scenario)) return fail(error, "bad scenario line");
+    } else if (key == "engine") {
+      if (!(ls >> trace.meta.engine)) return fail(error, "bad engine line");
+    } else if (key == "horizon") {
+      if (!(ls >> trace.meta.horizon)) return fail(error, "bad horizon line");
+    } else if (key == "shards") {
+      if (!(ls >> trace.meta.num_shards) || trace.meta.num_shards == 0) {
+        return fail(error, "bad shards line");
+      }
+    } else if (key == "twin_seed") {
+      if (!(ls >> trace.meta.twin_seed)) {
+        return fail(error, "bad twin_seed line");
+      }
+    } else if (key == "real") {
+      int v = -1;
+      if (!(ls >> v) || (v != 0 && v != 1)) {
+        return fail(error, "bad real line");
+      }
+      trace.meta.real_path = v == 1;
+    } else if (key == "seed") {
+      TraceMeta::SpecSeed s;
+      if (!(ls >> s.class_index >> s.seed)) {
+        return fail(error, "bad seed line");
+      }
+      trace.meta.seeds.push_back(s);
+    } else if (key == "class") {
+      TraceClassTotals c;
+      if (!(ls >> c.name >> c.accepted >> c.rejected >> c.shed)) {
+        return fail(error, "bad class line");
+      }
+      trace.meta.class_names.push_back(c.name);
+      trace.accounting.classes.push_back(std::move(c));
+    } else if (key == "shard") {
+      TraceShardTotals s;
+      if (!(ls >> s.accepted >> s.rejected >> s.shed)) {
+        return fail(error, "bad shard line");
+      }
+      trace.accounting.shards.push_back(s);
+    } else if (key == "routes") {
+      LockRouteStats& r = trace.accounting.routes;
+      if (!(ls >> r.get_route_acquires >> r.put_route_acquires >> r.cs_gets >>
+            r.lockfree_gets)) {
+        return fail(error, "bad routes line");
+      }
+    } else if (key == "batch") {
+      TraceBatchBucket b;
+      if (!(ls >> b.shard >> b.size >> b.count)) {
+        return fail(error, "bad batch line");
+      }
+      trace.accounting.batches.push_back(b);
+    } else if (key == "columns") {
+      std::string schema;
+      ls >> schema;
+      if (schema != "at,class,op,key,vsize,decision,shard") {
+        return fail(error, "unexpected record schema '" + schema + "'");
+      }
+      saw_columns = true;
+      break;
+    } else {
+      return fail(error, "unknown header line '" + key + "'");
+    }
+  }
+  if (!saw_columns) return fail(error, "truncated: no columns line");
+
+  if (!std::getline(in, line)) return fail(error, "truncated: no records line");
+  {
+    unsigned long long n = 0;
+    if (std::sscanf(line.c_str(), "records %llu", &n) != 1) {
+      return fail(error, "bad records line '" + line + "'");
+    }
+    record_count = n;
+    saw_records = true;
+  }
+  (void)saw_records;
+
+  const std::size_t num_classes = trace.accounting.classes.size();
+  if (num_classes == 0) return fail(error, "no class lines");
+  if (trace.accounting.shards.size() != trace.meta.num_shards) {
+    return fail(error, "shard line count does not match shards header");
+  }
+  trace.records.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    if (!std::getline(in, line)) {
+      return fail(error, "truncated: " + std::to_string(i) + " of " +
+                             std::to_string(record_count) + " records");
+    }
+    unsigned long long at = 0, cls = 0, op = 0, key = 0, vsize = 0, dec = 0,
+                       shd = 0;
+    if (std::sscanf(line.c_str(), "%llu,%llu,%llu,%llu,%llu,%llu,%llu", &at,
+                    &cls, &op, &key, &vsize, &dec, &shd) != 7) {
+      return fail(error, "bad record line '" + line + "'");
+    }
+    if (cls >= num_classes) {
+      return fail(error, "record class " + std::to_string(cls) +
+                             " out of range");
+    }
+    if (op > 1) return fail(error, "record op out of range");
+    if (dec > 2) return fail(error, "record decision out of range");
+    if (shd >= trace.meta.num_shards) {
+      return fail(error, "record shard " + std::to_string(shd) +
+                             " out of range");
+    }
+    TraceRecord rec;
+    rec.at = static_cast<Nanos>(at);
+    rec.class_index = static_cast<std::uint32_t>(cls);
+    rec.is_put = op == 1;
+    rec.key = key;
+    rec.value_size = static_cast<std::uint32_t>(vsize);
+    rec.decision = static_cast<TraceDecision>(dec);
+    rec.shard = static_cast<std::uint32_t>(shd);
+    // Twin recordings are appended in virtual processing order, which is
+    // time-monotone by construction; an out-of-order stamp means the file
+    // was edited or mis-merged. Real-path recorder order is wall-clock
+    // append order and may legitimately jitter, so it is exempt.
+    if (!trace.meta.real_path && !trace.records.empty() &&
+        rec.at < trace.records.back().at) {
+      return fail(error, "record " + std::to_string(i) +
+                             " out of time order in a twin trace");
+    }
+    trace.records.push_back(rec);
+  }
+  if (!std::getline(in, line) || line != "end") {
+    return fail(error, "truncated: missing end trailer");
+  }
+
+  // Cross-check the file's own totals against its record stream: a trace
+  // whose summary disagrees with its records is corrupt, not replayable.
+  std::vector<TraceClassTotals> classes(num_classes);
+  std::vector<TraceShardTotals> shards(trace.meta.num_shards);
+  for (std::size_t i = 0; i < num_classes; ++i) {
+    classes[i].name = trace.accounting.classes[i].name;
+  }
+  derive_totals(trace.records, classes, shards);
+  TraceAccounting derived;
+  derived.classes = std::move(classes);
+  derived.shards = std::move(shards);
+  std::string why;
+  if (!accounting_counts_match(trace.accounting, derived, &why)) {
+    return fail(error, "totals do not match record stream (" + why + ")");
+  }
+
+  *out = std::move(trace);
+  return true;
+}
+
+bool save_trace(const RecordedTrace& trace, const std::string& path,
+                std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return fail(error, "cannot open '" + path + "' for writing");
+  write_trace(trace, out);
+  out.flush();
+  if (!out) return fail(error, "write to '" + path + "' failed");
+  return true;
+}
+
+bool load_trace(const std::string& path, RecordedTrace* out,
+                std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(error, "cannot open '" + path + "'");
+  return parse_trace(in, out, error);
+}
+
+bool TraceSource::open(const std::string& path, TraceSource* out,
+                       std::string* error) {
+  RecordedTrace trace;
+  if (!load_trace(path, &trace, error)) return false;
+  out->trace_ = std::move(trace);
+  return true;
+}
+
+}  // namespace asl::server

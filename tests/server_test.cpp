@@ -4,16 +4,20 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "asl/runtime.h"
 #include "server/kv_service.h"
+#include "server/replay.h"
 #include "server/request_queue.h"
 #include "server/scenarios.h"
+#include "server/sim_kv_service.h"
 #include "workload/keydist.h"
 #include "workload/open_loop.h"
+#include "workload/trace.h"
 
 namespace asl::server {
 namespace {
@@ -718,6 +722,132 @@ TEST(OpenLoopGenerator, ZipfianSkewsAndUniformDoesNot) {
   // several percent of all draws on the hottest key.
   EXPECT_LT(uniform_max, 60u);
   EXPECT_GT(zipf_max, uniform_max * 5);
+}
+
+TEST(TraceReplay, RealPathRecorderCapturesDecisionsAndBatches) {
+  // The recorder hook on the real path: every try_submit outcome lands in
+  // the trace with the decision the service actually took, and every
+  // drained batch lands in the histogram. Reuses the watermark episode of
+  // LooseClassShedsAtWatermarkTightKeepsTheQueue, so the expected decision
+  // counts are already pinned above.
+  KvServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.queue_capacity = 16;
+  cfg.classes.push_back(RequestClass{"rec-tight", 1 * kNanosPerMilli, {}});
+  cfg.classes.push_back(
+      RequestClass{"rec-loose", 4 * kNanosPerMilli, AdmissionPolicy{1, 0.5}});
+  KvService service(cfg);  // not started: queues can only fill
+  TraceRecorder recorder;
+  service.set_recorder(&recorder);
+
+  for (std::uint64_t key = 0; key < 20; ++key) {
+    service.try_submit(OpType::kPut, key, 1);
+  }
+  for (std::uint64_t key = 20; key < 40; ++key) {
+    service.try_submit(OpType::kGet, key, 0);
+  }
+  EXPECT_EQ(recorder.recorded(), 40u);
+  service.start();
+  service.stop();
+  service.set_recorder(nullptr);
+
+  TraceMeta meta;
+  meta.scenario = "recorder-unit";
+  meta.num_shards = cfg.num_shards;
+  meta.real_path = true;
+  meta.class_names = {"rec-tight", "rec-loose"};
+  const RecordedTrace trace =
+      recorder.finish(std::move(meta), service.lock_route_stats());
+
+  // Decision totals derived from the records equal the service's own
+  // accounting (8 admits per class; loose bounces all sheds, tight bounces
+  // all full-queue rejects).
+  const ServiceReport report = service.report();
+  ASSERT_EQ(trace.accounting.classes.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(trace.accounting.classes[i].accepted, report.classes[i].accepted);
+    EXPECT_EQ(trace.accounting.classes[i].rejected, report.classes[i].rejected);
+    EXPECT_EQ(trace.accounting.classes[i].shed, report.classes[i].shed);
+  }
+  EXPECT_EQ(trace.accounting.classes[1].shed, 12u);
+  EXPECT_EQ(trace.accounting.classes[0].shed, 0u);
+
+  // The batch histogram counts exactly the lock acquisitions.
+  const LockRouteStats routes = service.lock_route_stats();
+  std::uint64_t batch_total = 0, batched_requests = 0;
+  for (const TraceBatchBucket& b : trace.accounting.batches) {
+    batch_total += b.count;
+    batched_requests += b.count * b.size;
+  }
+  EXPECT_EQ(batch_total, routes.get_route_acquires + routes.put_route_acquires);
+  EXPECT_EQ(batched_requests, report.total_completed())
+      << "hash engine: every completed request rode exactly one batch";
+
+  // A real-path trace serializes and re-parses (arrival stamps are
+  // wall-clock and exempt from the twin's monotonicity rule).
+  const std::string bytes = trace_to_string(trace);
+  RecordedTrace parsed;
+  std::string error;
+  std::istringstream in(bytes);
+  ASSERT_TRUE(parse_trace(in, &parsed, &error)) << error;
+  EXPECT_EQ(trace_to_string(parsed), bytes);
+}
+
+TEST(TraceReplay, RealPathReplayReproducesRecordedAccounting) {
+  // The decision-parity guarantee (server/replay.h): a twin-recorded
+  // overloaded trace — admits, sheds and full-queue rejects all present —
+  // replayed onto a live service with queue headroom reproduces the
+  // recorded accounting exactly. Enforced bounces are accounted without
+  // being re-offered; recorded admits must all be re-admitted live, so
+  // divergence is structurally zero here and asserted as such.
+  // The default 20 ms overload horizon: long enough for the queues to climb
+  // past the shed watermark and then fill outright, so the trace carries
+  // all three decisions.
+  const KvScenario sc = make_overloaded_kv_scenario("kv_batch_shed", 8.0);
+  const RecordedTrace trace = record_sim_kv(sc);
+  std::uint64_t rec_accepted = 0, rec_rejected = 0, rec_shed = 0;
+  for (const TraceClassTotals& c : trace.accounting.classes) {
+    rec_accepted += c.accepted;
+    rec_rejected += c.rejected;
+    rec_shed += c.shed;
+  }
+  ASSERT_GT(rec_accepted, 0u);
+  ASSERT_GT(rec_shed, 0u) << "the overload profile must exercise shedding";
+
+  KvServiceConfig cfg = sc.service;
+  cfg.queue_capacity = 4096;  // headroom >> recorded accepted load
+  KvService service(cfg);
+  TraceRecorder rerecorder;  // re-record the replay through the real hook
+  service.set_recorder(&rerecorder);
+  service.start();
+
+  ReplayOptions options;
+  options.time_scale = 0.0;  // no pacing: order and accounting, not tempo
+  const RealReplayResult result = replay_trace(service, trace, options);
+  service.stop();
+  service.set_recorder(nullptr);
+
+  EXPECT_EQ(result.offered, trace.offered());
+  EXPECT_EQ(result.skipped, 0u);
+  EXPECT_EQ(result.divergence, 0u);
+  EXPECT_EQ(result.accepted, rec_accepted);
+  EXPECT_EQ(result.rejected, 0u) << "headroom: no live bounces";
+  EXPECT_EQ(result.submitted, rec_accepted);
+  EXPECT_EQ(result.enforced_shed, rec_shed);
+  EXPECT_EQ(result.enforced_reject, rec_rejected - rec_shed);
+  EXPECT_EQ(rerecorder.recorded(), result.submitted)
+      << "the service's recorder saw exactly the re-offered stream";
+
+  std::string why;
+  EXPECT_TRUE(accounting_counts_match(trace.accounting, result.accounting,
+                                      &why))
+      << why;
+
+  // The service itself completed exactly the recorded accepted stream.
+  const ServiceReport report = service.report();
+  EXPECT_EQ(report.total_accepted(), rec_accepted);
+  EXPECT_EQ(report.total_completed(), rec_accepted);
+  EXPECT_EQ(report.total_rejected(), 0u);
 }
 
 }  // namespace

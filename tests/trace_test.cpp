@@ -1,0 +1,265 @@
+// Trace record/replay suite (DESIGN.md §10). Four anchors:
+//  * serialization: write -> parse -> write is byte-stable, and the parser
+//    is strict (version mismatch, truncation, totals/stream disagreement
+//    and missing files are loud failures, never best-effort reads);
+//  * determinism: over randomized service configs, replaying a recorded
+//    trace through a fresh twin re-takes every decision and reproduces the
+//    measured/shard tables byte-for-byte;
+//  * the golden trace: tests/golden/kv_replay_steady.trace pins both the
+//    recorder's output bytes and the replay result across commits
+//    (regenerate after an intentional change: ASL_WRITE_GOLDEN=1);
+//  * the A/B harness: two policies replayed on one recorded trace produce
+//    a paired-difference table whose deltas have the expected sign.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/ab_compare.h"
+#include "platform/rng.h"
+#include "server/scenarios.h"
+#include "server/sim_kv_service.h"
+#include "workload/trace.h"
+
+namespace asl {
+namespace {
+
+using server::RecordedTrace;
+using server::SimReplayReport;
+using server::SimServiceReport;
+using server::SimTwinConfig;
+using server::TraceAccounting;
+using server::TraceDecision;
+
+// The golden recording: the steady uniform scenario compressed to a 40 ms
+// horizon (the sim_kv bench time-scale rule), small enough to check in,
+// long enough to exercise batching on every shard.
+server::KvScenario golden_scenario() {
+  server::KvScenario sc = server::make_kv_scenario("kv_uniform_steady");
+  const double scale = 0.1;
+  sc.horizon = static_cast<Nanos>(static_cast<double>(sc.horizon) * scale);
+  for (server::LoadSpec& spec : sc.load) {
+    spec.arrivals = spec.arrivals.with_time_scale(scale);
+  }
+  return sc;
+}
+
+std::string measured_csv(const SimServiceReport& report) {
+  std::ostringstream out;
+  server::sim_kv_measured_table(report).print_csv(out);
+  server::sim_kv_shard_table(report).print_csv(out);
+  return out.str();
+}
+
+bool parse_string(const std::string& bytes, RecordedTrace* out,
+                  std::string* error) {
+  std::istringstream in(bytes);
+  return server::parse_trace(in, out, error);
+}
+
+TEST(Trace, SerializationRoundTripsByteIdentically) {
+  const RecordedTrace trace = server::record_sim_kv(golden_scenario());
+  ASSERT_GT(trace.offered(), 0u);
+
+  const std::string bytes = server::trace_to_string(trace);
+  RecordedTrace parsed;
+  std::string error;
+  ASSERT_TRUE(parse_string(bytes, &parsed, &error)) << error;
+  EXPECT_EQ(server::trace_to_string(parsed), bytes);
+  EXPECT_EQ(parsed.offered(), trace.offered());
+  EXPECT_EQ(parsed.meta.scenario, trace.meta.scenario);
+  EXPECT_EQ(parsed.meta.twin_seed, trace.meta.twin_seed);
+  EXPECT_EQ(parsed.meta.seeds.size(), trace.meta.seeds.size());
+
+  // The recorded value sizes follow the service's value formatting rule.
+  for (const server::TraceRecord& rec : trace.records) {
+    EXPECT_EQ(rec.value_size,
+              rec.is_put ? server::kv_value_size(rec.key) : 0u);
+  }
+}
+
+TEST(Trace, ReplayIsExactAcrossRandomizedConfigs) {
+  // Property: for any service config, replaying a twin recording under the
+  // recorded config + twin seed re-takes every decision and reproduces the
+  // measured and shard tables byte-for-byte. Configs are drawn from one
+  // splitmix64 chain so a failure names a reproducible case.
+  const char* const kEngines[] = {"hash", "btree", "mvcc", "lsm"};
+  std::uint64_t state = 0xC0FFEE;
+  for (int i = 0; i < 6; ++i) {
+    const char* engine = kEngines[splitmix64(state) % 4];
+    server::KvScenario sc =
+        server::make_kv_scenario("kv_uniform_steady", engine);
+    const double scale = 0.05;
+    sc.horizon = static_cast<Nanos>(static_cast<double>(sc.horizon) * scale);
+    for (server::LoadSpec& spec : sc.load) {
+      spec.arrivals = spec.arrivals.with_time_scale(scale);
+      spec.seed = splitmix64(state);
+    }
+    sc.service.num_shards = 1 + static_cast<std::uint32_t>(
+                                    splitmix64(state) % 4);
+    sc.service.batch_k = 1 + static_cast<std::uint32_t>(
+                                 splitmix64(state) % 8);
+    // Small queues + an occasional watermark make rejects and sheds show
+    // up in the trace, so all three decisions are exercised.
+    sc.service.queue_capacity = 16u << (splitmix64(state) % 3);
+    if (splitmix64(state) % 2 == 0) {
+      sc.service.classes[1].admission = server::AdmissionPolicy{1, 0.5};
+    }
+    SimTwinConfig twin;
+    twin.seed = splitmix64(state);
+
+    SimServiceReport recorded_report;
+    const RecordedTrace trace =
+        server::record_sim_kv(sc, twin, &recorded_report);
+    ASSERT_GT(trace.offered(), 0u) << "case " << i;
+    EXPECT_EQ(trace.offered(), recorded_report.offered) << "case " << i;
+
+    const SimReplayReport rr =
+        server::replay_sim_kv(trace, sc.service, twin);
+    EXPECT_TRUE(rr.exact())
+        << "case " << i << ": divergence " << rr.decision_divergence << "/"
+        << rr.shard_divergence << " skipped " << rr.skipped;
+    EXPECT_EQ(measured_csv(rr.report), measured_csv(recorded_report))
+        << "case " << i;
+    std::string why;
+    EXPECT_TRUE(server::accounting_counts_match(
+        trace.accounting, server::sim_trace_accounting(rr.report), &why))
+        << "case " << i << ": " << why;
+  }
+}
+
+TEST(Trace, GoldenReplayTraceMatchesCheckedInFile) {
+  // Two pins in one file: freshly recording the golden scenario must
+  // reproduce the checked-in bytes exactly (recorder format + offered
+  // schedule + decisions), and replaying the *loaded* file must be exact.
+  const std::string path =
+      std::string(ASL_GOLDEN_DIR) + "/kv_replay_steady.trace";
+  const server::KvScenario sc = golden_scenario();
+  SimServiceReport recorded_report;
+  const RecordedTrace fresh = server::record_sim_kv(sc, {}, &recorded_report);
+  const std::string bytes = server::trace_to_string(fresh);
+
+  if (std::getenv("ASL_WRITE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << bytes;
+    GTEST_SKIP() << "golden trace regenerated";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden trace " << path
+                  << " (regenerate with ASL_WRITE_GOLDEN=1)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(golden.str(), bytes)
+      << "recording drifted from the checked-in trace; if the change is "
+         "intentional, regenerate with ASL_WRITE_GOLDEN=1";
+
+  RecordedTrace loaded;
+  std::string error;
+  ASSERT_TRUE(server::load_trace(path, &loaded, &error)) << error;
+  SimTwinConfig twin;
+  twin.seed = loaded.meta.twin_seed;
+  const SimReplayReport rr = server::replay_sim_kv(loaded, sc.service, twin);
+  EXPECT_TRUE(rr.exact());
+  EXPECT_EQ(measured_csv(rr.report), measured_csv(recorded_report));
+}
+
+TEST(Trace, VersionMismatchIsRejectedLoudly) {
+  const RecordedTrace trace = server::record_sim_kv(golden_scenario());
+  std::string bytes = server::trace_to_string(trace);
+  ASSERT_EQ(bytes.rfind("asltrace v1\n", 0), 0u);
+  bytes.replace(0, std::string("asltrace v1").size(), "asltrace v99");
+
+  RecordedTrace parsed;
+  std::string error;
+  EXPECT_FALSE(parse_string(bytes, &parsed, &error));
+  EXPECT_NE(error.find("unsupported trace version v99"), std::string::npos)
+      << error;
+}
+
+TEST(Trace, TruncatedTraceIsRejected) {
+  const RecordedTrace trace = server::record_sim_kv(golden_scenario());
+  const std::string bytes = server::trace_to_string(trace);
+  RecordedTrace parsed;
+  std::string error;
+
+  // Missing `end` trailer — the classic lost-last-write truncation.
+  const std::string no_trailer =
+      bytes.substr(0, bytes.size() - std::string("end\n").size());
+  EXPECT_FALSE(parse_string(no_trailer, &parsed, &error));
+  EXPECT_NE(error.find("end"), std::string::npos) << error;
+
+  // Cut mid-records.
+  EXPECT_FALSE(parse_string(bytes.substr(0, bytes.size() / 2), &parsed,
+                            &error));
+}
+
+TEST(Trace, TotalsStreamDisagreementIsRejected) {
+  // A trace whose summary lines disagree with its own record stream is
+  // corrupt (edited or mis-merged), not replayable.
+  RecordedTrace trace = server::record_sim_kv(golden_scenario());
+  trace.accounting.classes[0].accepted += 1;
+  RecordedTrace parsed;
+  std::string error;
+  EXPECT_FALSE(parse_string(server::trace_to_string(trace), &parsed, &error));
+  EXPECT_NE(error.find("totals do not match record stream"),
+            std::string::npos)
+      << error;
+}
+
+TEST(Trace, TraceSourceReportsMissingAndBadFiles) {
+  server::TraceSource source;
+  std::string error;
+  EXPECT_FALSE(server::TraceSource::open("/nonexistent/asl.trace", &source,
+                                         &error));
+  EXPECT_FALSE(error.empty());
+
+  // A valid trace opens and exposes the parsed stream.
+  const RecordedTrace trace = server::record_sim_kv(golden_scenario());
+  const std::string path = ::testing::TempDir() + "trace_test_roundtrip.trace";
+  ASSERT_TRUE(server::save_trace(trace, path, &error)) << error;
+  ASSERT_TRUE(server::TraceSource::open(path, &source, &error)) << error;
+  EXPECT_EQ(source.offered(), trace.offered());
+  EXPECT_EQ(server::trace_to_string(source.trace()),
+            server::trace_to_string(trace));
+  std::remove(path.c_str());
+}
+
+TEST(AbCompare, BatchEightBeatsBatchOneOnTheSameTrace) {
+  // The harness smoke: one recorded overloaded trace, two batching
+  // policies. The A arm (the recorded config) must replay exactly; the
+  // batch-8 arm must complete strictly more of the identical offered
+  // stream (the kv_batch_sweep monotonicity, now paired per-request).
+  server::KvScenario sc = server::make_overloaded_kv_scenario(
+      "kv_batch_shed", 8.0, 10 * kNanosPerMilli);
+  sc.service.batch_k = 1;
+  sc.service.classes[1].admission = server::AdmissionPolicy{};
+  const RecordedTrace trace = server::record_sim_kv(sc);
+  ASSERT_GT(trace.offered(), 0u);
+
+  bench::AbPolicy batch1{"batch1", sc.service, {}};
+  bench::AbPolicy batch8 = batch1;
+  batch8.label = "batch8";
+  batch8.service.batch_k = 8;
+  const bench::AbComparison cmp = bench::ab_compare(trace, batch1, batch8);
+
+  EXPECT_TRUE(cmp.a.exact());
+  std::string why;
+  EXPECT_TRUE(server::accounting_counts_match(
+      trace.accounting, server::sim_trace_accounting(cmp.a.report), &why))
+      << why;
+  EXPECT_GT(cmp.b.report.total_completed(), cmp.a.report.total_completed());
+  EXPECT_LT(cmp.b.report.total_rejected(), cmp.a.report.total_rejected());
+
+  std::ostringstream csv;
+  bench::ab_difference_table(cmp).print_csv(csv);
+  EXPECT_NE(csv.str().find("TOTAL"), std::string::npos);
+  EXPECT_NE(csv.str().find("batch1_completed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asl
