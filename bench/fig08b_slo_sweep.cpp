@@ -2,8 +2,15 @@
 // and the little-core P99 sticks to the Y=X line; below the FIFO-achievable
 // latency, LibASL falls back to MCS behaviour.
 //
+// The sweep runs through the paper's SLO profiling tool (Section 3.1,
+// asl/profiler.h): SloProfiler::sweep iterates the SLO range, the simulator
+// provides the measurement callback, and graph_table renders the
+// latency-throughput graph — the same artifact the tool hands a developer
+// choosing an SLO. recommend() then picks the knee.
+//
 // Also runs the DESIGN.md ablation 1: the percentile-derived AIMD growth
 // unit vs a fixed growth unit (WindowController::Config::fixed_unit).
+#include "asl/profiler.h"
 #include "bench_common.h"
 #include "sim/sim_runner.h"
 
@@ -15,32 +22,42 @@ ASL_SCENARIO(fig08b_slo_sweep,
              "Figure 8b: Bench-1 with variant SLOs (LibASL feedback)") {
   ctx.banner("Figure 8b", "Bench-1 with variant SLOs (LibASL feedback)");
 
-  Table table({"slo_us", "big_p99_us", "little_p99_us", "overall_p99_us",
-               "tput_ops"});
   auto gen = bench1_workload();
+  SloProfiler profiler;
+  // 10..100 us in 10 linear steps: 10, 20, ..., 100.
+  const SloProfiler::Range range{10 * kMicro, 100 * kMicro, 10};
+  const std::vector<SloPoint> points =
+      profiler.sweep(range, [&](std::uint64_t slo) {
+        SimResult r = run_sim(ctx.scaled(bench1_asl_config(slo)), gen);
+        SloPoint p;
+        p.throughput = r.cs_throughput();
+        p.p99_big = r.latency.p99_big();
+        p.p99_little = r.latency.p99_little();
+        p.p99_overall = r.latency.p99_overall();
+        return p;
+      });
+  ctx.emit(SloProfiler::graph_table(points), "slo_sweep");
 
   double tput_20 = 0, tput_100 = 0;
   bool slo_tracked = true;
-  for (Time slo_us : {5u, 10u, 20u, 30u, 40u, 50u, 60u, 70u, 80u, 90u, 100u}) {
-    const Time slo = slo_us * kMicro;
-    SimResult r = run_sim(ctx.scaled(bench1_asl_config(slo)), gen);
-    table.add_row({std::to_string(slo_us),
-                   Table::fmt_ns_as_us(r.latency.p99_big()),
-                   Table::fmt_ns_as_us(r.latency.p99_little()),
-                   Table::fmt_ns_as_us(r.latency.p99_overall()),
-                   Table::fmt_ops(r.cs_throughput())});
-    if (slo_us == 20) tput_20 = r.cs_throughput();
-    if (slo_us == 100) tput_100 = r.cs_throughput();
-    if (slo_us >= 30) {
-      slo_tracked = slo_tracked && r.latency.p99_little() <= slo * 13 / 10;
+  for (const SloPoint& p : points) {
+    if (p.slo_ns == 20 * kMicro) tput_20 = p.throughput;
+    if (p.slo_ns == 100 * kMicro) tput_100 = p.throughput;
+    if (p.slo_ns >= 30 * kMicro) {
+      slo_tracked = slo_tracked && p.p99_little <= p.slo_ns * 13 / 10;
     }
   }
-  ctx.emit(table, "slo_sweep");
-
   ctx.shape_check(tput_100 > tput_20,
                   "throughput increases with a larger SLO");
   ctx.shape_check(slo_tracked,
                   "little-core P99 tracks the SLO (sticks to the Y=X line)");
+
+  const SloPoint* knee = SloProfiler::recommend(points);
+  ctx.shape_check(knee != nullptr, "profiler recommends an SLO knee");
+  if (knee != nullptr) {
+    ctx.note("recommended SLO (95% of best throughput): " +
+             std::to_string(knee->slo_ns / kMicro) + " us");
+  }
 
   // Ablation 1: percentile-derived unit vs a genuinely fixed tiny unit
   // (Config::fixed_unit keeps the growth unit constant instead of

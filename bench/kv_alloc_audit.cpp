@@ -22,6 +22,7 @@
 #include "bench_common.h"
 #include "platform/rng.h"
 #include "server/kv_service.h"
+#include "server/telemetry.h"
 
 namespace asl::bench {
 namespace {
@@ -38,7 +39,12 @@ using server::OpType;
 // CostProfile::allocs prices them instead (DESIGN.md §7/§9).
 const char* const kAuditedEngines[] = {"hash", "btree", "mvcc"};
 
-KvServiceConfig audit_config(const std::string& engine) {
+// With --telemetry=on the audited service also runs the full observation
+// pipeline (DESIGN.md §11): a live 1 ms sampler folding the metrics
+// registry plus 1-in-64 span tracing. The zero-allocation bar is unchanged —
+// wait-free recording and preallocated fold scratch are part of the
+// telemetry contract, and this mode is the gate that keeps them true.
+KvServiceConfig audit_config(const std::string& engine, bool telemetry_on) {
   KvServiceConfig cfg;
   cfg.engine = engine;
   cfg.num_shards = 2;
@@ -50,6 +56,12 @@ KvServiceConfig audit_config(const std::string& engine) {
   cfg.prefill_keys = 512;
   cfg.classes.push_back(
       server::RequestClass{"audit", /*slo_ns=*/2 * kNanosPerMilli});
+  if (telemetry_on) {
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.sample_period_ns = 1 * kNanosPerMilli;
+    cfg.telemetry.span_sample_every = 64;
+    cfg.telemetry.span_ring_capacity = 512;
+  }
   return cfg;
 }
 
@@ -81,8 +93,14 @@ void quiesce(KvService& service) {
 }
 
 void run_alloc_audit(ScenarioContext& ctx) {
+  const bool telemetry_on = ctx.option("telemetry") == "on";
   ctx.banner("kv_alloc_audit",
              "steady-state heap allocations per request (must be zero)");
+  ctx.note(telemetry_on
+               ? "telemetry ON: live sampler + span tracing inside the "
+                 "audited windows"
+               : "telemetry off (pass --telemetry=on to audit the "
+                 "observation pipeline too)");
   ctx.shape_check(alloc_counting_linked(),
                   "allocation-counting hooks are linked into this binary");
   // Liveness probe: a deliberate allocation must move the counter, so a
@@ -102,7 +120,7 @@ void run_alloc_audit(ScenarioContext& ctx) {
   Table table({"engine", "warmup_windows", "warmup_allocs", "steady_reqs",
                "steady_allocs", "steady_bytes", "allocs_per_kreq"});
   for (const char* engine : kAuditedEngines) {
-    KvService service(audit_config(engine));
+    KvService service(audit_config(engine, telemetry_on));
     service.start();
     Rng rng(0x5eedu);
 
@@ -148,6 +166,15 @@ void run_alloc_audit(ScenarioContext& ctx) {
     ctx.shape_check(steady_allocs == 0,
                     std::string(engine) +
                         ": zero steady-state heap allocations per request");
+    if (telemetry_on) {
+      // The sampler must actually have been live during the audited
+      // traffic — a zero with a dead sampler would prove nothing about the
+      // fold path.
+      ctx.shape_check(service.telemetry() != nullptr &&
+                          service.telemetry()->ticks() > 0,
+                      std::string(engine) +
+                          ": sampler folded ticks during the audit");
+    }
   }
   ctx.emit(table, "alloc_audit");
   ctx.note("steady_allocs is a process-wide operator-new delta over the "

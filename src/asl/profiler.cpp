@@ -21,17 +21,22 @@ std::vector<SloPoint> SloProfiler::sweep(const Range& range,
   return points;
 }
 
-void SloProfiler::print_graph(const std::vector<SloPoint>& points,
-                              std::ostream& os) {
-  Table table({"slo_us", "big_p99_us", "little_p99_us", "overall_p99_us",
-               "throughput_ops"});
+Table SloProfiler::graph_table(const std::vector<SloPoint>& points) {
+  Table table(
+      {"slo_us", "big_p99_us", "little_p99_us", "overall_p99_us", "tput_ops"});
   for (const SloPoint& p : points) {
-    table.add_row({Table::fmt_ns_as_us(p.slo_ns), Table::fmt_ns_as_us(p.p99_big),
+    table.add_row({Table::fmt_ns_as_us(p.slo_ns),
+                   Table::fmt_ns_as_us(p.p99_big),
                    Table::fmt_ns_as_us(p.p99_little),
                    Table::fmt_ns_as_us(p.p99_overall),
                    Table::fmt_ops(p.throughput)});
   }
-  table.print(os);
+  return table;
+}
+
+void SloProfiler::print_graph(const std::vector<SloPoint>& points,
+                              std::ostream& os) {
+  graph_table(points).print(os);
 }
 
 const SloPoint* SloProfiler::recommend(const std::vector<SloPoint>& points,

@@ -117,11 +117,16 @@ int scenario_main(int argc, char** argv, const char* default_scenario) {
       options["seed"] = value_of("--seed=");
     } else if (arg.rfind("--trace=", 0) == 0) {
       options["trace"] = value_of("--trace=");
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      options["telemetry"] = value_of("--telemetry=");
+    } else if (arg.rfind("--spans=", 0) == 0) {
+      options["spans"] = value_of("--spans=");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--list] [--all] [--time-scale=F] [--csv=PATH] "
                    "[--engine=NAME] [--mix=NAME|R:W] [--seed=N] "
-                   "[--trace=PATH] [scenario...]\n";
+                   "[--trace=PATH] [--telemetry=on|off] [--spans=PATH] "
+                   "[scenario...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << " (try --help)\n";

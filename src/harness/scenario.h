@@ -133,6 +133,11 @@ struct ScenarioRegistrar {
 //   --trace=<path>         trace file option for the record/replay
 //                          scenarios (kv_record writes it, kv_replay reads
 //                          it; an unreadable value is a shape FAIL)
+//   --telemetry=<on|off>   telemetry toggle for scenarios that support it
+//                          (kv_alloc_audit: audit with the sampler live)
+//   --spans=<path>         Chrome-trace JSON output for span-tracing
+//                          scenarios (kv_telemetry writes it; load it in
+//                          Perfetto / chrome://tracing)
 //   <name>...              scenarios to run (default: `default_scenario`,
 //                          or --list behaviour when none is configured)
 // Exit code 0 iff every shape check of every scenario passed.

@@ -1,0 +1,57 @@
+#include "obs/sampler.h"
+
+#include <chrono>
+#include <utility>
+
+namespace asl::obs {
+
+Sampler::Sampler(Nanos period_ns, TickFn on_tick)
+    : period_(period_ns < 1 ? 1 : period_ns), on_tick_(std::move(on_tick)) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (started_ || stopped_) return;
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Sampler::run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    // Timed wait, not a sleep: stop() interrupts the period immediately, so
+    // shutdown latency is join cost, not a leftover fraction of the period.
+    if (cv_.wait_for(lk, std::chrono::nanoseconds(period_),
+                     [this] { return stop_requested_; })) {
+      break;
+    }
+    const std::uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed);
+    // The fold runs outside mu_ so a long tick never delays the stop signal
+    // being *posted* (stop still joins the in-flight tick, as it must — the
+    // final tick is only final if no periodic fold runs after it).
+    lk.unlock();
+    on_tick_(tick, now_ns());
+    lk.lock();
+  }
+}
+
+void Sampler::stop() {
+  std::thread to_join;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stop_requested_ = true;
+    cv_.notify_all();
+    if (stopped_) return;  // a finished (or finishing) stop already owns it
+    stopped_ = true;
+    to_join = std::move(thread_);
+  }
+  // Join outside mu_ — the sampling thread reacquires mu_ to re-check the
+  // stop flag, so joining under the lock would deadlock.
+  if (to_join.joinable()) to_join.join();
+  // Exactly one final tick, after the thread is gone (or if it never
+  // existed): the one sample guaranteed to observe fully-drained state.
+  on_tick_(ticks_.fetch_add(1, std::memory_order_relaxed), now_ns());
+}
+
+}  // namespace asl::obs

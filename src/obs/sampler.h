@@ -1,0 +1,67 @@
+// Periodic sampler thread — the fold half of the telemetry layer
+// (DESIGN.md §11).
+//
+// A Sampler owns one background thread that invokes the tick callback every
+// `period_ns` until stop(). The callback does the folding (registry sums ->
+// time-series appends); the Sampler only provides the cadence and the
+// lifecycle contract the KvService tests pin:
+//   * start()/stop() are idempotent and compose from concurrent threads
+//     (same discipline as KvService's lifecycle lock, DESIGN.md §4);
+//   * stop() wakes the thread promptly (condition variable, not a sleep
+//     poll), joins it, and then runs exactly one FINAL tick inline — so the
+//     last sample always observes the post-drain state (queues empty,
+//     counters final), and a service that was never start()ed still emits
+//     one sample on stop() (mirroring stop()-without-start()'s inline
+//     drain);
+//   * the periodic path never allocates: the callback is constructed once
+//     up front, and a condition-variable timed wait has no heap traffic —
+//     required for the telemetry-on kv_alloc_audit zero.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "platform/time.h"
+
+namespace asl::obs {
+
+class Sampler {
+ public:
+  // `tick` is the 0-based tick index; `now` is the wall clock at the fold.
+  using TickFn = std::function<void(std::uint64_t tick, Nanos now)>;
+
+  Sampler(Nanos period_ns, TickFn on_tick);
+  ~Sampler();  // stop()s, so an owner's destructor order is forgiving
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  // Spawns the sampling thread. Idempotent; a no-op after stop().
+  void start();
+
+  // Signals, joins, then runs the one final tick. Idempotent — the final
+  // tick fires exactly once across every start/stop interleaving,
+  // including stop() with no start() at all.
+  void stop();
+
+  // Ticks completed so far (the final tick included once stop() returns).
+  std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void run();
+
+  Nanos period_;
+  TickFn on_tick_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;        // guarded by mu_
+  bool stop_requested_ = false; // guarded by mu_
+  bool stopped_ = false;        // guarded by mu_; final tick fired
+  std::thread thread_;
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+}  // namespace asl::obs

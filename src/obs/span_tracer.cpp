@@ -1,0 +1,79 @@
+#include "obs/span_tracer.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace asl::obs {
+
+const char* span_phase_name(SpanPhase phase) {
+  switch (phase) {
+    case SpanPhase::kQueueWait: return "queue-wait";
+    case SpanPhase::kLockWait: return "lock-wait";
+    case SpanPhase::kCriticalSection: return "critical-section";
+    case SpanPhase::kPostSection: return "post-section";
+  }
+  return "unknown";
+}
+
+SpanTracer::SpanTracer(std::uint32_t num_threads, std::size_t ring_capacity,
+                       std::uint32_t sample_every)
+    : sample_every_(sample_every),
+      rings_(num_threads < 1 ? 1 : num_threads) {
+  const std::size_t cap = ring_capacity < 1 ? 1 : ring_capacity;
+  for (ThreadRing& r : rings_) {
+    r.ring.resize(cap);
+  }
+}
+
+std::uint64_t SpanTracer::recorded() const {
+  std::uint64_t n = 0;
+  for (const ThreadRing& r : rings_) n += r.head;
+  return n;
+}
+
+std::uint64_t SpanTracer::dropped() const {
+  std::uint64_t n = 0;
+  for (const ThreadRing& r : rings_) {
+    if (r.head > r.ring.size()) n += r.head - r.ring.size();
+  }
+  return n;
+}
+
+std::vector<Span> SpanTracer::collect() const {
+  std::vector<Span> out;
+  for (const ThreadRing& r : rings_) {
+    const std::uint64_t cap = r.ring.size();
+    const std::uint64_t kept = r.head < cap ? r.head : cap;
+    // Oldest surviving span first: when the ring wrapped, that is the slot
+    // head points at (the one the next write would overwrite).
+    for (std::uint64_t i = 0; i < kept; ++i) {
+      out.push_back(r.ring[(r.head - kept + i) % cap]);
+    }
+  }
+  return out;
+}
+
+void SpanTracer::write_chrome_trace(std::ostream& os, Nanos epoch_ns) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const Span& span : collect()) {
+    // trace-event ts/dur are microseconds; emit ns-precision decimals so
+    // nothing rounds away at the tens-of-ns scale lock handoffs live at.
+    const Nanos rel = span.start > epoch_ns ? span.start - epoch_ns : 0;
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"name\":\"%s\",\"cat\":\"kv\",\"ph\":\"X\","
+        "\"ts\":%llu.%03llu,\"dur\":%llu.%03llu,\"pid\":1,\"tid\":%u}",
+        first ? "" : ",", span_phase_name(span.phase),
+        static_cast<unsigned long long>(rel / 1000),
+        static_cast<unsigned long long>(rel % 1000),
+        static_cast<unsigned long long>(span.dur / 1000),
+        static_cast<unsigned long long>(span.dur % 1000), span.tid);
+    os << buf;
+    first = false;
+  }
+  os << "]}\n";
+}
+
+}  // namespace asl::obs

@@ -1,0 +1,98 @@
+// Span tracer — per-thread ring buffers of request phases, exported as
+// Chrome trace-event JSON (DESIGN.md §11).
+//
+// A sampled request contributes one complete ("X") span per phase it passes
+// through — queue-wait, lock-wait, critical-section, post-section — so a
+// Perfetto / chrome://tracing timeline shows where a request's latency
+// actually went. The recording rules keep it hot-path-safe:
+//   * 1-in-N sampling per thread (sample_every == 0 disables tracing
+//     entirely — the compiled-in-but-default-off knob), so the common case
+//     is one counter increment and a branch;
+//   * each thread writes only its own fixed-size ring — single-writer,
+//     no atomics, no sharing, and strictly allocation-free once built;
+//   * a full ring overwrites its oldest span and counts the drop
+//     (dropped()): recent behaviour survives, and a truncated trace says
+//     so instead of silently posing as complete.
+// Readers (collect / write_chrome_trace) run after the writer threads are
+// joined; the join is the happens-before edge.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "platform/cacheline.h"
+#include "platform/time.h"
+
+namespace asl::obs {
+
+enum class SpanPhase : std::uint8_t {
+  kQueueWait = 0,       // admission -> a worker takes charge
+  kLockWait,            // lock requested -> acquired (locked route only)
+  kCriticalSection,     // the service segment (off-lock on the get route)
+  kPostSection,         // feedback + post-op work after the service segment
+};
+
+// Stable phase label for the trace-event "name" field.
+const char* span_phase_name(SpanPhase phase);
+
+struct Span {
+  Nanos start = 0;  // absolute monotonic ns (rebased on export)
+  Nanos dur = 0;
+  SpanPhase phase = SpanPhase::kQueueWait;
+  std::uint32_t tid = 0;
+};
+
+class SpanTracer {
+ public:
+  // `num_threads` writer identities (worker slots), each with its own
+  // `ring_capacity`-span ring; `sample_every` = N of the 1-in-N gate
+  // (0 = tracing off: sample() is always false, nothing ever records).
+  SpanTracer(std::uint32_t num_threads, std::size_t ring_capacity,
+             std::uint32_t sample_every);
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  bool enabled() const { return sample_every_ > 0; }
+  std::uint32_t sample_every() const { return sample_every_; }
+
+  // The 1-in-N decision for thread `tid`'s next candidate request. The
+  // caller records every phase of a request iff this returned true for it.
+  bool sample(std::uint32_t tid) {
+    if (sample_every_ == 0) return false;
+    ThreadRing& r = rings_[tid];
+    return (r.seen++ % sample_every_) == 0;
+  }
+
+  // Records one completed span into `tid`'s ring (single writer per tid).
+  void record(std::uint32_t tid, SpanPhase phase, Nanos start, Nanos dur) {
+    ThreadRing& r = rings_[tid];
+    r.ring[r.head % r.ring.size()] = Span{start, dur, phase, tid};
+    r.head += 1;
+  }
+
+  // Total spans recorded / spans overwritten (oldest-first) across threads.
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+  // Surviving spans, per-thread oldest-first (allocates; post-run only).
+  std::vector<Span> collect() const;
+
+  // Chrome trace-event JSON ({"traceEvents": [...]}, complete "X" events,
+  // ts/dur in microseconds), timestamps rebased to `epoch_ns` so the
+  // timeline starts near zero. Loadable in Perfetto / chrome://tracing;
+  // schema-checked by obs_test's parser, not by eyeball.
+  void write_chrome_trace(std::ostream& os, Nanos epoch_ns) const;
+
+ private:
+  struct alignas(kCacheLine) ThreadRing {
+    std::uint64_t head = 0;  // total spans written; ring index = head % cap
+    std::uint64_t seen = 0;  // sample() candidates, for the 1-in-N gate
+    std::vector<Span> ring;
+  };
+
+  std::uint32_t sample_every_;
+  std::vector<ThreadRing> rings_;
+};
+
+}  // namespace asl::obs

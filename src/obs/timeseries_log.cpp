@@ -1,0 +1,38 @@
+#include "obs/timeseries_log.h"
+
+namespace asl::obs {
+
+TimeSeriesLog::SeriesId TimeSeriesLog::add_series(std::string name,
+                                                  std::size_t capacity) {
+  names_.push_back(std::move(name));
+  series_.emplace_back();
+  series_.back().reserve(capacity);
+  capacity_.push_back(capacity);
+  return static_cast<SeriesId>(series_.size() - 1);
+}
+
+const TimeSeries* TimeSeriesLog::find(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return &series_[i];
+  }
+  return nullptr;
+}
+
+bool TimeSeriesLog::empty() const {
+  for (const TimeSeries& s : series_) {
+    if (!s.empty()) return false;
+  }
+  return true;
+}
+
+Table TimeSeriesLog::table() const {
+  Table table({"series", "t_ns", "value"});
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    for (const TimeSeries::Point& p : series_[i].points()) {
+      table.add_row({names_[i], std::to_string(p.t), std::to_string(p.v)});
+    }
+  }
+  return table;
+}
+
+}  // namespace asl::obs

@@ -1,0 +1,67 @@
+// Named, capacity-bounded collection of time series — where the telemetry
+// sampler's folds land (DESIGN.md §11).
+//
+// Each series is one stats/timeseries.h TimeSeries preallocated to a fixed
+// tick budget at add_series() time, so append() during a run is a bounds
+// check plus a vector write into reserved storage — allocation-free, which
+// the kv_alloc_audit telemetry-on window depends on. A series that fills up
+// drops further points (counted in dropped(); a truncated series must never
+// read as a complete one).
+//
+// The whole log renders as one long-form table {series, t_ns, value}: rows
+// are series-major in registration order, time-ascending within a series —
+// a pure function of the appended points, so a virtual-time producer (the
+// twin) emits byte-deterministic CSV, goldenable like every other twin
+// table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/table.h"
+#include "stats/timeseries.h"
+
+namespace asl::obs {
+
+class TimeSeriesLog {
+ public:
+  using SeriesId = std::uint32_t;
+
+  // Registers a series and reserves `capacity` points for it up front.
+  SeriesId add_series(std::string name, std::size_t capacity);
+
+  // Appends one point; a full series drops it and counts the drop.
+  void append(SeriesId id, std::uint64_t t, std::uint64_t v) {
+    TimeSeries& s = series_[id];
+    if (s.size() >= capacity_[id]) {
+      dropped_ += 1;
+      return;
+    }
+    s.record(t, v);
+  }
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t num_series() const { return series_.size(); }
+  const std::string& name(SeriesId id) const { return names_[id]; }
+  const TimeSeries& series(SeriesId id) const { return series_[id]; }
+  // Lookup by name (nullptr when absent) — for tests and shape checks;
+  // recording paths always hold the dense id.
+  const TimeSeries* find(std::string_view name) const;
+
+  // True when no series holds any point.
+  bool empty() const;
+
+  // Long-form {series, t_ns, value} table; integer cells plus the series
+  // name, byte-deterministic in the appended points.
+  Table table() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<TimeSeries> series_;
+  std::vector<std::size_t> capacity_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace asl::obs

@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/sampler.h"
 #include "platform/affinity.h"
 #include "platform/rng.h"
 #include "platform/time.h"
+#include "server/telemetry.h"
 #include "workload/trace.h"
 
 namespace asl::server {
@@ -105,6 +107,21 @@ KvService::KvService(KvServiceConfig config) : config_(std::move(config)) {
         slot.type == CoreType::kBig ? SpeedFactors::big() : SpeedFactors::little();
     slots_.push_back(slot);
   }
+
+  // Telemetry pipeline (DESIGN.md §11), built and frozen here so nothing on
+  // the hot path or in a sampler tick ever allocates. The epoch defaults to
+  // the construction instant so a stop()-without-start() final tick still
+  // lands on a sane time axis; start() re-stamps it.
+  if (config_.telemetry.enabled) {
+    telemetry_ = std::make_unique<KvTelemetry>(config_, n);
+    tick_accepted_.resize(classes_.size());
+    tick_shed_.resize(classes_.size());
+    tick_depth_.resize(shards_.size());
+    telemetry_start_ns_ = now_ns();
+    sampler_ = std::make_unique<obs::Sampler>(
+        config_.telemetry.sample_period_ns,
+        [this](std::uint64_t, Nanos now) { telemetry_tick(now); });
+  }
 }
 
 KvService::~KvService() { stop(); }
@@ -124,6 +141,12 @@ void KvService::start() {
   workers_.reserve(slots_.size());
   for (const WorkerSlot& slot : slots_) {
     workers_.emplace_back([this, &slot] { worker_loop(slot); });
+  }
+  if (sampler_) {
+    // The time axis starts when service does; the sampler rides along for
+    // the whole worker lifetime (stop() ends it after the joins).
+    telemetry_start_ns_ = now_ns();
+    sampler_->start();
   }
   lifecycle_lock_.unlock();
 }
@@ -151,6 +174,11 @@ void KvService::stop() {
       ScopedCoreType scoped(slot.type);
       drain_queue(slot);
     }
+  }
+  if (sampler_) {
+    // After the joins / inline drain: the sampler's final tick is the one
+    // sample guaranteed to see empty queues and final counters.
+    sampler_->stop();
   }
   workers_.clear();
   running_.store(false, std::memory_order_relaxed);
@@ -261,6 +289,28 @@ ServiceReport KvService::report() const {
   return report;
 }
 
+void KvService::telemetry_tick(Nanos now) {
+  // Snapshot into the preallocated scratch — relaxed racing reads of the
+  // same counters report() takes, at sampler fidelity (DESIGN.md §11).
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    tick_accepted_[c] = classes_[c]->accepted.load(std::memory_order_relaxed);
+    tick_shed_[c] = classes_[c]->shed.load(std::memory_order_relaxed);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    tick_depth_[s] = shards_[s]->queue.size();
+  }
+  TelemetryTickInputs in;
+  in.class_accepted = tick_accepted_.data();
+  in.class_shed = tick_shed_.data();
+  in.shard_depth = tick_depth_.data();
+  in.lock_acquires =
+      get_route_acquires_.load(std::memory_order_relaxed) +
+      put_route_acquires_.load(std::memory_order_relaxed);
+  in.lockfree_gets = lockfree_gets_.load(std::memory_order_relaxed);
+  telemetry_->fold_tick(
+      now > telemetry_start_ns_ ? now - telemetry_start_ns_ : 0, in);
+}
+
 void KvService::worker_loop(const WorkerSlot& slot) {
   if (config_.pin_workers) {
     pin_to_cpu_wrapped(slot.index);
@@ -323,6 +373,16 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head,
   ClassState& head_cls = *classes_[head.class_index];
   epoch_start(head_cls.epoch_id);
 
+  // Telemetry hooks (DESIGN.md §11): with telemetry off this whole layer is
+  // one null test per batch. A traced head (the span tracer's 1-in-N gate)
+  // contributes one span per phase it passes through.
+  KvTelemetry* const telem = telemetry_.get();
+  const bool traced = telem && telem->tracer().sample(slot.index);
+  if (traced) {
+    telem->tracer().record(slot.index, obs::SpanPhase::kQueueWait,
+                           head.enqueue_ns, batch[0].wait);
+  }
+
   const bool lock_free_gets = cost_.get_lock_free;
   if (lock_free_gets && head.op == OpType::kGet) {
     // Lock-free get route (DESIGN.md §8): the engine's snapshot read is
@@ -335,13 +395,28 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head,
     (void)shard.engine->get(head.key);
     batch[0].done = now_ns();
     lockfree_gets_.fetch_add(1, std::memory_order_relaxed);
+    if (traced) {
+      telem->tracer().record(slot.index, obs::SpanPhase::kCriticalSection,
+                             head_start, batch[0].done - head_start);
+    }
   } else {
     // Locked route. The acquisition is attributed to the head's op kind:
     // get_route_acquires must stay zero on a lock-free profile, and on
     // locked engines it is the counter that shows gets do block here.
     (head.op == OpType::kPut ? put_route_acquires_ : get_route_acquires_)
         .fetch_add(1, std::memory_order_relaxed);
-    shard.lock.lock();
+    Nanos t_acq = head_start;
+    if (telem) {
+      const Nanos waited = shard.lock.lock_timed();
+      t_acq = now_ns();
+      telem->on_lock_wait(slot.index, waited);
+      if (traced) {
+        telem->tracer().record(slot.index, obs::SpanPhase::kLockWait,
+                               t_acq > waited ? t_acq - waited : 0, waited);
+      }
+    } else {
+      shard.lock.lock();
+    }
     // Batch extension after the acquisition: requests that were already
     // waiting when the lock was won ride along in this critical section;
     // the drain never waits for new arrivals. Extension values are
@@ -381,7 +456,17 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head,
       // acquisitions.
       batch[i].done = now_ns();
     }
+    // Hold time ends here; the histogram/span recording happens after the
+    // release so observation never extends the critical section.
+    const Nanos hold = telem ? now_ns() - t_acq : 0;
     shard.lock.unlock();
+    if (telem) {
+      telem->on_lock_hold(slot.index, hold);
+      if (traced) {
+        telem->tracer().record(slot.index, obs::SpanPhase::kCriticalSection,
+                               t_acq, hold);
+      }
+    }
     // Batch-size capture after the release: the recorder's internal lock
     // must not extend the shard critical section. `count` is final — the
     // extension loop closed before the CS pass.
@@ -410,6 +495,7 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head,
   // therefore counts exactly one completion in its class's epoch, and each
   // class controller sees that request's end-to-end latency (queue wait
   // included) — batching amortizes the lock, never the feedback.
+  const Nanos post_start = traced ? now_ns() : 0;
   for (std::size_t i = 0; i < count; ++i) {
     const Request& req = batch[i].req;
     ClassState& cs = *classes_[req.class_index];
@@ -427,8 +513,13 @@ void KvService::serve_batch(const WorkerSlot& slot, const Request& head,
     cs.total.record(slot.type, total);
     cs.queue_wait.record(batch[i].wait);
     cs.stats_lock.unlock();
+    if (telem) telem->on_complete(slot.index, req.class_index, total);
     spin_nops(slot.speed.scale_ncs(
         cost_.op(req.op == OpType::kPut).post_nops));
+  }
+  if (traced) {
+    telem->tracer().record(slot.index, obs::SpanPhase::kPostSection,
+                           post_start, now_ns() - post_start);
   }
   // Recycle every value slot for the next batch. The engines copied the
   // bytes during their put calls, so nothing references the arena now.

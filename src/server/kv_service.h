@@ -46,7 +46,13 @@
 #include "stats/latency_split.h"
 #include "workload/cs_workload.h"
 
+namespace asl::obs {
+class Sampler;  // obs/sampler.h
+}  // namespace asl::obs
+
 namespace asl::server {
+
+class KvTelemetry;  // server/telemetry.h
 
 // The two engine operations a request can carry: kGet reads the key (a
 // miss is not an error — unprefilled keys simply return nothing), kPut
@@ -174,6 +180,27 @@ struct RequestClass {
   AdmissionPolicy admission{};
 };
 
+// Live-telemetry knobs (DESIGN.md §11). Default-off: a config that never
+// mentions telemetry builds no registry, spawns no sampler thread, and the
+// hot path's only cost is one null-pointer test per batch. With enabled =
+// true the service preallocates the whole observation pipeline at
+// construction (metrics slots, time-series capacity, span rings), so
+// recording and sampling stay allocation-free — the telemetry-on
+// kv_alloc_audit zero is part of the contract, not a separate mode.
+struct TelemetryConfig {
+  bool enabled = false;
+  // Fold cadence of the sampler thread (real path) / of the virtual-time
+  // tick events the twin schedules over its horizon.
+  Nanos sample_period_ns = 5 * kNanosPerMilli;
+  // Preallocated points per series; later ticks drop (and count drops).
+  std::size_t max_ticks = 4096;
+  // Span tracing: 1-in-N request sampling per worker (0 = off — the
+  // compiled-in, default-off knob) into fixed per-worker rings that
+  // overwrite oldest when full.
+  std::uint32_t span_sample_every = 0;
+  std::size_t span_ring_capacity = 1024;
+};
+
 struct KvServiceConfig {
   std::uint32_t num_shards = 4;
   std::size_t queue_capacity = 256;  // per shard
@@ -212,6 +239,10 @@ struct KvServiceConfig {
   // batch_k = 1 is exactly the unbatched service. Clamped to [1, kMaxBatch].
   std::uint32_t batch_k = 1;
   std::vector<RequestClass> classes;
+  // Live telemetry (metrics registry + sampler + span tracer, DESIGN.md
+  // §11). Shared with the simulated twin, which samples the same series
+  // schema in virtual time.
+  TelemetryConfig telemetry;
 };
 
 // The per-op cost classes `config` actually runs with: the explicit profile
@@ -400,6 +431,16 @@ class KvService {
   // differ run to run.
   void set_recorder(TraceRecorder* recorder);
 
+  // Live telemetry (DESIGN.md §11): null unless config.telemetry.enabled.
+  // The time-series log and span rings are safe to read once stop() has
+  // returned (the sampler's final tick and the worker joins both precede
+  // it); mid-run reads see a racing-but-valid snapshot.
+  const KvTelemetry* telemetry() const { return telemetry_.get(); }
+  KvTelemetry* telemetry() { return telemetry_.get(); }
+  // Wall-clock origin of the telemetry time axis (start() instant) — the
+  // epoch write_chrome_trace rebases span timestamps against.
+  Nanos telemetry_epoch_ns() const { return telemetry_start_ns_; }
+
  private:
   // Cache-line discipline inside the shard (DESIGN.md §9): the queue ends
   // with its own padded lock group, and the shard lock starts a fresh line,
@@ -458,6 +499,10 @@ class KvService {
   // head's before the acquisition); the arena is recycled before return.
   void serve_batch(const WorkerSlot& slot, const Request& head,
                    ValueArena& arena);
+  // One sampler fold: snapshots the admission counters, queue depths and
+  // route counters into the preallocated tick scratch and hands them to the
+  // telemetry layer. Allocation-free (kv_alloc_audit runs telemetry-on).
+  void telemetry_tick(Nanos now);
 
   KvServiceConfig config_;
   db::CostProfile cost_;  // resolved_cost_profile(config_), fixed at build
@@ -483,6 +528,16 @@ class KvService {
   mutable PthreadLock lifecycle_lock_;
   std::atomic<bool> running_{false};   // guarded by lifecycle_lock_ (writes)
   std::atomic<bool> stopped_{false};
+  // Telemetry (null when disabled). The sampler starts after the workers
+  // spawn and stops after they join — its final tick is the one sample
+  // guaranteed to observe drained queues and final counters. The tick
+  // scratch vectors are sized at construction so folds never allocate.
+  std::unique_ptr<KvTelemetry> telemetry_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  std::vector<std::uint64_t> tick_accepted_;
+  std::vector<std::uint64_t> tick_shed_;
+  std::vector<std::uint64_t> tick_depth_;
+  Nanos telemetry_start_ns_ = 0;
 };
 
 }  // namespace asl::server

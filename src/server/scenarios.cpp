@@ -43,8 +43,9 @@ std::vector<LoadSpec> base_load(const workload::KeyDist& keys,
 }  // namespace
 
 std::vector<std::string> kv_scenario_names() {
-  return {"kv_batch_shed",    "kv_uniform_bursty", "kv_uniform_steady",
-          "kv_zipf_bursty",   "kv_zipf_diurnal",   "kv_zipf_steady"};
+  return {"kv_batch_shed",  "kv_telemetry",    "kv_uniform_bursty",
+          "kv_uniform_steady", "kv_zipf_bursty", "kv_zipf_diurnal",
+          "kv_zipf_steady"};
 }
 
 KvScenario make_kv_scenario(std::string_view name) {
@@ -99,6 +100,22 @@ KvScenario make_kv_scenario(std::string_view name) {
         zipf,
         ArrivalProcess::diurnal(2.0 * kGetRate, 0.2, 200 * kNanosPerMilli),
         put_steady);
+  } else if (name == "kv_telemetry") {
+    sc.title =
+        "open-loop KV: live telemetry over diurnal-ramp arrivals "
+        "(time series + span traces)";
+    // kv_zipf_diurnal's traffic with the observation pipeline switched on:
+    // the 5 ms sampler resolves the 200 ms diurnal period into ~40 points
+    // per "day" (trough/peak ordering is the assertable shape), and 1-in-64
+    // span tracing exports a Chrome-trace timeline. DESIGN.md §11.
+    sc.load = base_load(
+        zipf,
+        ArrivalProcess::diurnal(2.0 * kGetRate, 0.2, 200 * kNanosPerMilli),
+        put_steady);
+    sc.service.telemetry.enabled = true;
+    sc.service.telemetry.sample_period_ns = 5 * kNanosPerMilli;
+    sc.service.telemetry.span_sample_every = 64;
+    sc.service.telemetry.span_ring_capacity = 2048;
   }
   return sc;
 }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "asl/runtime.h"
+#include "server/telemetry.h"
 #include "sim/engine.h"
 
 namespace asl::server {
@@ -70,6 +71,17 @@ struct SimKvService::Impl {
   std::uint64_t allocs_charged = 0;  // sum of per-op CostProfile allocs
   TraceRecorder* recorder = nullptr;  // not owned; null = no recording
   bool ran = false;
+  // Telemetry in virtual time (DESIGN.md §11): the same KvTelemetry the
+  // real path folds, single slot (the twin is single-threaded).
+  std::unique_ptr<KvTelemetry> telemetry;
+  std::vector<std::uint64_t> tick_accepted, tick_shed, tick_depth;
+  // Virtual instant of the last *service* event (arrival or work
+  // completion). Telemetry ticks are engine events too, but they must not
+  // move the reported drain time — drained_at reads this clock, which tick
+  // events leave alone, so telemetry on/off cannot perturb the measured
+  // tables (the twin-side zero-perturbation contract).
+  Nanos work_clock = 0;
+  void touch() { work_clock = eng.now(); }
 
   Impl(KvServiceConfig cfg, SimTwinConfig tw)
       : config(std::move(cfg)), twin(std::move(tw)), rng(twin.seed) {
@@ -127,6 +139,46 @@ struct SimKvService::Impl {
       }
       workers.push_back(std::move(worker));
     }
+
+    if (config.telemetry.enabled) {
+      telemetry = std::make_unique<KvTelemetry>(config, /*num_slots=*/1);
+      tick_accepted.resize(classes.size());
+      tick_shed.resize(classes.size());
+      tick_depth.resize(shards.size());
+    }
+  }
+
+  // One virtual-time sampler fold at telemetry time `t` — the twin of
+  // KvService::telemetry_tick, reading the Impl counters directly.
+  void sample_tick(Nanos t) {
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      tick_accepted[c] = classes[c].accepted;
+      tick_shed[c] = classes[c].shed;
+    }
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      tick_depth[s] = shards[s]->queue.size();
+    }
+    TelemetryTickInputs in;
+    in.class_accepted = tick_accepted.data();
+    in.class_shed = tick_shed.data();
+    in.shard_depth = tick_depth.data();
+    in.lock_acquires = routes.get_route_acquires + routes.put_route_acquires;
+    in.lockfree_gets = routes.lockfree_gets;
+    telemetry->fold_tick(t, in);
+  }
+
+  // Pre-posts one tick event per sample period over the arrival window (the
+  // drain-instant final tick is collect()'s). Each tick reports *its own*
+  // scheduled time, and none of them calls touch() — sampling reads state,
+  // never advances the work clock.
+  void schedule_ticks(Nanos horizon) {
+    if (!telemetry) return;
+    const Nanos period = config.telemetry.sample_period_ns < 1
+                             ? 1
+                             : config.telemetry.sample_period_ns;
+    for (Nanos t = period; t <= horizon; t += period) {
+      eng.at(t, [this, t] { sample_tick(t); });
+    }
   }
 
   // Per-op cost-class NOPs -> virtual ns under the machine model's
@@ -174,6 +226,7 @@ struct SimKvService::Impl {
   // captures the arrival + decision + route before any queue/worker state
   // moves — so recorded order is exactly virtual processing order.
   TraceDecision arrive(std::uint32_t shard_index, const SimRequest& req) {
+    touch();
     Shard& shard = *shards[shard_index];
     ClassState& cls = classes[req.class_index];
     // Mirror of BoundedQueue::try_push_below: capacity exhaustion first,
@@ -245,6 +298,7 @@ struct SimKvService::Impl {
       allocs_charged += cost.get.allocs;
       eng.after(lockfree_get_time(worker.core.type),
                 [this, &worker, &shard, head, head_wait] {
+        touch();
         ClassState& cls = classes[head.class_index];
         const Nanos total = eng.now() - head.at;
         cls.completed += 1;
@@ -254,6 +308,7 @@ struct SimKvService::Impl {
         }
         cls.total.record(worker.core.type, total);
         cls.queue_wait.record(head_wait);
+        if (telemetry) telemetry->on_complete(0, head.class_index, total);
         if (cls.spec.slo_ns > 0 &&
             DispatchPolicy::updates_window(worker.core.type)) {
           worker.controllers[head.class_index].on_epoch_end(total,
@@ -261,6 +316,7 @@ struct SimKvService::Impl {
         }
         eng.after(post_time(worker.core.type, /*is_put=*/false),
                   [this, &worker, &shard] {
+          touch();
           if (!shard.queue.empty()) {
             dispatch(worker);
           } else {
@@ -285,11 +341,16 @@ struct SimKvService::Impl {
                                      ? ctl.window()
                                      : DispatchPolicy::no_epoch_window();
     const LockPlan plan = DispatchPolicy::plan(worker.core.type, window);
+    const Nanos lock_req_at = eng.now();
     shard.lock->acquire(
         &worker.sim,
         plan.immediate ? sim::AcquireMode::kImmediate
                        : sim::AcquireMode::kReorder,
-        plan.window_ns, [this, &worker, &shard, head, head_wait] {
+        plan.window_ns,
+        [this, &worker, &shard, head, head_wait, lock_req_at] {
+          touch();
+          const Nanos acquired_at = eng.now();
+          if (telemetry) telemetry->on_lock_wait(0, acquired_at - lock_req_at);
           // Batch extension at acquisition time — the twin of the real
           // worker's try_pop loop after lock.lock(): requests already
           // waiting when the lock was won ride along, one simulated lock
@@ -326,7 +387,7 @@ struct SimKvService::Impl {
                 batch->begin(), batch->end(),
                 [](const Pending& p) { return p.req.is_put; }));
           }
-          serve_segment(worker, shard, batch, 0, cs_count);
+          serve_segment(worker, shard, batch, 0, cs_count, acquired_at);
         });
   }
 
@@ -341,7 +402,7 @@ struct SimKvService::Impl {
   // interval elapses before the worker re-dispatches or idles.
   void serve_segment(Worker& worker, Shard& shard,
                      const std::shared_ptr<std::vector<Pending>>& batch,
-                     std::size_t i, std::size_t cs_count) {
+                     std::size_t i, std::size_t cs_count, Nanos acquired_at) {
     const bool in_cs = i < cs_count;
     const sim::Time span = in_cs
                                ? cs_time(worker.core.type, (*batch)[i].req.is_put)
@@ -352,7 +413,8 @@ struct SimKvService::Impl {
     // assertion surface for the zero-allocation contract (DESIGN.md §9).
     allocs_charged +=
         in_cs ? cost.op((*batch)[i].req.is_put).allocs : cost.get.allocs;
-    eng.after(span, [this, &worker, &shard, batch, i, cs_count] {
+    eng.after(span, [this, &worker, &shard, batch, i, cs_count, acquired_at] {
+      touch();
       const Pending& served = (*batch)[i];
       ClassState& cls = classes[served.req.class_index];
       const Nanos total = eng.now() - served.req.at;
@@ -363,6 +425,7 @@ struct SimKvService::Impl {
       }
       cls.total.record(worker.core.type, total);
       cls.queue_wait.record(served.wait);
+      if (telemetry) telemetry->on_complete(0, served.req.class_index, total);
       if (cls.spec.slo_ns > 0 &&
           DispatchPolicy::updates_window(worker.core.type)) {
         worker.controllers[served.req.class_index].on_epoch_end(
@@ -372,10 +435,11 @@ struct SimKvService::Impl {
       // whether or not deferred off-lock gets follow (when cs_count ==
       // batch size this is the historic release-after-last-segment).
       if (i + 1 == cs_count) {
+        if (telemetry) telemetry->on_lock_hold(0, eng.now() - acquired_at);
         shard.lock->release(&worker.sim);
       }
       if (i + 1 < batch->size()) {
-        serve_segment(worker, shard, batch, i + 1, cs_count);
+        serve_segment(worker, shard, batch, i + 1, cs_count, acquired_at);
         return;
       }
       // One post-op interval per served request, each priced by its own op
@@ -385,6 +449,7 @@ struct SimKvService::Impl {
         post += post_time(worker.core.type, p.req.is_put);
       }
       eng.after(post, [this, &worker, &shard] {
+        touch();
         if (!shard.queue.empty()) {
           dispatch(worker);
         } else {
@@ -398,7 +463,17 @@ struct SimKvService::Impl {
   // allocation ledger — shared verbatim by run() and replay() so both
   // emit byte-identical tables for identical executions.
   void collect(SimServiceReport& report) {
-    report.drained_at = eng.now();
+    // work_clock, not eng.now(): the last service event defines the drain
+    // instant. With telemetry off they are the same clock; with telemetry on
+    // a trailing tick event past the drain must not move it.
+    report.drained_at = work_clock;
+    if (telemetry) {
+      // The final tick, at the drain instant — the virtual-time twin of the
+      // real Sampler's stop()-time fold: it observes empty queues and final
+      // counters, so "the sampler sees zero after drain" holds here too.
+      sample_tick(work_clock);
+      report.telemetry = telemetry->log();
+    }
     for (auto& shard : shards) flush_depth(*shard);
     for (const ClassState& cs : classes) {
       ClassReport c;
@@ -458,6 +533,8 @@ SimServiceReport SimKvService::run(const std::vector<LoadSpec>& load,
     }
   }
 
+  impl_->schedule_ticks(horizon);
+
   // Drain completely: arrivals stop at the horizon, workers run the queues
   // dry — the virtual-time equivalent of stop()'s close-then-drain, so
   // completed == accepted holds exactly on return.
@@ -505,6 +582,8 @@ SimReplayReport SimKvService::replay(const RecordedTrace& trace) {
       if (live != rec.decision) rr.decision_divergence += 1;
     });
   }
+
+  impl_->schedule_ticks(trace.meta.horizon);
 
   impl_->eng.run_all();
   impl_->collect(rr.report);
@@ -602,6 +681,12 @@ Table sim_kv_shard_table(const SimServiceReport& report) {
                    std::to_string(st.depth_integral * 1000 / span)});
   }
   return table;
+}
+
+Table sim_kv_telemetry_table(const SimServiceReport& report) {
+  // Long-form {series, t_ns, value}: integer virtual-ns cells plus the
+  // series name — byte-identical across runs, goldenable.
+  return report.telemetry.table();
 }
 
 }  // namespace asl::server

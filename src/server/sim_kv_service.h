@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/timeseries_log.h"
 #include "server/kv_service.h"
 #include "server/scenarios.h"
 #include "sim/core_model.h"
@@ -113,6 +114,12 @@ struct SimServiceReport {
   // mvcc configs — the twin's ledger of the real path's zero-allocation
   // contract — and completed * per-op count for lsm.
   std::uint64_t allocs_charged = 0;
+  // Telemetry time series sampled in virtual time (DESIGN.md §11): the same
+  // schema KvTelemetry emits on the real path, one tick per
+  // telemetry.sample_period_ns over the horizon plus one final tick at the
+  // drain instant. Empty unless config.telemetry.enabled. Byte-deterministic
+  // like every other twin observable — sim_kv_telemetry_table is goldenable.
+  obs::TimeSeriesLog telemetry;
 
   std::uint64_t total_accepted() const { return service.total_accepted(); }
   std::uint64_t total_rejected() const { return service.total_rejected(); }
@@ -211,5 +218,8 @@ TraceAccounting sim_trace_accounting(const SimServiceReport& report);
 // depth table the skew tests read.
 Table sim_kv_measured_table(const SimServiceReport& report);
 Table sim_kv_shard_table(const SimServiceReport& report);
+// The twin's telemetry time series as the long-form {series, t_ns, value}
+// table (empty when telemetry was disabled) — the golden-checked CSV shape.
+Table sim_kv_telemetry_table(const SimServiceReport& report);
 
 }  // namespace asl::server

@@ -43,20 +43,33 @@ void Histogram::record_n(std::uint64_t value, std::uint64_t count) {
   min_ = std::min(min_, value);
 }
 
-std::uint64_t Histogram::value_at_quantile(double q) const {
-  if (total_ == 0) return 0;
+std::uint64_t Histogram::quantile_from_bucket_counts(
+    const std::uint64_t* buckets, std::uint64_t total, double q) {
+  if (total == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  // Rank of the target observation, 1-based.
+  // Rank of the target observation, 1-based (nearest rank).
   const std::uint64_t rank = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(q * static_cast<double>(total_) + 0.5));
+      1, static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5));
   std::uint64_t seen = 0;
   for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
-    seen += buckets_[i];
+    seen += buckets[i];
     if (seen >= rank) {
-      return std::min<std::uint64_t>(bucket_upper_edge(i), max_);
+      return bucket_upper_edge(i);
     }
   }
-  return max_;
+  // Unreachable when `total` really is the bucket sum; returning the top
+  // edge keeps a lying caller monotone instead of undefined.
+  return bucket_upper_edge(kNumBuckets - 1);
+}
+
+std::uint64_t Histogram::value_at_quantile(double q) const {
+  if (total_ == 0) return 0;
+  // The shared bucket walk, then the observed-max clamp: a bucket's upper
+  // edge can exceed everything recorded into it (quantization), and with a
+  // single sample the clamp is what makes every quantile exactly that
+  // sample (see the header's edge-case contract).
+  return std::min<std::uint64_t>(
+      quantile_from_bucket_counts(buckets_.data(), total_, q), max_);
 }
 
 void Histogram::merge(const Histogram& other) {

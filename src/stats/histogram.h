@@ -28,9 +28,27 @@ class Histogram {
   // Record `count` observations of the same value.
   void record_n(std::uint64_t value, std::uint64_t count);
 
-  // Value at quantile q in [0,1] (q=0.99 => P99). Returns a representative
-  // value of the containing bucket (its upper edge). 0 when empty.
+  // Value at quantile q in [0,1] (q=0.99 => P99), nearest-rank over the
+  // buckets. Returns a representative value of the containing bucket (its
+  // upper edge), clamped to the true observed max so quantization never
+  // reports a value larger than anything recorded. Edge cases are defined,
+  // not bucket-boundary garbage (asserted in stats_test):
+  //   * empty histogram  -> 0 for every q (same convention as
+  //     ExactSample::value_at_quantile and LatencySplit);
+  //   * single sample v  -> exactly v for every q (the containing bucket's
+  //     upper edge is >= v, and the max clamp pulls it back to v).
   std::uint64_t value_at_quantile(double q) const;
+
+  // The same nearest-rank walk over a raw bucket-count array (length
+  // kNumBuckets, counts summing to `total`), without an observed-max clamp:
+  // returns the containing bucket's upper edge, or 0 when total == 0. This
+  // is the shared kernel value_at_quantile builds on, exposed so the
+  // telemetry sampler (obs/) can take windowed percentiles over per-tick
+  // bucket *deltas* — a delta window has no max of its own to clamp to,
+  // and the result stays a deterministic integer either way.
+  static std::uint64_t quantile_from_bucket_counts(const std::uint64_t* buckets,
+                                                   std::uint64_t total,
+                                                   double q);
 
   std::uint64_t p50() const { return value_at_quantile(0.50); }
   std::uint64_t p99() const { return value_at_quantile(0.99); }
@@ -43,8 +61,11 @@ class Histogram {
     return total_ == 0 ? 0.0 : static_cast<double>(sum_) / total_;
   }
 
-  // Merge another histogram into this one (per-thread recorders are merged
-  // at the end of an experiment).
+  // Merge another histogram into this one (per-thread / per-worker
+  // recorders are folded into one combined histogram at the end of an
+  // experiment). Exact: the merged histogram's buckets, count, sum, min and
+  // max are identical to recording both observation streams into a single
+  // histogram (asserted against that oracle in stats_test).
   void merge(const Histogram& other);
 
   void reset();

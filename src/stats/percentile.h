@@ -17,7 +17,10 @@ class ExactSample {
   bool empty() const { return values_.empty(); }
 
   // Exact value at quantile q in [0,1] using the nearest-rank definition
-  // (matches Histogram::value_at_quantile's rank convention).
+  // (matches Histogram::value_at_quantile's rank convention). The edge
+  // cases follow the same contract as the histogram (stats_test pins both
+  // against each other): an empty sample returns 0 for every q, and a
+  // single-sample set returns exactly that sample for every q.
   std::uint64_t value_at_quantile(double q) {
     if (values_.empty()) return 0;
     q = std::clamp(q, 0.0, 1.0);

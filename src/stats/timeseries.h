@@ -16,6 +16,11 @@ class TimeSeries {
 
   void record(std::uint64_t t, std::uint64_t v) { points_.push_back({t, v}); }
 
+  // Preallocate capacity for `n` points, so a recorder with a known tick
+  // budget (the telemetry sampler, obs/timeseries_log.h) can append without
+  // ever touching the heap mid-run.
+  void reserve(std::size_t n) { points_.reserve(n); }
+
   const std::vector<Point>& points() const { return points_; }
   std::size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }

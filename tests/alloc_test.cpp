@@ -18,6 +18,7 @@
 #include "platform/rng.h"
 #include "server/kv_service.h"
 #include "server/request_queue.h"
+#include "server/telemetry.h"
 
 namespace asl {
 namespace {
@@ -165,22 +166,14 @@ TEST(AllocSteadyState, MvKvWarmedPutsReuseThePool) {
   EXPECT_EQ(kv.pool_total(), total_before);
 }
 
-// The whole real service at steady state: worker threads, shard locks,
-// epoch feedback, arena-formatted puts — after a warmup window and a
-// drain, another traffic window must leave the *process-wide* allocation
+// Shared body for the service steady-state audits: worker threads, shard
+// locks, epoch feedback, arena-formatted puts — after a warmup window and
+// a drain, another traffic window must leave the *process-wide* allocation
 // count exactly where it was. Mirrors bench/kv_alloc_audit.cpp at unit
-// scale (hash engine; the audit covers mvcc under threads too).
-TEST(AllocSteadyState, ServiceRequestWindowIsHeapFree) {
-  KvServiceConfig cfg;
-  cfg.engine = "hash";
-  cfg.num_shards = 2;
-  cfg.workers_per_shard = 1;
-  cfg.queue_capacity = 64;
-  cfg.batch_k = 4;
-  cfg.prefill_keys = 256;
-  cfg.classes.push_back(
-      server::RequestClass{"alloc-test", 2 * kNanosPerMilli});
-  KvService service(cfg);
+// scale (hash engine; the audit covers mvcc under threads too). Returns
+// the service so callers can assert on post-stop observables.
+void expect_service_window_heap_free(const KvServiceConfig& cfg,
+                                     KvService& service) {
   service.start();
 
   Rng rng(3);
@@ -218,6 +211,46 @@ TEST(AllocSteadyState, ServiceRequestWindowIsHeapFree) {
   service.stop();
   const server::ServiceReport report = service.report();
   EXPECT_EQ(report.total_completed(), report.total_accepted());
+}
+
+KvServiceConfig alloc_steady_config() {
+  KvServiceConfig cfg;
+  cfg.engine = "hash";
+  cfg.num_shards = 2;
+  cfg.workers_per_shard = 1;
+  cfg.queue_capacity = 64;
+  cfg.batch_k = 4;
+  cfg.prefill_keys = 256;
+  cfg.classes.push_back(
+      server::RequestClass{"alloc-test", 2 * kNanosPerMilli});
+  return cfg;
+}
+
+TEST(AllocSteadyState, ServiceRequestWindowIsHeapFree) {
+  const KvServiceConfig cfg = alloc_steady_config();
+  KvService service(cfg);
+  expect_service_window_heap_free(cfg, service);
+}
+
+// The DESIGN.md §11 wait-free recording rule at unit scale: with the full
+// telemetry pipeline live — per-worker metric slots recorded on every
+// request, the sampler thread folding them into the time-series log, and
+// 1-in-N span capture into the per-thread rings — the steady traffic
+// window must still allocate exactly zero bytes process-wide. Everything
+// telemetry touches was preallocated at service start.
+TEST(AllocSteadyState, ServiceWindowStaysHeapFreeWithTelemetryOn) {
+  KvServiceConfig cfg = alloc_steady_config();
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_period_ns = 1 * kNanosPerMilli;
+  cfg.telemetry.span_sample_every = 64;
+  cfg.telemetry.span_ring_capacity = 512;
+  KvService service(cfg);
+  expect_service_window_heap_free(cfg, service);
+  // The sampler actually ran during the audit — the zero above covered a
+  // live pipeline, not an idle one.
+  ASSERT_NE(service.telemetry(), nullptr);
+  EXPECT_GT(service.telemetry()->ticks(), 0u);
+  EXPECT_FALSE(service.telemetry()->log().empty());
 }
 
 }  // namespace

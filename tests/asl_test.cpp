@@ -3,6 +3,7 @@
 // dispatch, profiler.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <sstream>
 #include <thread>
@@ -332,6 +333,31 @@ TEST(Profiler, PrintGraphContainsAllRows) {
   SloProfiler::print_graph(points, os);
   EXPECT_NE(os.str().find("slo_us"), std::string::npos);
   EXPECT_NE(os.str().find("3.00"), std::string::npos);
+}
+
+TEST(Profiler, GraphTableRowsMatchPointsAndCsvIsMachineReadable) {
+  std::vector<SloPoint> points(3);
+  points[0].slo_ns = 1000;
+  points[1].slo_ns = 2000;
+  points[2].slo_ns = 3000;
+  points[2].throughput = 1.5e6;
+  const Table table = SloProfiler::graph_table(points);
+  EXPECT_EQ(table.rows(), 3u);
+
+  std::ostringstream csv;
+  table.print_csv(csv);
+  // Header row + one row per point, all newline-terminated.
+  const std::string text = csv.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("slo_us,big_p99_us,little_p99_us,overall_p99_us,"
+                      "tput_ops"),
+            std::string::npos);
+
+  // print_graph is the same table rendered as text.
+  std::ostringstream via_print_graph, via_table;
+  SloProfiler::print_graph(points, via_print_graph);
+  table.print(via_table);
+  EXPECT_EQ(via_print_graph.str(), via_table.str());
 }
 
 }  // namespace

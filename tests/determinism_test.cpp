@@ -174,6 +174,75 @@ TEST(Determinism, SimTwinSeedsAreLoadBearing) {
   EXPECT_EQ(a.total_completed(), b.total_completed());
 }
 
+// The twin's telemetry time series as one CSV blob (what the
+// sim_kv_telemetry bench writes).
+std::string twin_telemetry_csv(const server::KvScenario& sc) {
+  const server::SimServiceReport report = server::run_sim_kv(sc);
+  std::ostringstream out;
+  server::sim_kv_telemetry_table(report).print_csv(out);
+  return out.str();
+}
+
+TEST(Determinism, SimTwinTelemetrySeriesIsByteIdentical) {
+  // DESIGN.md §11: the twin samples telemetry in virtual time, so the
+  // time-series table is an observable like any other — two runs of the
+  // same scenario must render byte-identical series CSV.
+  const server::KvScenario a = server::make_kv_scenario("kv_telemetry");
+  const server::KvScenario b = server::make_kv_scenario("kv_telemetry");
+  ASSERT_TRUE(a.service.telemetry.enabled);
+  const std::string csv_a = twin_telemetry_csv(a);
+  EXPECT_EQ(csv_a, twin_telemetry_csv(b));
+  EXPECT_GT(csv_a.size(), 0u);
+  // Long-form schema, not an accidental empty table.
+  EXPECT_EQ(csv_a.rfind("series,t_ns,value\n", 0), 0u);
+}
+
+TEST(Determinism, TelemetryDoesNotPerturbTheTwin) {
+  // The perturbation bound's exact analogue in virtual time: sampling is
+  // an observer, so switching telemetry off must not move a single byte
+  // of the measured table (same admissions, completions, percentiles).
+  server::KvScenario on = server::make_kv_scenario("kv_telemetry");
+  server::KvScenario off = server::make_kv_scenario("kv_telemetry");
+  off.service.telemetry.enabled = false;
+  const server::SimServiceReport r_on = server::run_sim_kv(on);
+  const server::SimServiceReport r_off = server::run_sim_kv(off);
+  std::ostringstream csv_on, csv_off;
+  server::sim_kv_measured_table(r_on).print_csv(csv_on);
+  server::sim_kv_measured_table(r_off).print_csv(csv_off);
+  EXPECT_EQ(csv_on.str(), csv_off.str());
+  EXPECT_FALSE(r_on.telemetry.empty());
+  EXPECT_TRUE(r_off.telemetry.empty());
+}
+
+TEST(Determinism, SimTwinTelemetryGoldenMatchesCheckedInCsv) {
+  // Pins the twin's telemetry series byte-for-byte against tests/golden/,
+  // like the measured-table goldens above: a reordered sampling tick, a
+  // renamed series, or a drifted fold shows up here first. Regenerate
+  // after an intentional schema change with:
+  //   ASL_WRITE_GOLDEN=1 ./determinism_test
+  //     --gtest_filter='*SimTwinTelemetryGolden*'
+  const std::string path =
+      std::string(ASL_GOLDEN_DIR) + "/sim_kv_telemetry.csv";
+  const std::string csv =
+      twin_telemetry_csv(server::make_kv_scenario("kv_telemetry"));
+
+  if (std::getenv("ASL_WRITE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << csv;
+    GTEST_SKIP() << "golden regenerated";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (regenerate with ASL_WRITE_GOLDEN=1)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(golden.str(), csv)
+      << "twin telemetry series drifted from the checked-in golden; if the "
+         "schema change is intentional, regenerate with ASL_WRITE_GOLDEN=1";
+}
+
 TEST(Determinism, SimTwinGoldenTraceMatchesCheckedInCsv) {
   // Byte-compare twin scenarios against tests/golden/: an accidental
   // determinism break (iteration-order change, float formatting, an RNG

@@ -15,6 +15,7 @@
 #include "server/request_queue.h"
 #include "server/scenarios.h"
 #include "server/sim_kv_service.h"
+#include "server/telemetry.h"
 #include "workload/keydist.h"
 #include "workload/open_loop.h"
 #include "workload/trace.h"
@@ -525,6 +526,120 @@ TEST(ServiceLifecycle, ConcurrentStartAndStopCompose) {
     EXPECT_EQ(report.classes[0].accepted, accepted);
     EXPECT_EQ(report.classes[0].completed, accepted);
     EXPECT_EQ(service.queue_depth(0) + service.queue_depth(1), 0u);
+  }
+}
+
+// ---------------------------------------------------- telemetry lifecycle
+
+namespace {
+
+KvServiceConfig telemetry_test_config() {
+  KvServiceConfig cfg;
+  cfg.num_shards = 2;
+  cfg.workers_per_shard = 1;
+  cfg.queue_capacity = 64;
+  cfg.prefill_keys = 64;
+  cfg.classes.push_back(RequestClass{"telemetry-test", 2 * kNanosPerMilli});
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_period_ns = 1 * kNanosPerMilli;
+  return cfg;
+}
+
+// Last point of a named series; 0 when the series is absent or empty.
+std::uint64_t series_last(const KvTelemetry* telem, const std::string& name) {
+  const TimeSeries* s = telem->log().find(name);
+  return (s == nullptr || s->empty()) ? 0 : s->points().back().v;
+}
+
+}  // namespace
+
+TEST(TelemetryLifecycle, DisabledConfigBuildsNoPipeline) {
+  KvServiceConfig cfg;
+  cfg.classes.push_back(RequestClass{"telemetry-off-test", 0});
+  KvService service(cfg);
+  EXPECT_EQ(service.telemetry(), nullptr);
+  service.start();
+  service.stop();
+  EXPECT_EQ(service.telemetry(), nullptr);
+}
+
+TEST(TelemetryLifecycle, FinalTickSeesZeroDepthAfterDrain) {
+  // The sampler's final tick fires after stop() joins the workers, so the
+  // last sample of every series must observe the drained service: queue
+  // depths at zero and the cumulative counters at their report values —
+  // never a mid-drain snapshot.
+  KvService service(telemetry_test_config());
+  service.start();
+  std::uint64_t accepted = 0;
+  Rng rng(11);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const OpType op = (i % 4 == 0) ? OpType::kPut : OpType::kGet;
+    while (!service.try_submit(op, rng.below(64), 0)) {
+      std::this_thread::yield();
+    }
+    accepted += 1;
+  }
+  service.stop();
+
+  const KvTelemetry* telem = service.telemetry();
+  ASSERT_NE(telem, nullptr);
+  EXPECT_GE(telem->ticks(), 1u);
+  const ServiceReport report = service.report();
+  EXPECT_EQ(report.classes[0].completed, accepted);
+  EXPECT_EQ(series_last(telem, "class.telemetry-test.accepted"), accepted);
+  EXPECT_EQ(series_last(telem, "class.telemetry-test.completed"), accepted);
+  EXPECT_EQ(series_last(telem, "shard.0.depth"), 0u);
+  EXPECT_EQ(series_last(telem, "shard.1.depth"), 0u);
+}
+
+TEST(TelemetryLifecycle, StopWithoutStartStillSamplesFinalTick) {
+  // stop() with no start(): queued work drains inline, and the sampler —
+  // never started — must still emit its one final tick, observing the
+  // post-drain state. A telemetry-on service never ends a run with an
+  // empty log.
+  KvService service(telemetry_test_config());
+  std::uint64_t accepted = 0;
+  for (std::uint64_t key = 0; key < 8; ++key) {
+    accepted += service.try_submit(OpType::kPut, key, 0) ? 1 : 0;
+  }
+  ASSERT_GT(accepted, 0u);
+  service.stop();
+
+  const KvTelemetry* telem = service.telemetry();
+  ASSERT_NE(telem, nullptr);
+  EXPECT_GE(telem->ticks(), 1u);
+  EXPECT_FALSE(telem->log().empty());
+  EXPECT_EQ(series_last(telem, "class.telemetry-test.completed"), accepted);
+  EXPECT_EQ(series_last(telem, "shard.0.depth") +
+                series_last(telem, "shard.1.depth"),
+            0u);
+}
+
+TEST(TelemetryLifecycle, ConcurrentStartAndStopCompose) {
+  // The PR 7 transition race, now with the sampler in the mix (this suite
+  // runs under TSan in CI): whichever order the lifecycle lock serializes,
+  // the sampler's final tick fires exactly once and lands on drained state.
+  for (int round = 0; round < 8; ++round) {
+    KvService service(telemetry_test_config());
+    std::uint64_t accepted = 0;
+    for (std::uint64_t key = 0; key < 16; ++key) {
+      accepted += service.try_submit(OpType::kPut, key, 0) ? 1 : 0;
+    }
+    std::thread starter([&service] { service.start(); });
+    std::thread stopper([&service] { service.stop(); });
+    starter.join();
+    stopper.join();
+    service.stop();  // idempotent; no second final tick
+
+    const KvTelemetry* telem = service.telemetry();
+    ASSERT_NE(telem, nullptr);
+    EXPECT_GE(telem->ticks(), 1u);
+    const ServiceReport report = service.report();
+    EXPECT_EQ(report.classes[0].completed, accepted);
+    EXPECT_EQ(series_last(telem, "class.telemetry-test.completed"), accepted);
+    EXPECT_EQ(series_last(telem, "shard.0.depth") +
+                  series_last(telem, "shard.1.depth"),
+              0u);
   }
 }
 

@@ -85,6 +85,97 @@ TEST(Histogram, MergeCombinesCountsAndExtremes) {
   EXPECT_EQ(a.max(), 1000000u);
 }
 
+TEST(Histogram, SingleValueIsExactAtEveryQuantile) {
+  // The documented single-sample contract (histogram.h): the containing
+  // bucket's upper edge is >= v and the max clamp pulls every quantile back
+  // to exactly v — including a value far above the width-1 octave.
+  for (std::uint64_t v : {1ULL, 63ULL, 12345ULL, 987654321ULL}) {
+    Histogram h;
+    h.record(v);
+    for (double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+      EXPECT_EQ(h.value_at_quantile(q), v) << "v=" << v << " q=" << q;
+    }
+  }
+}
+
+TEST(Histogram, MergeMatchesSingleCombinedHistogram) {
+  // The documented merge contract (histogram.h): merging per-worker
+  // histograms is *exact* — identical to recording both observation streams
+  // into one histogram. Checked against that oracle across the full summary
+  // surface, not just count/extremes.
+  Histogram a, b, combined;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.below(1ULL << 22) + 1;
+    if (i % 3 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.value_at_quantile(q), combined.value_at_quantile(q))
+        << "q=" << q;
+  }
+  const auto cdf_a = a.cdf();
+  const auto cdf_c = combined.cdf();
+  ASSERT_EQ(cdf_a.size(), cdf_c.size());
+  for (std::size_t i = 0; i < cdf_a.size(); ++i) {
+    EXPECT_EQ(cdf_a[i].value, cdf_c[i].value);
+    EXPECT_DOUBLE_EQ(cdf_a[i].cumulative, cdf_c[i].cumulative);
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.record(500);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.p99(), 500u);
+  // Merging into an empty histogram adopts the other's extremes (the ~0
+  // min sentinel must not leak through).
+  Histogram c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.min(), 500u);
+  EXPECT_EQ(c.max(), 500u);
+}
+
+TEST(Histogram, QuantileFromBucketCountsMatchesUnclampedWalk) {
+  // The static kernel (telemetry's windowed-p99 path) on a hand-built
+  // bucket array: zero total is 0 for every q, and a populated array
+  // reports the nearest-rank bucket's upper edge with no max clamp.
+  std::vector<std::uint64_t> buckets(Histogram::kNumBuckets, 0);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(Histogram::quantile_from_bucket_counts(buckets.data(), 0, q),
+              0u);
+  }
+  // 90 observations of ~100, 10 of ~200000: p50 sits in the low bucket,
+  // p99 in the high one.
+  const std::uint32_t lo = Histogram::bucket_index(100);
+  const std::uint32_t hi = Histogram::bucket_index(200000);
+  buckets[lo] = 90;
+  buckets[hi] = 10;
+  EXPECT_EQ(Histogram::quantile_from_bucket_counts(buckets.data(), 100, 0.5),
+            Histogram::bucket_upper_edge(lo));
+  EXPECT_EQ(Histogram::quantile_from_bucket_counts(buckets.data(), 100, 0.99),
+            Histogram::bucket_upper_edge(hi));
+  // Consistency with the member walk: the kernel on a histogram's own
+  // buckets is value_at_quantile without the observed-max clamp, so the
+  // two agree exactly whenever the quantile lands below the max's bucket.
+  Histogram h;
+  h.record_n(100, 90);
+  h.record_n(200000, 10);
+  EXPECT_EQ(h.value_at_quantile(0.5),
+            Histogram::quantile_from_bucket_counts(buckets.data(), 100, 0.5));
+}
+
 TEST(Histogram, ResetClears) {
   Histogram h;
   h.record(42);
@@ -169,6 +260,25 @@ TEST(ExactSample, NearestRankDefinition) {
   EXPECT_EQ(s.value_at_quantile(0.99), 99u);
   EXPECT_EQ(s.value_at_quantile(1.0), 100u);
   EXPECT_EQ(s.value_at_quantile(0.0), 1u);
+}
+
+TEST(ExactSample, EdgeContractMatchesHistogram) {
+  // percentile.h's documented edge contract, pinned against the histogram's:
+  // empty -> 0 for every q, single sample -> exactly that sample for every q.
+  ExactSample empty;
+  Histogram empty_h;
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(empty.value_at_quantile(q), 0u);
+    EXPECT_EQ(empty.value_at_quantile(q), empty_h.value_at_quantile(q));
+  }
+  ExactSample one;
+  Histogram one_h;
+  one.record(98765);
+  one_h.record(98765);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(one.value_at_quantile(q), 98765u);
+    EXPECT_EQ(one.value_at_quantile(q), one_h.value_at_quantile(q));
+  }
 }
 
 TEST(StreamingStats, Basics) {
